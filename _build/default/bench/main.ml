@@ -1,0 +1,529 @@
+(* The evaluation harness: regenerates every table and figure of the
+   paper's section 10 (at simulation scale) plus microbenchmarks of the
+   cryptographic and sortition primitives, and two ablations.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- fig5 fig7    # selected experiments
+     SCALE=2 dune exec bench/main.exe -- fig5 # 2x the simulated users
+
+   Experiments: micro fig3 fig4 fig5 fig6 fig7 fig8 throughput
+                related-work costs timeouts analysis
+                ablation-committee ablation-pipeline ablation-fanout
+
+   The x-axes are scaled down from the paper's 1,000-VM deployment (see
+   DESIGN.md section 2 and EXPERIMENTS.md): committee parameters stay at
+   paper scale, user counts are simulation-sized. Expected *shapes*, not
+   absolute values, are the reproduction target. *)
+
+module Committee = Algorand_sortition.Committee
+module Params = Algorand_ba.Params
+module Harness = Algorand_core.Harness
+module Node = Algorand_core.Node
+module Certificate = Algorand_core.Certificate
+module Metrics = Algorand_sim.Metrics
+module Stats = Algorand_sim.Stats
+module Nakamoto = Algorand_baselines.Nakamoto
+open Algorand_crypto
+
+let scale =
+  match Sys.getenv_opt "SCALE" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 1)
+  | None -> 1
+
+let header title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let pp_summary (s : Stats.summary) =
+  Printf.sprintf "min=%6.2f p25=%6.2f med=%6.2f p75=%6.2f max=%6.2f (n=%d)" s.min s.p25
+    s.median s.p75 s.max s.count
+
+(* Each sweep also lands in results/<name>.csv for plotting. *)
+let csv_dir = "results"
+
+let csv_out (name : string) (header : string) (rows : string list) : unit =
+  (try if not (Sys.file_exists csv_dir) then Sys.mkdir csv_dir 0o755 with Sys_error _ -> ());
+  try
+    let oc = open_out (Filename.concat csv_dir (name ^ ".csv")) in
+    output_string oc (header ^ "\n");
+    List.iter (fun r -> output_string oc (r ^ "\n")) rows;
+    close_out oc
+  with Sys_error _ -> ()
+
+let check_safety name (r : Harness.result) =
+  if r.safety.double_final <> [] then
+    Printf.printf "!! SAFETY VIOLATION in %s: double-final rounds %s\n" name
+      (String.concat "," (List.map string_of_int r.safety.double_final))
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks (Bechamel).                                         *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "Microbenchmarks: crypto + sortition primitives";
+  let open Bechamel in
+  let open Toolkit in
+  let kb = String.make 1024 'x' in
+  let ed = Ed25519.generate ~seed:"bench" in
+  let ed_pk = Ed25519.public_key ed in
+  let ed_sig = Ed25519.sign ed kb in
+  let ecvrf_prover, ecvrf_pk = Vrf.ecvrf.generate ~seed:"bench" in
+  let _, ecvrf_proof = ecvrf_prover.prove "input" in
+  let sim_prover, _ = Vrf.sim.generate ~seed:"bench" in
+  let counter = ref 0 in
+  let fresh () = incr counter; string_of_int !counter in
+  let tests =
+    [
+      Test.make ~name:"sha256/1KiB" (Staged.stage (fun () -> Sha256.digest kb));
+      Test.make ~name:"ed25519/sign" (Staged.stage (fun () -> Ed25519.sign ed (fresh ())));
+      Test.make ~name:"ed25519/verify"
+        (Staged.stage (fun () -> Ed25519.verify ~public:ed_pk ~msg:kb ~signature:ed_sig));
+      Test.make ~name:"ecvrf/prove" (Staged.stage (fun () -> ecvrf_prover.prove (fresh ())));
+      Test.make ~name:"ecvrf/verify"
+        (Staged.stage (fun () -> Vrf.ecvrf.verify ~pk:ecvrf_pk ~input:"input" ~proof:ecvrf_proof));
+      Test.make ~name:"simvrf/prove" (Staged.stage (fun () -> sim_prover.prove (fresh ())));
+      Test.make ~name:"sortition/select_j"
+        (Staged.stage (fun () ->
+             Algorand_sortition.Binomial.select_j ~frac:0.37 ~w:1000 ~p:0.125));
+    ]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ ns ] -> Printf.printf "  %-24s %12.0f ns/op\n%!" name ns
+          | _ -> Printf.printf "  %-24s (no estimate)\n%!" name)
+        analyzed)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: committee size vs honest fraction.                        *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  header "Figure 3: committee size tau vs honest fraction h (violation <= 5e-9)";
+  Printf.printf "  %-6s %-10s %-8s\n" "h" "tau_step" "T";
+  List.iter
+    (fun h ->
+      let tau, t = Committee.required_committee_size ~h () in
+      Printf.printf "  %-6.2f %-10d %-8.3f%s\n%!" h tau t
+        (if h = 0.80 then "   <- paper's operating point (tau=2000, T=0.685)" else ""))
+    [ 0.76; 0.78; 0.80; 0.82; 0.84; 0.86; 0.88; 0.90 ];
+  let v = Committee.violation_probability ~h:0.8 ~tau:2000.0 ~t:0.685 in
+  Printf.printf "  check: violation prob at (h=0.80, tau=2000, T=0.685) = %.2e\n" v
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: the implementation parameter table.                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  header "Figure 4: implementation parameters";
+  let p = Params.paper in
+  Printf.printf "  h            %.0f%%\n" (p.honest_fraction *. 100.0);
+  Printf.printf "  R            %d rounds\n" p.seed_refresh_interval;
+  Printf.printf "  tau_proposer %.0f\n" p.tau_proposer;
+  Printf.printf "  tau_step     %.0f\n" p.tau_step;
+  Printf.printf "  T_step       %.1f%%\n" (p.t_step *. 100.0);
+  Printf.printf "  tau_final    %.0f\n" p.tau_final;
+  Printf.printf "  T_final      %.0f%%\n" (p.t_final *. 100.0);
+  Printf.printf "  MaxSteps     %d\n" p.max_steps;
+  Printf.printf "  lambda_priority %.0f s\n" p.lambda_priority;
+  Printf.printf "  lambda_block    %.0f s\n" p.lambda_block;
+  Printf.printf "  lambda_step     %.0f s\n" p.lambda_step;
+  Printf.printf "  lambda_stepvar  %.0f s\n" p.lambda_stepvar
+
+(* ------------------------------------------------------------------ *)
+(* Figures 5-8: simulated deployments.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let base =
+  {
+    Harness.default with
+    rounds = 3;
+    block_bytes = 1_000_000;
+    tx_rate_per_s = 1.0;
+    rng_seed = 2017;
+  }
+
+let fig5 () =
+  header "Figure 5: round latency vs number of users (1 MB blocks)";
+  Printf.printf "  (paper: 5,000-50,000 users across 1,000 VMs; here: simulated processes)\n";
+  Printf.printf "  %-8s %s\n" "users" "round completion time (s)";
+  let rows =
+    List.map
+      (fun users ->
+        let users = users * scale in
+        let r = Harness.run { base with users } in
+        check_safety "fig5" r;
+        Printf.printf "  %-8d %s\n%!" users (pp_summary r.completion);
+        let c = r.completion in
+        Printf.sprintf "%d,%.3f,%.3f,%.3f,%.3f,%.3f" users c.min c.p25 c.median c.p75
+          c.max)
+      [ 25; 50; 75; 100 ]
+  in
+  csv_out "fig5" "users,min,p25,median,p75,max" rows
+
+let fig6 () =
+  header "Figure 6: scaling with constrained per-process bandwidth";
+  Printf.printf
+    "  (paper: 500 users/VM, crypto replaced by sleeps, lambda_step = 1 min;\n";
+  Printf.printf "   here: 2 Mbit/s per process and the same lambda_step bump)\n";
+  let params = { Params.paper with lambda_step = 60.0 } in
+  Printf.printf "  %-8s %s\n" "users" "round completion time (s)";
+  let rows =
+    List.map
+      (fun users ->
+        let users = users * scale in
+        let r =
+          Harness.run
+            { base with users; rounds = 2; params; bandwidth_bps = 2e6; tx_rate_per_s = 0.5 }
+        in
+        check_safety "fig6" r;
+        Printf.printf "  %-8d %s\n%!" users (pp_summary r.completion);
+        let c = r.completion in
+        Printf.sprintf "%d,%.3f,%.3f,%.3f,%.3f,%.3f" users c.min c.p25 c.median c.p75
+          c.max)
+      [ 60; 120; 180; 240 ]
+  in
+  csv_out "fig6" "users,min,p25,median,p75,max" rows
+
+let fig7 () =
+  header "Figure 7: latency breakdown vs block size (50 users)";
+  Printf.printf "  %-10s %-12s %-18s %-14s %-10s\n" "block" "proposal(s)" "BA* w/o final(s)"
+    "final step(s)" "total(s)";
+  let rows = ref [] in
+  List.iter
+    (fun block_bytes ->
+      let r =
+        Harness.run { base with users = 50 * scale; block_bytes; rounds = 2; tx_rate_per_s = 0.5 }
+      in
+      check_safety "fig7" r;
+      let mean phase = Stats.mean (Metrics.phase_times r.harness.metrics phase) in
+      let proposal = mean Metrics.Block_proposal in
+      let ba = mean Metrics.Ba_no_final in
+      let final = mean Metrics.Ba_final in
+      let label =
+        if block_bytes >= 1_000_000 then Printf.sprintf "%dMB" (block_bytes / 1_000_000)
+        else Printf.sprintf "%dKB" (block_bytes / 1_000)
+      in
+      Printf.printf "  %-10s %-12.2f %-18.2f %-14.2f %-10.2f\n%!" label proposal ba final
+        (proposal +. ba +. final);
+      rows :=
+        Printf.sprintf "%d,%.3f,%.3f,%.3f" block_bytes proposal ba final :: !rows)
+    [ 1_000; 10_000; 100_000; 1_000_000; 2_000_000; 10_000_000 ];
+  csv_out "fig7" "block_bytes,proposal_s,ba_s,final_s" (List.rev !rows)
+
+let fig8 () =
+  header "Figure 8: latency vs fraction of malicious users (equivocation attack)";
+  Printf.printf "  %-12s %-10s %s\n" "malicious" "final rds" "round completion time (s)";
+  let rows = ref [] in
+  List.iter
+    (fun pct ->
+      let r =
+        Harness.run
+          {
+            base with
+            users = 50 * scale;
+            rounds = 5;
+            block_bytes = 500_000;
+            malicious_fraction = float_of_int pct /. 100.0;
+            attack = Harness.Equivocate;
+            rng_seed = 31 + pct;
+          }
+      in
+      check_safety "fig8" r;
+      Printf.printf "  %-12s %-10d %s\n%!"
+        (Printf.sprintf "%d%%" pct)
+        r.final_rounds (pp_summary r.completion);
+      let c = r.completion in
+      rows :=
+        Printf.sprintf "%d,%d,%.3f,%.3f,%.3f" pct r.final_rounds c.min c.median c.max
+        :: !rows)
+    [ 0; 5; 10; 15; 20 ];
+  csv_out "fig8" "malicious_pct,final_rounds,min,median,max" (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+(* Section 10.2: throughput vs the Bitcoin baseline.                   *)
+(* ------------------------------------------------------------------ *)
+
+let throughput () =
+  header "Section 10.2: throughput (vs Bitcoin baseline)";
+  let algorand block_bytes =
+    let r =
+      Harness.run { base with users = 50 * scale; block_bytes; rounds = 3; tx_rate_per_s = 0.5 }
+    in
+    check_safety "throughput" r;
+    let mb_per_hour =
+      float_of_int block_bytes /. 1e6 *. (3600.0 /. r.completion.median)
+    in
+    (r.completion.median, mb_per_hour)
+  in
+  let lat1, tp1 = algorand 1_000_000 in
+  let lat10, tp10 = algorand 10_000_000 in
+  let btc = Nakamoto.run { Nakamoto.bitcoin_default with duration_s = 20.0 *. 86_400.0 } in
+  let btc_tp = btc.throughput_bytes_per_hour /. 1e6 in
+  Printf.printf "  Algorand  1 MB blocks: %6.1f s/round  -> %8.1f MB/hour\n" lat1 tp1;
+  Printf.printf "  Algorand 10 MB blocks: %6.1f s/round  -> %8.1f MB/hour\n" lat10 tp10;
+  Printf.printf "  Bitcoin   1 MB /10min: %6.0f s confirm -> %8.1f MB/hour\n"
+    btc.mean_confirmation_latency_s btc_tp;
+  Printf.printf "  speedup (10 MB Algorand vs Bitcoin): %.0fx   (paper: 125x)\n"
+    (tp10 /. btc_tp)
+
+(* ------------------------------------------------------------------ *)
+(* Section 2: related-work comparison table.                           *)
+(* ------------------------------------------------------------------ *)
+
+let related_work () =
+  header "Section 2: Algorand vs fixed-server BFT vs Nakamoto";
+  let module F = Algorand_baselines.Fixed_bft in
+  let alg =
+    Harness.run { base with users = 50 * scale; block_bytes = 10_000_000; rounds = 2; tx_rate_per_s = 0.5 }
+  in
+  check_safety "related-work" alg;
+  let hb = F.run F.honey_badger_default in
+  let btc = Nakamoto.run { Nakamoto.bitcoin_default with duration_s = 20.0 *. 86_400.0 } in
+  Printf.printf "  %-28s %-14s %-16s %s\n" "system" "latency" "throughput" "notes";
+  Printf.printf "  %-28s %-14s %-16s %s\n" "Algorand (10 MB blocks)"
+    (Printf.sprintf "%.0f s" alg.completion.median)
+    (Printf.sprintf "%.0f MB/h"
+       (10.0 *. (3600.0 /. alg.completion.median)))
+    "open membership, fresh committee per step";
+  Printf.printf "  %-28s %-14s %-16s %s\n" "HoneyBadger-style fixed BFT"
+    (Printf.sprintf "%.0f s" hb.mean_round_latency_s)
+    (Printf.sprintf "%.0f MB/h" (hb.throughput_bytes_per_hour /. 1e6))
+    "104 fixed servers (paper: ~5 min, ~200 KB/s)";
+  Printf.printf "  %-28s %-14s %-16s %s\n" "Bitcoin (Nakamoto)"
+    (Printf.sprintf "%.0f s" btc.mean_confirmation_latency_s)
+    (Printf.sprintf "%.1f MB/h" (btc.throughput_bytes_per_hour /. 1e6))
+    "6-block confirmation";
+  (* The targeted-DoS contrast: fixed servers halt; Algorand degrades
+     gracefully (fresh, secret committees). *)
+  let hb_dosed = F.run { F.honey_badger_default with dos_servers = 36 } in
+  let alg_dosed =
+    Harness.run
+      {
+        base with
+        users = 50 * scale;
+        rounds = 2;
+        block_bytes = 500_000;
+        attack = Harness.Targeted_dos { fraction = 0.3; from_ = 0.0; until = 1e9 };
+        tx_rate_per_s = 0.0;
+      }
+  in
+  check_safety "related-work-dos" alg_dosed;
+  Printf.printf "  under a 1/3 targeted DoS: fixed BFT halted=%b; Algorand committed %d/%d rounds\n"
+    hb_dosed.halted
+    (alg_dosed.final_rounds + alg_dosed.tentative_rounds)
+    2
+
+(* ------------------------------------------------------------------ *)
+(* Section 10.3: CPU, bandwidth and storage costs.                     *)
+(* ------------------------------------------------------------------ *)
+
+let costs () =
+  header "Section 10.3: costs of running Algorand";
+  let r = Harness.run { base with users = 50 * scale; rounds = 2 } in
+  check_safety "costs" r;
+  let m = r.harness.metrics in
+  let n = Array.length m.bytes_sent in
+  let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int n in
+  let mbps a = mean a *. 8.0 /. r.sim_time /. 1e6 in
+  Printf.printf "  bandwidth: %.2f Mbit/s sent, %.2f Mbit/s received per user (paper: ~10 Mbit/s)\n"
+    (mbps m.bytes_sent) (mbps m.bytes_received);
+  (* Certificate sizes: measured (sim VRF) and projected at paper scale
+     with ECVRF proof sizes. *)
+  (match
+     Array.to_list r.harness.nodes
+     |> List.filter_map (fun node -> Node.certificate node ~round:1)
+     |> fun l -> List.nth_opt l 0
+   with
+  | Some c ->
+    Printf.printf "  certificate (measured, %d votes at sim scale): %d KB\n"
+      (List.length c.votes)
+      (Certificate.size_bytes c / 1024)
+  | None -> Printf.printf "  certificate: none assembled\n");
+  let quorum = Params.certificate_quorum Params.paper in
+  let ecvrf_vote_bytes = 16 + 64 + 32 + Vrf.ecvrf.proof_length + 32 + 32 + 64 in
+  Printf.printf
+    "  certificate (projected at paper scale: %d votes x %d B): %d KB (paper: ~300 KB)\n"
+    quorum ecvrf_vote_bytes
+    (quorum * ecvrf_vote_bytes / 1024);
+  Printf.printf "  storage per 1 MB block, certificate included, sharded 10 ways: %.0f KB\n"
+    (Algorand_ledger.Storage.per_block_cost_bytes ~shards:10 ~block_bytes:1_000_000
+       ~certificate_bytes:(quorum * ecvrf_vote_bytes)
+    /. 1024.0);
+  (* CPU: time one vote validation with the real crypto. *)
+  let sig_scheme = Signature_scheme.ed25519 and vrf_scheme = Vrf.ecvrf in
+  let id = Algorand_core.Identity.generate ~sig_scheme ~vrf_scheme ~seed:"cost" in
+  let vctx : Algorand_ba.Vote.validation_ctx =
+    {
+      sig_scheme;
+      vrf_scheme;
+      sig_pk_of = Algorand_core.Identity.sig_pk;
+      vrf_pk_of = Algorand_core.Identity.vrf_pk;
+      seed = "s";
+      total_weight = 1000;
+      weight_of = (fun _ -> 1000);
+      last_block_hash = String.make 32 'p';
+      tau_of_step = (fun _ -> 2000.0);
+    }
+  in
+  (match
+     Algorand_ba.Vote.make ~signer:id.signer ~prover:id.prover ~pk:id.pk ~seed:"s"
+       ~tau:2000.0 ~w:1000 ~total_weight:1000 ~round:1 ~step:(Algorand_ba.Vote.Bin 1)
+       ~prev_hash:(String.make 32 'p') ~value:"v"
+   with
+  | Some v ->
+    let t0 = Unix.gettimeofday () in
+    let iters = 5 in
+    for _ = 1 to iters do
+      ignore (Algorand_ba.Vote.validate vctx v)
+    done;
+    Printf.printf "  CPU: one vote validation (ed25519 + ECVRF, pure OCaml): %.1f ms\n"
+      ((Unix.gettimeofday () -. t0) /. float_of_int iters *. 1000.0)
+  | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Section 10.5: timeout parameter validation.                         *)
+(* ------------------------------------------------------------------ *)
+
+let timeouts () =
+  header "Section 10.5: timeout parameters vs observed times";
+  let r = Harness.run { base with users = 50 * scale; rounds = 3 } in
+  check_safety "timeouts" r;
+  let m = r.harness.metrics in
+  let steps = Stats.summarize m.step_durations in
+  let prio = Stats.summarize m.priority_gossip_times in
+  let p = base.params in
+  Printf.printf "  BA* step durations:        %s\n" (pp_summary steps);
+  Printf.printf "    -> lambda_step = %.0fs bound holds: %b; p75-p25 = %.2fs vs lambda_stepvar = %.0fs\n"
+    p.lambda_step
+    (steps.p75 < p.lambda_step)
+    (steps.p75 -. steps.p25) p.lambda_stepvar;
+  Printf.printf "  priority gossip times:     %s\n" (pp_summary prio);
+  Printf.printf "    -> lambda_priority = %.0fs bound holds: %b (paper measures ~1s)\n"
+    p.lambda_priority
+    (prio.max < p.lambda_priority +. p.lambda_stepvar)
+
+(* ------------------------------------------------------------------ *)
+(* Technical-report appendix analyses.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let analysis () =
+  header "Appendix analyses (technical report A, B.1, C.3 + section 8.3)";
+  let module A = Algorand_ba.Analysis in
+  Printf.printf "  B.1 proposers at tau=26: P(none) = %.2e, P(>70) = %.2e (paper: ~1e-11)\n"
+    (A.no_proposer_probability ~tau:26.0)
+    (A.too_many_proposers_probability ~tau:26.0 ~bound:70);
+  Printf.printf "  C.3 steps: common case %d; worst-case expected %.1f (paper: 4 and 13)\n"
+    A.common_case_steps
+    (A.expected_worst_case_steps ~h:0.8);
+  Printf.printf "  C.3 P(exceed MaxSteps=150) = %.2e\n"
+    (A.max_steps_overflow_probability ~h:0.8 ~max_steps:150);
+  Printf.printf "  A   blocks for an honest seed at F=1e-9: %d (logarithmic in 1/F)\n"
+    (A.blocks_for_honest_seed ~h:0.8 ~failure:1e-9);
+  Printf.printf
+    "  8.3 certificate forgery per step at tau=2000: < 2^%.0f (paper: < 2^-166)\n"
+    (A.log2_certificate_attack_per_step ~h:0.8 ~tau:2000.0 ~t:0.685)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md section 4).                                    *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_committee () =
+  header "Ablation: committee size tau_step (latency vs violation probability)";
+  Printf.printf "  %-10s %-14s %-14s %s\n" "tau_step" "viol. prob" "median lat(s)" "(threshold fixed at 0.685)";
+  List.iter
+    (fun tau ->
+      let params = { Params.paper with tau_step = tau; tau_final = 2.0 *. tau } in
+      let v = Committee.violation_probability ~h:0.8 ~tau ~t:0.685 in
+      let r =
+        Harness.run
+          { base with users = 50 * scale; rounds = 2; params; block_bytes = 100_000; tx_rate_per_s = 0.0 }
+      in
+      check_safety "ablation-committee" r;
+      Printf.printf "  %-10.0f %-14.2e %-14.2f\n%!" tau v r.completion.median)
+    [ 100.0; 500.0; 2000.0; 4000.0 ]
+
+let ablation_pipeline () =
+  header "Ablation: final-step pipelining (section 10.2)";
+  Printf.printf "  %-12s %-18s %-14s\n" "pipelining" "all-rounds done(s)" "final rounds";
+  List.iter
+    (fun pipeline_final ->
+      let rounds = 4 in
+      let r =
+        Harness.run
+          { base with users = 50 * scale; rounds; pipeline_final; block_bytes = 1_000_000 }
+      in
+      check_safety "ablation-pipeline" r;
+      let last_done =
+        List.fold_left
+          (fun acc (rec_ : Metrics.round_record) ->
+            if Float.is_nan rec_.final_done then acc else Float.max acc rec_.final_done)
+          0.0 r.harness.metrics.rounds
+      in
+      Printf.printf "  %-12s %-18.2f %-14d\n%!"
+        (if pipeline_final then "on" else "off")
+        last_done r.final_rounds)
+    [ false; true ]
+
+let ablation_fanout () =
+  header "Ablation: gossip fanout (dissemination vs bandwidth)";
+  Printf.printf "  %-8s %-16s %-16s\n" "fanout" "median lat(s)" "MB sent/user";
+  List.iter
+    (fun fanout ->
+      let r =
+        Harness.run { base with users = 50 * scale; rounds = 2; fanout; block_bytes = 500_000 }
+      in
+      check_safety "ablation-fanout" r;
+      let m = r.harness.metrics in
+      let n = Array.length m.bytes_sent in
+      let mb = Array.fold_left ( +. ) 0.0 m.bytes_sent /. float_of_int n /. 1e6 in
+      Printf.printf "  %-8d %-16.2f %-16.1f\n%!" fanout r.completion.median mb)
+    [ 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("micro", micro);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("throughput", throughput);
+    ("related-work", related_work);
+    ("costs", costs);
+    ("timeouts", timeouts);
+    ("analysis", analysis);
+    ("ablation-committee", ablation_committee);
+    ("ablation-pipeline", ablation_pipeline);
+    ("ablation-fanout", ablation_fanout);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+        Printf.printf "unknown experiment %S; available: %s\n" name
+          (String.concat " " (List.map fst experiments)))
+    requested;
+  Printf.printf "\n(total wall time: %.1f s)\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,194 @@
+(* algorand-sim: command-line driver for the simulated Algorand
+   deployment and its baselines.
+
+     algorand-sim run --users 50 --rounds 3 --block-bytes 1000000
+     algorand-sim run --attack equivocate --malicious 0.2
+     algorand-sim run --attack partition --recovery
+     algorand-sim committee --honest 0.8
+     algorand-sim bitcoin --days 30 *)
+
+open Cmdliner
+module Harness = Algorand_core.Harness
+module Node = Algorand_core.Node
+module Chain = Algorand_ledger.Chain
+module Params = Algorand_ba.Params
+module Committee = Algorand_sortition.Committee
+module Nakamoto = Algorand_baselines.Nakamoto
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let users =
+    Arg.(value & opt int 50 & info [ "users" ] ~docv:"N" ~doc:"Number of simulated users.")
+  in
+  let rounds = Arg.(value & opt int 3 & info [ "rounds" ] ~doc:"Rounds to run.") in
+  let block_bytes =
+    Arg.(value & opt int 1_000_000 & info [ "block-bytes" ] ~doc:"Target block size.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic RNG seed.") in
+  let attack =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("none", `None);
+               ("equivocate", `Equivocate);
+               ("partition", `Partition);
+               ("dos", `Dos);
+               ("delay-votes", `Delay_votes);
+             ])
+          `None
+      & info [ "attack" ]
+          ~doc:"Adversary: none, equivocate, partition, dos or delay-votes.")
+  in
+  let malicious =
+    Arg.(value & opt float 0.2 & info [ "malicious" ] ~doc:"Malicious stake fraction (for equivocate).")
+  in
+  let bandwidth =
+    Arg.(value & opt float 20e6 & info [ "bandwidth" ] ~doc:"Per-process uplink, bits/s.")
+  in
+  let fanout = Arg.(value & opt int 4 & info [ "fanout" ] ~doc:"Gossip connections initiated per user.") in
+  let tx_rate = Arg.(value & opt float 2.0 & info [ "tx-rate" ] ~doc:"Transactions/s workload.") in
+  let recovery = Arg.(value & flag & info [ "recovery" ] ~doc:"Enable the section 8.2 recovery protocol.") in
+  let real_crypto =
+    Arg.(value & flag & info [ "real-crypto" ] ~doc:"Use ed25519 + ECVRF instead of the simulation schemes (slow).")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.") in
+  let save_dir =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"DIR"
+             ~doc:"After the run, save the certified block history to DIR.")
+  in
+  let run users rounds block_bytes seed attack malicious bandwidth fanout tx_rate
+      recovery real_crypto verbose save_dir =
+    setup_logs verbose;
+    let params =
+      if recovery then
+        { Params.paper with
+          lambda_priority = 1.0; lambda_stepvar = 1.0; lambda_block = 10.0;
+          lambda_step = 5.0; max_steps = 6; recovery_interval = 150.0 }
+      else Params.paper
+    in
+    let attack, malicious_fraction =
+      match attack with
+      | `None -> (Harness.No_attack, 0.0)
+      | `Equivocate -> (Harness.Equivocate, malicious)
+      | `Partition -> (Harness.Partition { from_ = 4.0; until = 100.0 }, 0.0)
+      | `Dos -> (Harness.Targeted_dos { fraction = 0.1; from_ = 5.0; until = 60.0 }, 0.0)
+      | `Delay_votes ->
+        ( Harness.Delay_votes
+            { delay = params.lambda_step *. 1.1; from_ = 0.0; until = 60.0 },
+          0.0 )
+    in
+    let config =
+      {
+        Harness.default with
+        users;
+        rounds;
+        block_bytes;
+        rng_seed = seed;
+        attack;
+        malicious_fraction;
+        bandwidth_bps = bandwidth;
+        fanout;
+        tx_rate_per_s = tx_rate;
+        recovery_enabled = recovery;
+        params;
+        crypto = (if real_crypto then Harness.Real_crypto else Harness.Sim_crypto);
+        max_sim_time = 3_600.0;
+      }
+    in
+    let r = Harness.run config in
+    Printf.printf "simulated %.1fs of network time, %d events\n" r.sim_time r.events;
+    Printf.printf "round completion: %s\n"
+      (Format.asprintf "%a" Algorand_sim.Stats.pp_summary r.completion);
+    Printf.printf "finality: %d final rounds, %d tentative\n" r.final_rounds
+      r.tentative_rounds;
+    Printf.printf "safety: %d agreed rounds, forked=%s, double-final=%s\n"
+      r.safety.agreement_rounds
+      (String.concat "," (List.map string_of_int r.safety.forked_rounds))
+      (String.concat "," (List.map string_of_int r.safety.double_final));
+    let recoveries =
+      Array.fold_left (fun a n -> a + Node.recoveries_completed n) 0 r.harness.nodes
+    in
+    if recoveries > 0 then Printf.printf "recoveries completed: %d\n" recoveries;
+    let tip = Chain.tip (Node.chain r.harness.nodes.(0)) in
+    Printf.printf "node 0 tip: height %d%s\n" tip.height (if tip.final then " [final]" else "");
+    (match save_dir with
+    | None -> ()
+    | Some dir -> (
+      match
+        Array.to_list r.harness.nodes
+        |> List.find_opt (fun n ->
+               List.for_all
+                 (fun round -> Algorand_core.Node.certificate n ~round <> None)
+                 (List.init rounds (fun i -> i + 1)))
+      with
+      | None -> Printf.printf "no node holds certificates for every round; nothing saved\n"
+      | Some node ->
+        let items = Algorand_core.Catchup.collect node ~up_to_round:rounds in
+        Algorand_core.Disk_store.save dir items;
+        Printf.printf "saved %d certified blocks to %s (%d KB)\n" (List.length items)
+          dir
+          (Algorand_core.Disk_store.size_bytes dir / 1024)));
+    if r.safety.double_final <> [] then exit 1
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a simulated Algorand deployment.")
+    Term.(
+      const run $ users $ rounds $ block_bytes $ seed $ attack $ malicious $ bandwidth
+      $ fanout $ tx_rate $ recovery $ real_crypto $ verbose $ save_dir)
+
+(* ------------------------------------------------------------------ *)
+(* committee                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let committee_cmd =
+  let honest =
+    Arg.(value & opt float 0.8 & info [ "honest" ] ~docv:"H" ~doc:"Honest stake fraction (> 2/3).")
+  in
+  let target =
+    Arg.(value & opt float 5e-9 & info [ "target" ] ~doc:"Violation probability target.")
+  in
+  let go honest target =
+    let tau, t = Committee.required_committee_size ~target ~h:honest () in
+    Printf.printf "h=%.2f target=%.1e -> tau_step=%d T=%.3f (violation %.2e)\n" honest
+      target tau t
+      (Committee.violation_probability ~h:honest ~tau:(float_of_int tau) ~t)
+  in
+  Cmd.v
+    (Cmd.info "committee" ~doc:"Committee size required for a safety target (Figure 3).")
+    Term.(const go $ honest $ target)
+
+(* ------------------------------------------------------------------ *)
+(* bitcoin                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let bitcoin_cmd =
+  let days = Arg.(value & opt float 30.0 & info [ "days" ] ~doc:"Simulated days.") in
+  let interval =
+    Arg.(value & opt float 600.0 & info [ "interval" ] ~doc:"Mean block interval (s).")
+  in
+  let go days interval =
+    let r =
+      Nakamoto.run
+        { Nakamoto.bitcoin_default with duration_s = days *. 86_400.0; mean_block_interval_s = interval }
+    in
+    Printf.printf "blocks found: %d  main chain: %d  orphan rate: %.2f%%\n" r.blocks_found
+      r.main_chain_length (100.0 *. r.orphan_rate);
+    Printf.printf "throughput: %.1f MB/hour  confirmation (6 deep): %.0f s\n"
+      (r.throughput_bytes_per_hour /. 1e6)
+      r.mean_confirmation_latency_s
+  in
+  Cmd.v (Cmd.info "bitcoin" ~doc:"Run the Nakamoto-consensus baseline.")
+    Term.(const go $ days $ interval)
+
+let () =
+  let doc = "Simulated Algorand (SOSP 2017) deployments and baselines" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "algorand-sim" ~doc) [ run_cmd; committee_cmd; bitcoin_cmd ]))

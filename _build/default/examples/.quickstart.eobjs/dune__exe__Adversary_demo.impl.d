@@ -1,0 +1,1 @@
+examples/adversary_demo.ml: Algorand_core List Printf

@@ -1,0 +1,1 @@
+examples/catchup_demo.ml: Algorand_core Algorand_crypto Algorand_ledger Array Format Hex List Option Printf Signature_scheme String Vrf

@@ -1,0 +1,1 @@
+examples/catchup_demo.mli:

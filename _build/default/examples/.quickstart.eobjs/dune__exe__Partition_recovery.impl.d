@@ -1,0 +1,1 @@
+examples/partition_recovery.ml: Algorand_ba Algorand_core Algorand_ledger Array List Printf String

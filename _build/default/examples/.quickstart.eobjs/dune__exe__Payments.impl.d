@@ -1,0 +1,1 @@
+examples/payments.ml: Algorand_core Algorand_ledger Algorand_sim Array List Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algorand_core Algorand_ledger Algorand_sim Array Format List Printf

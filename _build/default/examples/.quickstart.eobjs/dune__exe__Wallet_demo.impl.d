@@ -1,0 +1,1 @@
+examples/wallet_demo.ml: Algorand_core Algorand_crypto Algorand_sim Array Format List Option Printf String

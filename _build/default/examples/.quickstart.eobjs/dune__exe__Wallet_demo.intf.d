@@ -1,0 +1,1 @@
+examples/wallet_demo.mli:

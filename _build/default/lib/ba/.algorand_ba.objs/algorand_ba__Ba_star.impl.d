@@ -1,0 +1,1 @@
+lib/ba/ba_star.ml: Common_coin Hashtbl List Params String Vote Vote_counter

@@ -1,0 +1,1 @@
+lib/ba/ba_star.mli: Params Vote

@@ -1,0 +1,1 @@
+lib/ba/common_coin.ml: Algorand_crypto Char List Sha256 String

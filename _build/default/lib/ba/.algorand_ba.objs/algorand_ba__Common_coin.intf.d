@@ -1,0 +1,1 @@
+lib/ba/common_coin.mli:

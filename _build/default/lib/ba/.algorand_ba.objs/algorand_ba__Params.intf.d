@@ -1,0 +1,1 @@
+lib/ba/params.mli:

@@ -1,0 +1,1 @@
+lib/ba/vote.ml: Algorand_crypto Algorand_sortition Printf Sha256 Signature_scheme String Vrf

@@ -1,0 +1,1 @@
+lib/ba/vote.mli: Algorand_crypto Signature_scheme Vrf

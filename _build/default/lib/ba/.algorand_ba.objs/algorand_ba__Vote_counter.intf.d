@@ -1,0 +1,1 @@
+lib/ba/vote_counter.mli:

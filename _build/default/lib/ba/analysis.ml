@@ -1,0 +1,98 @@
+(* Analytical reproductions of the technical report's appendices, which
+   the paper leans on for its parameter choices:
+
+   - Appendix B.1: tau_proposer = 26 gives at least one and at most ~70
+     proposers with probability ~1 - 1e-11;
+   - Appendix C.3: with strong synchrony BA-star finishes in 4 steps in
+     the common case and an expected ~13 steps against the worst-case
+     adversary, and exceeding MaxSteps = 150 has negligible probability;
+   - Appendix A: the number of blocks needed in a strongly synchronous
+     period so at least one is honest is logarithmic in 1/F;
+   - Section 8.3: the probability that the adversary controls a whole
+     late-step committee (the fake-certificate attack) is negligible.
+
+   Committee selection counts are Poisson in the large-population limit
+   (see Committee). *)
+
+module Poisson = Algorand_sortition.Poisson
+
+(* ------------------------------------------------------------------ *)
+(* Appendix B.1: block-proposer count bounds.                          *)
+(* ------------------------------------------------------------------ *)
+
+(* P(no proposer at all) for expected count tau. *)
+let no_proposer_probability ~(tau : float) : float = exp (-.tau)
+
+(* P(more than [bound] proposers). *)
+let too_many_proposers_probability ~(tau : float) ~(bound : int) : float =
+  Poisson.sf ~k:bound ~mean:tau
+
+(* Combined failure: zero proposers or more than [bound]. *)
+let proposer_failure_probability ~(tau : float) ~(bound : int) : float =
+  no_proposer_probability ~tau +. too_many_proposers_probability ~tau ~bound
+
+(* ------------------------------------------------------------------ *)
+(* Appendix C.3: BA-star step counts.                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Common case (strong synchrony, honest highest-priority proposer):
+   two reduction steps, one BinaryBA* step, plus the final step. *)
+let common_case_steps : int = 4
+
+(* Worst case: a malicious highest-priority proposer colluding with
+   committee members can stall each three-step BinaryBA* period until
+   the common coin rescues it. A period flips a coin whose value is
+   common and unpredictable when the lowest sortition hash is honest
+   (probability h), and the coin favors consensus with probability 1/2,
+   so each period ends the loop with probability at least h/2. *)
+let period_success_probability ~(h : float) : float = h /. 2.0
+
+(* Expected BinaryBA* steps: two steps of the first (possibly
+   adversarially split) period, then three steps per extra period,
+   geometric with success h/2. *)
+let expected_binary_steps ~(h : float) : float =
+  let p = period_success_probability ~h in
+  2.0 +. (3.0 /. p)
+
+(* Expected total interactive steps from the start of Reduction. *)
+let expected_worst_case_steps ~(h : float) : float = 2.0 +. expected_binary_steps ~h
+
+(* P(BinaryBA* exceeds max_steps): no period succeeded. *)
+let max_steps_overflow_probability ~(h : float) ~(max_steps : int) : float =
+  let periods = max 0 ((max_steps - 2) / 3) in
+  (1.0 -. period_success_probability ~h) ** float_of_int periods
+
+(* ------------------------------------------------------------------ *)
+(* Appendix A: honest-seed block count.                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Smallest number of blocks agreed during a strongly synchronous
+   period such that at least one was proposed by an honest user with
+   probability 1 - failure: (1-h)^B <= failure. Logarithmic in
+   1/failure, as the paper notes. *)
+let blocks_for_honest_seed ~(h : float) ~(failure : float) : int =
+  if h <= 0.0 || h >= 1.0 then invalid_arg "Analysis.blocks_for_honest_seed";
+  if failure >= 1.0 then 0
+  else int_of_float (ceil (log failure /. log (1.0 -. h)))
+
+(* ------------------------------------------------------------------ *)
+(* Section 8.3: the fake-certificate attack.                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Chernoff upper bound on P(X >= k) for X ~ Poisson(mean), valid for
+   k > mean; returned as log2 so values far below float underflow are
+   still representable. *)
+let log2_poisson_tail_bound ~(mean : float) ~(k : float) : float =
+  if k <= mean then 0.0
+  else (k -. mean -. (k *. log (k /. mean))) /. log 2.0
+
+(* log2 of (a bound on) the probability that the adversary alone
+   gathers a winning vote count in one step: its committee seats are
+   Poisson((1-h) tau) and it needs more than T*tau of them. *)
+let log2_certificate_attack_per_step ~(h : float) ~(tau : float) ~(t : float) : float =
+  log2_poisson_tail_bound ~mean:((1.0 -. h) *. tau) ~k:(t *. tau)
+
+(* Union bound over every allowed step. *)
+let log2_certificate_attack ~(h : float) ~(tau : float) ~(t : float) ~(max_steps : int) :
+    float =
+  log2_certificate_attack_per_step ~h ~tau ~t +. (log (float_of_int max_steps) /. log 2.0)

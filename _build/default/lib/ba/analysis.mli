@@ -1,0 +1,41 @@
+(** Analytical reproductions of the technical report's appendices
+    (A, B.1, C.3) and the section 8.3 certificate-attack bound. *)
+
+val no_proposer_probability : tau:float -> float
+val too_many_proposers_probability : tau:float -> bound:int -> float
+
+val proposer_failure_probability : tau:float -> bound:int -> float
+(** Appendix B.1: P(zero proposers or more than [bound]) at expected
+    proposer count [tau]. The paper's tau = 26, bound = 70 gives
+    ~1e-11. *)
+
+val common_case_steps : int
+(** 4: two reduction steps, one BinaryBA* step, the final step. *)
+
+val period_success_probability : h:float -> float
+(** Each 3-step BinaryBA* period escapes the worst-case adversary with
+    probability at least h/2 (honest lowest hash x correct coin). *)
+
+val expected_binary_steps : h:float -> float
+
+val expected_worst_case_steps : h:float -> float
+(** Appendix C.3: ~13 at h = 0.8, matching the paper's "expected 13
+    steps" worst case. *)
+
+val max_steps_overflow_probability : h:float -> max_steps:int -> float
+(** P(BinaryBA* runs past [max_steps]) under strong synchrony. *)
+
+val blocks_for_honest_seed : h:float -> failure:float -> int
+(** Appendix A: blocks needed in a strongly synchronous period for at
+    least one honest proposer, logarithmic in 1/failure. *)
+
+val log2_poisson_tail_bound : mean:float -> k:float -> float
+(** Chernoff bound on log2 P(X >= k), X ~ Poisson(mean), for k > mean. *)
+
+val log2_certificate_attack_per_step : h:float -> tau:float -> t:float -> float
+
+val log2_certificate_attack :
+  h:float -> tau:float -> t:float -> max_steps:int -> float
+(** Section 8.3: log2 probability (bound) that an adversary can forge a
+    certificate at *some* allowed step. For tau > 1000 the paper quotes
+    below 2^-166 per step; this bound is far smaller. *)

@@ -1,0 +1,315 @@
+(* The BA* agreement protocol (section 7), as a sans-IO state machine.
+
+   The paper presents BA* as blocking pseudocode (Algorithms 3, 7, 8):
+   Reduction's two steps, then the BinaryBA* loop whose three-step
+   period votes / counts / flips a common coin, then the final-step
+   classification into final or tentative consensus. Here each
+   CommitteeVote becomes a [Broadcast] action, each blocking
+   CountVotes becomes a vote accumulator plus a [Set_timer] action, and
+   the caller (a node in the simulator, or a test harness) feeds
+   [Deliver]/[Timer] events back in. The machine holds no secrets: key
+   material stays behind the [my_votes] closure, mirroring the paper's
+   point that participants keep no private state besides their keys
+   and can be replaced after every message.
+
+   Event-driven equivalences with the pseudocode:
+   - votes for *future* steps arriving early are accumulated and
+     count the moment the machine enters that step;
+   - a CountVotes success "cancels" the pending timer by token
+     invalidation;
+   - the implementation note in section 9 (voting for the next three
+     steps after returning vs. looking back three steps) is the
+     pseudocode variant: we broadcast the next-three-step votes. *)
+
+type ctx = {
+  params : Params.t;
+  round : int;
+  empty_hash : string;  (** H(Empty(round, H(last block))) *)
+  my_votes : step:Vote.step -> value:string -> Vote.t list;
+      (** Sortition + signing closure. Honest nodes return zero or one
+          vote; byzantine test harnesses may return several
+          (equivocation). *)
+  validate : Vote.t -> int;
+      (** Weighted vote count of a message; 0 if invalid (Algorithm 6). *)
+}
+
+type action =
+  | Broadcast of Vote.t
+  | Set_timer of { token : int; delay : float }
+  | Bin_decided of { value : string; bin_steps : int }
+      (** BinaryBA* returned; final classification still pending. *)
+  | Decided of { value : string; final : bool; bin_steps : int }
+  | Hang  (** exceeded MaxSteps: wait for the recovery protocol (8.2) *)
+
+type event = Start of string  (** initial highest-priority block hash *)
+           | Deliver of Vote.t
+           | Timer of int
+
+type phase =
+  | Idle
+  | Reduction_one_wait
+  | Reduction_two_wait
+  | Bin_wait of int
+  | Final_wait
+  | Finished
+  | Hung
+
+type t = {
+  ctx : ctx;
+  mutable phase : phase;
+  mutable timer_token : int;  (** token of the timer we currently honor *)
+  mutable initial_hash : string;  (** BA*'s input block hash *)
+  mutable bin_input : string;  (** Reduction's output: BinaryBA*'s block_hash *)
+  mutable bin_result : string;  (** BinaryBA*'s return value *)
+  mutable bin_steps : int;
+  counters : (Vote.step, Vote_counter.t) Hashtbl.t;
+  votes_log : (Vote.step, Vote.t list ref) Hashtbl.t;  (** valid votes, for certificates *)
+}
+
+let create (ctx : ctx) : t =
+  {
+    ctx;
+    phase = Idle;
+    timer_token = -1;
+    initial_hash = "";
+    bin_input = "";
+    bin_result = "";
+    bin_steps = 0;
+    counters = Hashtbl.create 16;
+    votes_log = Hashtbl.create 16;
+  }
+
+let threshold_of_step (p : Params.t) (step : Vote.step) : float =
+  match step with Vote.Final -> Params.final_threshold p | _ -> Params.step_threshold p
+
+let counter (t : t) (step : Vote.step) : Vote_counter.t =
+  match Hashtbl.find_opt t.counters step with
+  | Some c -> c
+  | None ->
+    let c = Vote_counter.create ~threshold:(threshold_of_step t.ctx.params step) in
+    Hashtbl.replace t.counters step c;
+    c
+
+let log_vote (t : t) (v : Vote.t) : unit =
+  match Hashtbl.find_opt t.votes_log v.step with
+  | Some l -> l := v :: !l
+  | None -> Hashtbl.replace t.votes_log v.step (ref [ v ])
+
+let logged_votes (t : t) (step : Vote.step) : Vote.t list =
+  match Hashtbl.find_opt t.votes_log step with Some l -> !l | None -> []
+
+let fresh_timer (t : t) ~(delay : float) : action =
+  t.timer_token <- t.timer_token + 1;
+  Set_timer { token = t.timer_token; delay }
+
+let broadcasts (t : t) ~(step : Vote.step) ~(value : string) : action list =
+  List.map (fun v -> Broadcast v) (t.ctx.my_votes ~step ~value)
+
+(* The vote each phase is waiting to count. *)
+let step_of_phase = function
+  | Reduction_one_wait -> Some Vote.Reduction_one
+  | Reduction_two_wait -> Some Vote.Reduction_two
+  | Bin_wait s -> Some (Vote.Bin s)
+  | Final_wait -> Some Vote.Final
+  | Idle | Finished | Hung -> None
+
+(* -------------------- phase transitions -------------------- *)
+
+(* After BinaryBA* returns: classify final vs tentative (Algorithm 3).
+   Final requires the final-step committee to have already crossed its
+   threshold on the same value, or to do so within lambda_step. *)
+let rec finish_binary (t : t) ~(value : string) : action list =
+  t.bin_result <- value;
+  t.phase <- Final_wait;
+  let announce = Bin_decided { value; bin_steps = t.bin_steps } in
+  match Vote_counter.reached (counter t Vote.Final) with
+  | Some r -> announce :: classify t ~final_value:(Some r)
+  | None -> [ announce; fresh_timer t ~delay:t.ctx.params.lambda_step ]
+
+and classify (t : t) ~(final_value : string option) : action list =
+  t.phase <- Finished;
+  let final = match final_value with Some r -> String.equal r t.bin_result | None -> false in
+  [ Decided { value = t.bin_result; final; bin_steps = t.bin_steps } ]
+
+(* Enter BinaryBA* step [s], voting for [value]. *)
+and enter_bin (t : t) ~(s : int) ~(value : string) : action list =
+  if s > t.ctx.params.max_steps then begin
+    t.phase <- Hung;
+    [ Hang ]
+  end
+  else begin
+    t.bin_steps <- s;
+    t.phase <- Bin_wait s;
+    let actions =
+      broadcasts t ~step:(Vote.Bin s) ~value @ [ fresh_timer t ~delay:t.ctx.params.lambda_step ]
+    in
+    (* Early completion: the committee may already have crossed the
+       threshold from votes that arrived before we entered the step. *)
+    match Vote_counter.reached (counter t (Vote.Bin s)) with
+    | Some v -> actions @ resolve_bin t ~s ~result:(`Reached v)
+    | None -> actions
+  end
+
+(* Would a threshold crossing of [v] at bin step [s] end the loop? The
+   returning branches are A (non-empty value) and B (the empty value). *)
+and crossing_returns (t : t) ~(s : int) ~(v : string) : bool =
+  match (s - 1) mod 3 with
+  | 0 -> not (String.equal v t.ctx.empty_hash)
+  | 1 -> String.equal v t.ctx.empty_hash
+  | _ -> false
+
+(* Section 9 look-back: on a timeout at step [s], check whether any of
+   the last three steps' counters crossed the threshold on a value that
+   would have returned there; deciders stopped voting, so this recorded
+   crossing is the laggard's evidence. *)
+and look_back_decision (t : t) ~(s : int) : string option =
+  let rec scan k =
+    if k > 3 || s - k < 1 then None
+    else begin
+      let s' = s - k in
+      match Hashtbl.find_opt t.counters (Vote.Bin s') with
+      | Some c -> (
+        match Vote_counter.reached c with
+        | Some v when crossing_returns t ~s:s' ~v -> Some v
+        | _ -> scan (k + 1))
+      | None -> scan (k + 1)
+    end
+  in
+  scan 1
+
+(* Resolve BinaryBA* step [s] (Algorithm 8's three-branch period). *)
+and resolve_bin (t : t) ~(s : int) ~(result : [ `Reached of string | `Timeout ]) :
+    action list =
+  let empty = t.ctx.empty_hash in
+  let vote_next_three ~value =
+    match t.ctx.params.ba_variant with
+    | Params.Vote_next_three ->
+      List.concat_map
+        (fun off -> broadcasts t ~step:(Vote.Bin (s + off)) ~value)
+        [ 1; 2; 3 ]
+    | Params.Look_back -> []
+  in
+  (* In look-back mode a timeout first consults recent steps: the
+     deciders stopped voting, so their recorded threshold crossing is
+     the laggard's evidence (section 9). *)
+  let look_back_hit =
+    match (result, t.ctx.params.ba_variant) with
+    | `Timeout, Params.Look_back -> look_back_decision t ~s
+    | _ -> None
+  in
+  match look_back_hit with
+  | Some v -> finish_binary t ~value:v
+  | None -> (
+  match (s - 1) mod 3 with
+  | 0 -> (
+    (* Branch A: timeout -> block_hash; non-empty consensus returns. *)
+    match result with
+    | `Timeout -> enter_bin t ~s:(s + 1) ~value:t.bin_input
+    | `Reached v when not (String.equal v empty) ->
+      let final_vote = if s = 1 then broadcasts t ~step:Vote.Final ~value:v else [] in
+      vote_next_three ~value:v @ final_vote @ finish_binary t ~value:v
+    | `Reached v -> enter_bin t ~s:(s + 1) ~value:v)
+  | 1 -> (
+    (* Branch B: timeout -> empty_hash; empty consensus returns. *)
+    match result with
+    | `Timeout -> enter_bin t ~s:(s + 1) ~value:empty
+    | `Reached v when String.equal v empty ->
+      vote_next_three ~value:v @ finish_binary t ~value:v
+    | `Reached v -> enter_bin t ~s:(s + 1) ~value:v)
+  | _ -> (
+    (* Branch C: timeout -> common coin decides the next vote. *)
+    match result with
+    | `Timeout ->
+      let coin = Common_coin.flip (Vote_counter.messages (counter t (Vote.Bin s))) in
+      let value = if coin = 0 then t.bin_input else empty in
+      enter_bin t ~s:(s + 1) ~value
+    | `Reached v -> enter_bin t ~s:(s + 1) ~value:v))
+
+(* Resolve a Reduction step (Algorithm 7). *)
+and resolve_reduction_one (t : t) ~(result : [ `Reached of string | `Timeout ]) :
+    action list =
+  let value = match result with `Reached v -> v | `Timeout -> t.ctx.empty_hash in
+  t.phase <- Reduction_two_wait;
+  let actions =
+    broadcasts t ~step:Vote.Reduction_two ~value
+    @ [ fresh_timer t ~delay:t.ctx.params.lambda_step ]
+  in
+  match Vote_counter.reached (counter t Vote.Reduction_two) with
+  | Some v -> actions @ resolve_reduction_two t ~result:(`Reached v)
+  | None -> actions
+
+and resolve_reduction_two (t : t) ~(result : [ `Reached of string | `Timeout ]) :
+    action list =
+  let hblock = match result with `Reached v -> v | `Timeout -> t.ctx.empty_hash in
+  t.bin_input <- hblock;
+  enter_bin t ~s:1 ~value:hblock
+
+(* -------------------- event dispatch -------------------- *)
+
+let handle (t : t) (event : event) : action list =
+  match event with
+  | Start hblock -> (
+    match t.phase with
+    | Idle ->
+      t.initial_hash <- hblock;
+      t.phase <- Reduction_one_wait;
+      let p = t.ctx.params in
+      (* Others may still be waiting for block proposals, hence the
+         longer lambda_block + lambda_step window (Algorithm 7). *)
+      let actions =
+        broadcasts t ~step:Vote.Reduction_one ~value:hblock
+        @ [ fresh_timer t ~delay:(p.lambda_block +. p.lambda_step) ]
+      in
+      (match Vote_counter.reached (counter t Vote.Reduction_one) with
+      | Some v -> actions @ resolve_reduction_one t ~result:(`Reached v)
+      | None -> actions)
+    | _ -> invalid_arg "Ba_star.handle: Start in non-idle state")
+  | Deliver v -> (
+    if v.round <> t.ctx.round then []
+    else begin
+      let votes = t.ctx.validate v in
+      if votes = 0 then []
+      else begin
+        log_vote t v;
+        let c = counter t v.step in
+        match
+          Vote_counter.add c ~pk:v.voter_pk ~votes ~value:v.value ~sorthash:v.sorthash
+        with
+        | `Ignored | `Counted -> []
+        | `Reached value -> (
+          (* Only act if this is the step we are blocked on. *)
+          match step_of_phase t.phase with
+          | Some step when Vote.equal_step step v.step -> (
+            match t.phase with
+            | Reduction_one_wait -> resolve_reduction_one t ~result:(`Reached value)
+            | Reduction_two_wait -> resolve_reduction_two t ~result:(`Reached value)
+            | Bin_wait s -> resolve_bin t ~s ~result:(`Reached value)
+            | Final_wait -> classify t ~final_value:(Some value)
+            | Idle | Finished | Hung -> [])
+          | _ -> [])
+      end
+    end)
+  | Timer token -> (
+    if token <> t.timer_token then [] (* stale timer *)
+    else begin
+      match t.phase with
+      | Reduction_one_wait -> resolve_reduction_one t ~result:`Timeout
+      | Reduction_two_wait -> resolve_reduction_two t ~result:`Timeout
+      | Bin_wait s -> resolve_bin t ~s ~result:`Timeout
+      | Final_wait -> classify t ~final_value:None
+      | Idle | Finished | Hung -> []
+    end)
+
+let phase (t : t) : phase = t.phase
+let bin_steps (t : t) : int = t.bin_steps
+
+(* Votes usable as a certificate for the decided value: the last
+   BinaryBA* step's votes for it (section 8.3). *)
+let certificate_votes (t : t) : Vote.t list =
+  List.filter
+    (fun (v : Vote.t) -> String.equal v.value t.bin_result)
+    (logged_votes t (Vote.Bin t.bin_steps))
+
+(* Final-step votes, proving finality to a late joiner. *)
+let final_certificate_votes (t : t) : Vote.t list =
+  List.filter (fun (v : Vote.t) -> String.equal v.value t.bin_result) (logged_votes t Vote.Final)

@@ -1,0 +1,63 @@
+(** The BA* agreement protocol (section 7) as a sans-IO state machine.
+
+    One [t] runs one round of agreement: Reduction (Algorithm 7), the
+    BinaryBA* loop (Algorithm 8) with the common coin (Algorithm 9),
+    and the final/tentative classification (Algorithm 3). The caller
+    owns all I/O: it feeds [Deliver]/[Timer] events in and executes
+    [Broadcast]/[Set_timer] actions out. The machine holds no secrets -
+    key material stays behind the [my_votes] closure, mirroring the
+    paper's participant-replacement property. *)
+
+type ctx = {
+  params : Params.t;
+  round : int;
+  empty_hash : string;  (** H(Empty(round, H(last block))) *)
+  my_votes : step:Vote.step -> value:string -> Vote.t list;
+      (** Sortition + signing. Honest users return zero or one vote;
+          byzantine harnesses may return several. *)
+  validate : Vote.t -> int;  (** weighted vote count; 0 if invalid (Algorithm 6) *)
+}
+
+type action =
+  | Broadcast of Vote.t
+  | Set_timer of { token : int; delay : float }
+  | Bin_decided of { value : string; bin_steps : int }
+      (** BinaryBA* returned; final classification still pending *)
+  | Decided of { value : string; final : bool; bin_steps : int }
+  | Hang  (** exceeded MaxSteps; wait for recovery (section 8.2) *)
+
+type event =
+  | Start of string  (** the highest-priority proposed block's hash *)
+  | Deliver of Vote.t
+  | Timer of int
+
+type phase =
+  | Idle
+  | Reduction_one_wait
+  | Reduction_two_wait
+  | Bin_wait of int
+  | Final_wait
+  | Finished
+  | Hung
+
+type t
+
+val create : ctx -> t
+
+val handle : t -> event -> action list
+(** Feed one event; execute the returned actions. Votes for future
+    steps are buffered; stale timer tokens are ignored.
+    @raise Invalid_argument on [Start] in a non-idle state. *)
+
+val phase : t -> phase
+val bin_steps : t -> int
+
+val logged_votes : t -> Vote.step -> Vote.t list
+(** All valid votes received (or sent) for a step this round. *)
+
+val certificate_votes : t -> Vote.t list
+(** Votes from the last BinaryBA* step for the decided value - a block
+    certificate (section 8.3). *)
+
+val final_certificate_votes : t -> Vote.t list
+(** Final-step votes for the decided value - proves finality. *)

@@ -1,0 +1,31 @@
+(* The common coin (Algorithm 9): the least-significant bit of the
+   lowest H(sorthash || j) over all votes observed in a step. Because
+   sortition hashes are pseudo-random and the lowest one belongs to an
+   honest member with probability h, enough users observe the same bit
+   to break adversarial vote-scheduling (section 7.4, "getting
+   unstuck").
+
+   The paper's loop reads [for 1 <= j < votes]; taken literally a
+   single-vote member would contribute nothing and a w-vote member only
+   w-1 hashes. We follow the evident intent (each of the j selected
+   sub-users contributes) and iterate j = 1..votes. *)
+
+open Algorand_crypto
+
+let sub_user_hash ~(sorthash : string) ~(j : int) : string =
+  Sha256.digest_concat [ sorthash; string_of_int j ]
+
+let flip (messages : (string * int) list) : int =
+  let min_hash = ref None in
+  List.iter
+    (fun (sorthash, votes) ->
+      for j = 1 to votes do
+        let h = sub_user_hash ~sorthash ~j in
+        match !min_hash with
+        | None -> min_hash := Some h
+        | Some m -> if String.compare h m < 0 then min_hash := Some h
+      done)
+    messages;
+  match !min_hash with
+  | None -> 0 (* no votes at all: deterministic fallback *)
+  | Some h -> Char.code h.[String.length h - 1] land 1

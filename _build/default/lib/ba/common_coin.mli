@@ -1,0 +1,8 @@
+(** The common coin (Algorithm 9): least-significant bit of the lowest
+    H(sorthash || j) across a step's votes. *)
+
+val sub_user_hash : sorthash:string -> j:int -> string
+
+val flip : (string * int) list -> int
+(** [flip messages] with [(sorthash, votes)] pairs; 0 when no votes
+    were observed at all. *)

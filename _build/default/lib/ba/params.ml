@@ -1,0 +1,68 @@
+(* Protocol parameters (Figure 4 of the paper). [paper] is the
+   implementation's configuration; [scaled] shrinks committee sizes for
+   small simulated populations while keeping the vote-fraction
+   thresholds, so protocol dynamics (who crosses which threshold when)
+   are preserved at laptop scale. Shrinking committees raises the
+   violation probability - acceptable in a deterministic simulation,
+   quantified by Committee.violation_probability and reported in
+   EXPERIMENTS.md. *)
+
+(* Section 9's two equivalent formulations of BinaryBA*'s carry-forward
+   logic; the test suite checks the variants decide identically. *)
+type variant =
+  | Vote_next_three  (** pseudocode: deciders vote the next three steps *)
+  | Look_back  (** implementation: laggards consult the last three steps *)
+
+type t = {
+  honest_fraction : float;  (** h: assumed fraction of honest weighted users *)
+  seed_refresh_interval : int;  (** R: rounds between sortition seed refreshes *)
+  tau_proposer : float;  (** expected number of block proposers *)
+  tau_step : float;  (** expected committee size for BA* steps *)
+  t_step : float;  (** vote threshold fraction for BA* steps *)
+  tau_final : float;  (** expected committee size for the final step *)
+  t_final : float;  (** vote threshold fraction for the final step *)
+  max_steps : int;  (** maximum BinaryBA* steps before hanging *)
+  lambda_priority : float;  (** s: time to gossip sortition proofs *)
+  lambda_block : float;  (** s: timeout for receiving a block *)
+  lambda_step : float;  (** s: timeout for each BA* step *)
+  lambda_stepvar : float;  (** s: estimated variance of BA* completion *)
+  lookback_b : float;  (** s: weak-synchrony period length b (section 5.3) *)
+  recovery_interval : float;  (** s: how often the fork-recovery protocol kicks off *)
+  ba_variant : variant;  (** section 9 carry-forward formulation *)
+}
+
+let paper : t =
+  {
+    honest_fraction = 0.80;
+    seed_refresh_interval = 1_000;
+    tau_proposer = 26.0;
+    tau_step = 2_000.0;
+    t_step = 0.685;
+    tau_final = 10_000.0;
+    t_final = 0.74;
+    max_steps = 150;
+    lambda_priority = 5.0;
+    lambda_block = 60.0;
+    lambda_step = 20.0;
+    lambda_stepvar = 5.0;
+    lookback_b = 86_400.0;
+    recovery_interval = 3_600.0;
+    ba_variant = Vote_next_three;
+  }
+
+(* Committee sizes scaled by [factor]; thresholds unchanged. *)
+let scaled ~(factor : float) : t =
+  {
+    paper with
+    tau_proposer = Float.max 3.0 (paper.tau_proposer *. factor);
+    tau_step = Float.max 8.0 (paper.tau_step *. factor);
+    tau_final = Float.max 12.0 (paper.tau_final *. factor);
+  }
+
+(* Vote-count thresholds: a value wins a step once it has strictly more
+   than T * tau weighted votes (section 7.2). *)
+let step_threshold (p : t) : float = p.t_step *. p.tau_step
+let final_threshold (p : t) : float = p.t_final *. p.tau_final
+
+(* Certificate quorum (section 8.3): floor(T_step * tau_step) + 1. *)
+let certificate_quorum (p : t) : int = int_of_float (step_threshold p) + 1

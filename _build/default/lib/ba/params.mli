@@ -1,0 +1,40 @@
+(** Protocol parameters (Figure 4). *)
+
+type variant =
+  | Vote_next_three  (** pseudocode (Algorithm 8): deciders vote the next three steps *)
+  | Look_back
+      (** the authors' implementation (section 9): laggards consult the
+          last three steps' counters on a timeout; "equivalent results" *)
+
+type t = {
+  honest_fraction : float;  (** h: assumed fraction of honest weighted users *)
+  seed_refresh_interval : int;  (** R: rounds between sortition-seed refreshes *)
+  tau_proposer : float;  (** expected number of block proposers *)
+  tau_step : float;  (** expected committee size for BA* steps *)
+  t_step : float;  (** vote threshold fraction for BA* steps *)
+  tau_final : float;  (** expected committee size for the final step *)
+  t_final : float;  (** vote threshold fraction for the final step *)
+  max_steps : int;  (** maximum BinaryBA* steps before hanging *)
+  lambda_priority : float;  (** s: time to gossip sortition proofs *)
+  lambda_block : float;  (** s: timeout for receiving a block *)
+  lambda_step : float;  (** s: timeout for each BA* step *)
+  lambda_stepvar : float;  (** s: estimated variance of BA* completion *)
+  lookback_b : float;  (** s: weak-synchrony period length b (section 5.3) *)
+  recovery_interval : float;  (** s: fork-recovery cadence (section 8.2) *)
+  ba_variant : variant;  (** section 9 carry-forward formulation *)
+}
+
+val paper : t
+(** The values of Figure 4. *)
+
+val scaled : factor:float -> t
+(** Committee sizes scaled by [factor], thresholds unchanged - for
+    small simulated populations. *)
+
+val step_threshold : t -> float
+(** T_step * tau_step: a value wins a step with strictly more votes. *)
+
+val final_threshold : t -> float
+
+val certificate_quorum : t -> int
+(** floor(T_step * tau_step) + 1 (section 8.3). *)

@@ -1,0 +1,53 @@
+(* Incremental CountVotes (Algorithm 5). The pseudocode's blocking loop
+   becomes an accumulator fed by message-delivery events; the caller
+   arms its own timeout. Each voter's public key counts once per step
+   (first vote wins, as in the pseudocode's [voters] set), and the
+   recorded sortition hashes feed CommonCoin (Algorithm 9). *)
+
+type t = {
+  threshold : float;  (** T * tau: strictly-greater-than wins *)
+  counts : (string, int) Hashtbl.t;  (** value -> weighted votes *)
+  voters : (string, unit) Hashtbl.t;  (** pks already counted *)
+  mutable messages : (string * int) list;  (** (sorthash, votes) for the coin *)
+  mutable reached : string option;  (** first value to cross the threshold *)
+  mutable total_votes : int;
+}
+
+let create ~(threshold : float) : t =
+  {
+    threshold;
+    counts = Hashtbl.create 32;
+    voters = Hashtbl.create 32;
+    messages = [];
+    reached = None;
+    total_votes = 0;
+  }
+
+(* Feed one validated vote carrying [votes] weighted sub-user votes.
+   Returns [`Reached value] the first time some value crosses the
+   threshold, [`Counted] for any other accepted vote, and [`Ignored]
+   for duplicates / zero-vote messages. *)
+let add (t : t) ~(pk : string) ~(votes : int) ~(value : string) ~(sorthash : string) :
+    [ `Reached of string | `Counted | `Ignored ] =
+  if votes <= 0 || Hashtbl.mem t.voters pk then `Ignored
+  else begin
+    Hashtbl.replace t.voters pk ();
+    t.messages <- (sorthash, votes) :: t.messages;
+    t.total_votes <- t.total_votes + votes;
+    let current = match Hashtbl.find_opt t.counts value with Some c -> c | None -> 0 in
+    let updated = current + votes in
+    Hashtbl.replace t.counts value updated;
+    if t.reached = None && float_of_int updated > t.threshold then begin
+      t.reached <- Some value;
+      `Reached value
+    end
+    else `Counted
+  end
+
+let reached (t : t) : string option = t.reached
+let votes_for (t : t) (value : string) : int =
+  match Hashtbl.find_opt t.counts value with Some c -> c | None -> 0
+
+let total_votes (t : t) : int = t.total_votes
+let messages (t : t) : (string * int) list = t.messages
+let distinct_voters (t : t) : int = Hashtbl.length t.voters

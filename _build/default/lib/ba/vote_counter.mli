@@ -1,0 +1,27 @@
+(** Incremental CountVotes (Algorithm 5): an accumulator fed by
+    message-delivery events, reporting the first value to cross the
+    [T * tau] threshold. Each voter key counts once. *)
+
+type t
+
+val create : threshold:float -> t
+
+val add :
+  t ->
+  pk:string ->
+  votes:int ->
+  value:string ->
+  sorthash:string ->
+  [ `Reached of string | `Counted | `Ignored ]
+(** Feed one validated vote. [`Reached v] fires exactly once, when [v]
+    first exceeds the threshold (strictly). *)
+
+val reached : t -> string option
+val votes_for : t -> string -> int
+val total_votes : t -> int
+
+val messages : t -> (string * int) list
+(** (sorthash, votes) pairs of every counted message - the common
+    coin's input (Algorithm 9). *)
+
+val distinct_voters : t -> int

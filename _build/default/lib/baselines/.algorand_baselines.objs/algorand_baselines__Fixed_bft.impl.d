@@ -1,0 +1,1 @@
+lib/baselines/fixed_bft.ml: Algorand_sim List Rng

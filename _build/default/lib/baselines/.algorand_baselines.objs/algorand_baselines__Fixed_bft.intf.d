@@ -1,0 +1,1 @@
+lib/baselines/fixed_bft.mli:

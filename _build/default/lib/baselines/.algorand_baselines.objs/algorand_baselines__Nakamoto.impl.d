@@ -1,0 +1,1 @@
+lib/baselines/nakamoto.ml: Algorand_sim Array Engine Hashtbl Rng

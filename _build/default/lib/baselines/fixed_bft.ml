@@ -1,0 +1,103 @@
+(* A fixed-server BFT cryptocurrency baseline, modeling the
+   HoneyBadger-style design the paper compares against (section 2): a
+   set of n servers chosen at configuration time runs Byzantine
+   agreement among themselves; clients submit transactions to the
+   servers.
+
+   The model captures the two properties the paper criticizes:
+
+   - communication is all-to-all among the fixed servers (O(n^2) votes
+     per round, leader block distribution bounded by its uplink), so
+     throughput/latency degrade as the committee grows;
+   - the servers are *fixed and known*, so an adversary that DoSes
+     more than a third of them halts the system outright - unlike
+     Algorand, where each step's committee is fresh and secret until
+     it speaks.
+
+   Rounds: a leader broadcasts a block (serialized through its uplink),
+   then two all-to-all vote phases; the round commits when more than
+   2/3 of servers are responsive. *)
+
+open Algorand_sim
+
+type config = {
+  servers : int;
+  block_bytes : int;
+  bandwidth_bps : float;
+  wan_latency_s : float;  (** typical one-way server-to-server latency *)
+  vote_bytes : int;
+  rounds : int;
+  dos_servers : int;  (** servers silenced by a targeted attack *)
+  rng_seed : int;
+}
+
+let honey_badger_default =
+  {
+    servers = 104;
+    block_bytes = 10_000_000;
+    bandwidth_bps = 20e6;
+    wan_latency_s = 0.15;
+    vote_bytes = 300;
+    rounds = 5;
+    dos_servers = 0;
+    rng_seed = 3;
+  }
+
+type result = {
+  committed_rounds : int;
+  halted : bool;  (** the DoS silenced a blocking fraction of servers *)
+  mean_round_latency_s : float;
+  throughput_bytes_per_hour : float;
+  bytes_per_server_per_round : float;
+}
+
+let quorum (c : config) : int = (2 * c.servers / 3) + 1
+
+let run (c : config) : result =
+  let responsive = c.servers - c.dos_servers in
+  if responsive < quorum c then
+    {
+      committed_rounds = 0;
+      halted = true;
+      mean_round_latency_s = infinity;
+      throughput_bytes_per_hour = 0.0;
+      bytes_per_server_per_round = 0.0;
+    }
+  else begin
+    let rng = Rng.create c.rng_seed in
+    (* Leader block distribution: the leader pushes the block to every
+       other server through one capped uplink (sequentially), each copy
+       then needs a WAN traversal. *)
+    let tx_time = float_of_int (8 * c.block_bytes) /. c.bandwidth_bps in
+    let round_latency _round =
+      let distribution = (float_of_int (responsive - 1) *. tx_time) +. c.wan_latency_s in
+      (* Two vote phases; each ends when the quorum-th vote arrives.
+         Vote transmission is cheap; latency dominated by the WAN, with
+         jitter making the quorum-th arrival a near-max order
+         statistic. *)
+      let phase () =
+        let slowest = ref 0.0 in
+        for _ = 1 to quorum c do
+          let l = c.wan_latency_s *. (0.8 +. Rng.float rng 0.6) in
+          if l > !slowest then slowest := l
+        done;
+        !slowest
+      in
+      distribution +. phase () +. phase ()
+    in
+    let latencies = List.init c.rounds round_latency in
+    let mean = List.fold_left ( +. ) 0.0 latencies /. float_of_int c.rounds in
+    (* Per-server traffic per round: the block plus two all-to-all vote
+       phases. *)
+    let bytes_per_server =
+      float_of_int c.block_bytes
+      +. (2.0 *. float_of_int (responsive * c.vote_bytes))
+    in
+    {
+      committed_rounds = c.rounds;
+      halted = false;
+      mean_round_latency_s = mean;
+      throughput_bytes_per_hour = float_of_int c.block_bytes *. (3600.0 /. mean);
+      bytes_per_server_per_round = bytes_per_server;
+    }
+  end

@@ -1,0 +1,32 @@
+(** Fixed-server BFT cryptocurrency baseline (HoneyBadger-style,
+    section 2): leader block distribution over a capped uplink plus two
+    all-to-all vote phases among n configured servers. Captures the two
+    drawbacks the paper contrasts against: quadratic server traffic and
+    total loss of liveness when a third of the *known* servers is
+    DoSed. *)
+
+type config = {
+  servers : int;
+  block_bytes : int;
+  bandwidth_bps : float;
+  wan_latency_s : float;
+  vote_bytes : int;
+  rounds : int;
+  dos_servers : int;
+  rng_seed : int;
+}
+
+val honey_badger_default : config
+(** 104 servers, 10 MB blocks - the configuration the paper quotes
+    (~5 minute latency, ~200 KB/s). *)
+
+type result = {
+  committed_rounds : int;
+  halted : bool;
+  mean_round_latency_s : float;
+  throughput_bytes_per_hour : float;
+  bytes_per_server_per_round : float;
+}
+
+val quorum : config -> int
+val run : config -> result

@@ -1,0 +1,138 @@
+(* A Nakamoto-consensus (Bitcoin-style proof-of-work) simulator, the
+   baseline for the paper's throughput comparison (section 10.2:
+   "Bitcoin commits a 1 MByte block every 10 minutes ... Algorand
+   achieves 125x Bitcoin's throughput") and for the fork/confirmation
+   trade-off discussed in sections 1-2.
+
+   Model: miners find blocks as independent Poisson processes (total
+   rate = 1/mean_block_interval, split by hash power) and always mine
+   on the longest chain they have *seen*; a found block reaches other
+   miners after a propagation delay. Two blocks found within one
+   propagation window fork the chain; the shorter branch is eventually
+   orphaned. A transaction is confirmed once its block is
+   [confirmation_depth] blocks deep on the main chain. *)
+
+open Algorand_sim
+
+type config = {
+  miners : int;
+  mean_block_interval_s : float;
+  block_bytes : int;
+  propagation_s : float;  (** time for a block to reach other miners *)
+  confirmation_depth : int;  (** 6 for Bitcoin *)
+  duration_s : float;
+  rng_seed : int;
+}
+
+let bitcoin_default =
+  {
+    miners = 30;
+    mean_block_interval_s = 600.0;
+    block_bytes = 1_000_000;
+    propagation_s = 15.0;
+    confirmation_depth = 6;
+    duration_s = 60.0 *. 86_400.0 (* 60 simulated days *);
+    rng_seed = 7;
+  }
+
+type block = {
+  id : int;
+  parent : int;  (** -1 for genesis *)
+  height : int;
+  found_at : float;
+  miner : int;
+}
+
+type result = {
+  blocks_found : int;
+  main_chain_length : int;
+  orphans : int;
+  orphan_rate : float;
+  throughput_bytes_per_hour : float;
+      (** bytes on the main chain per hour of simulated time *)
+  mean_confirmation_latency_s : float;
+      (** block creation -> buried confirmation_depth deep *)
+  mean_interval_s : float;
+}
+
+let run (config : config) : result =
+  let engine = Engine.create () in
+  let rng = Rng.create config.rng_seed in
+  let genesis = { id = 0; parent = -1; height = 0; found_at = 0.0; miner = -1 } in
+  let blocks : (int, block) Hashtbl.t = Hashtbl.create 1024 in
+  Hashtbl.replace blocks 0 genesis;
+  let next_id = ref 1 in
+  (* Each miner's view: the highest block it has seen. *)
+  let tip = Array.make config.miners genesis in
+  let per_miner_mean = config.mean_block_interval_s *. float_of_int config.miners in
+  let find_block (m : int) : unit =
+    if Engine.now engine < config.duration_s then begin
+      let parent = tip.(m) in
+      let b =
+        {
+          id = !next_id;
+          parent = parent.id;
+          height = parent.height + 1;
+          found_at = Engine.now engine;
+          miner = m;
+        }
+      in
+      incr next_id;
+      Hashtbl.replace blocks b.id b;
+      tip.(m) <- b;
+      (* Propagate: others adopt it iff it is strictly higher than what
+         they know (the longest-chain rule). *)
+      for other = 0 to config.miners - 1 do
+        if other <> m then
+          Engine.schedule engine ~delay:(Rng.float rng (2.0 *. config.propagation_s))
+            (fun () -> if b.height > tip.(other).height then tip.(other) <- b)
+      done
+    end
+  in
+  let rec mine (m : int) () : unit =
+    if Engine.now engine < config.duration_s then begin
+      find_block m;
+      Engine.schedule engine ~delay:(Rng.exponential rng ~mean:per_miner_mean) (mine m)
+    end
+  in
+  for m = 0 to config.miners - 1 do
+    Engine.schedule engine ~delay:(Rng.exponential rng ~mean:per_miner_mean) (mine m)
+  done;
+  ignore (Engine.run engine ~until:(config.duration_s +. (10.0 *. config.propagation_s)) ());
+  (* The main chain is the ancestry of the highest tip. *)
+  let best = Array.fold_left (fun a b -> if b.height > a.height then b else a) genesis tip in
+  let on_main = Hashtbl.create 1024 in
+  let rec walk (b : block) =
+    Hashtbl.replace on_main b.id b;
+    if b.parent >= 0 then walk (Hashtbl.find blocks b.parent)
+  in
+  walk best;
+  let blocks_found = !next_id - 1 in
+  let main_chain_length = best.height in
+  let orphans = blocks_found - main_chain_length in
+  (* Confirmation latency: for each main-chain block at height h, the
+     time until the main-chain block at h + depth was found. *)
+  let by_height = Hashtbl.create 1024 in
+  Hashtbl.iter (fun _ b -> Hashtbl.replace by_height b.height b) on_main;
+  let lat_sum = ref 0.0 and lat_n = ref 0 in
+  for h = 1 to main_chain_length - config.confirmation_depth do
+    match (Hashtbl.find_opt by_height h, Hashtbl.find_opt by_height (h + config.confirmation_depth)) with
+    | Some b, Some deep ->
+      lat_sum := !lat_sum +. (deep.found_at -. b.found_at);
+      incr lat_n
+    | _ -> ()
+  done;
+  let hours = config.duration_s /. 3600.0 in
+  {
+    blocks_found;
+    main_chain_length;
+    orphans;
+    orphan_rate =
+      (if blocks_found = 0 then 0.0 else float_of_int orphans /. float_of_int blocks_found);
+    throughput_bytes_per_hour =
+      float_of_int main_chain_length *. float_of_int config.block_bytes /. hours;
+    mean_confirmation_latency_s =
+      (if !lat_n = 0 then nan else !lat_sum /. float_of_int !lat_n);
+    mean_interval_s =
+      (if main_chain_length = 0 then nan else config.duration_s /. float_of_int main_chain_length);
+  }

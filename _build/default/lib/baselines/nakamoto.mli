@@ -1,0 +1,36 @@
+(** Nakamoto-consensus (Bitcoin-style proof-of-work) simulator: the
+    baseline for the paper's throughput and confirmation-latency
+    comparisons (section 10.2) and the fork-rate trade-off of
+    sections 1-2. *)
+
+type config = {
+  miners : int;
+  mean_block_interval_s : float;
+  block_bytes : int;
+  propagation_s : float;
+  confirmation_depth : int;  (** 6 for Bitcoin *)
+  duration_s : float;
+  rng_seed : int;
+}
+
+val bitcoin_default : config
+
+type block = {
+  id : int;
+  parent : int;
+  height : int;
+  found_at : float;
+  miner : int;
+}
+
+type result = {
+  blocks_found : int;
+  main_chain_length : int;
+  orphans : int;
+  orphan_rate : float;
+  throughput_bytes_per_hour : float;
+  mean_confirmation_latency_s : float;
+  mean_interval_s : float;
+}
+
+val run : config -> result

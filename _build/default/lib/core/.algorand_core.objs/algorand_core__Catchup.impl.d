@@ -1,0 +1,1 @@
+lib/core/catchup.ml: Algorand_ba Algorand_crypto Algorand_ledger Certificate Format Identity List Node String

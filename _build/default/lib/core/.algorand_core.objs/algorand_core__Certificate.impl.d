@@ -1,0 +1,1 @@
+lib/core/certificate.ml: Algorand_ba Format Hashtbl List String

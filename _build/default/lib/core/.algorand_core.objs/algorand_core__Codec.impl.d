@@ -1,0 +1,1 @@
+lib/core/codec.ml: Algorand_ba Algorand_ledger Certificate List Message Option Proposal String

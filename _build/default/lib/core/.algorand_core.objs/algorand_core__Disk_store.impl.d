@@ -1,0 +1,1 @@
+lib/core/disk_store.ml: Algorand_ledger Array Catchup Codec Filename Format List Printf Sys Unix

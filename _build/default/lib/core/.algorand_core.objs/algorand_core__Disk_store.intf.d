@@ -1,0 +1,1 @@
+lib/core/disk_store.mli: Catchup Format

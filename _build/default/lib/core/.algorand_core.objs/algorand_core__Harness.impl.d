@@ -1,0 +1,1 @@
+lib/core/harness.ml: Algorand_ba Algorand_crypto Algorand_ledger Algorand_netsim Algorand_sim Array Float Hashtbl Identity List Message Node Printf Signature_scheme Vrf

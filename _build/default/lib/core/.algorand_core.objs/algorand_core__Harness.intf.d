@@ -1,0 +1,1 @@
+lib/core/harness.mli: Algorand_ba Algorand_ledger Algorand_netsim Algorand_sim Identity Message Node

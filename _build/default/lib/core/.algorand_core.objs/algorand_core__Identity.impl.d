@@ -1,0 +1,1 @@
+lib/core/identity.ml: Algorand_crypto Hex Signature_scheme String Vrf

@@ -1,0 +1,1 @@
+lib/core/identity.mli: Algorand_crypto Signature_scheme Vrf

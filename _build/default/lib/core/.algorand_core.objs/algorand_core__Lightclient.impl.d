@@ -1,0 +1,1 @@
+lib/core/lightclient.ml: Algorand_ba Algorand_crypto Algorand_ledger Certificate Format String

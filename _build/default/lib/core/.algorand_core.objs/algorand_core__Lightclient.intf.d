@@ -1,0 +1,1 @@
+lib/core/lightclient.mli: Algorand_ba Algorand_crypto Algorand_ledger Certificate Format

@@ -1,0 +1,1 @@
+lib/core/message.ml: Algorand_ba Algorand_crypto Algorand_ledger Hex List Printf Proposal

@@ -1,0 +1,1 @@
+lib/core/message.mli: Algorand_ba Algorand_ledger Proposal

@@ -1,0 +1,1 @@
+lib/core/node.mli: Algorand_ba Algorand_crypto Algorand_ledger Algorand_netsim Algorand_sim Certificate Identity Message

@@ -1,0 +1,1 @@
+lib/core/proposal.ml: Algorand_ba Algorand_crypto Algorand_ledger Algorand_sortition Printf String Vrf

@@ -1,0 +1,1 @@
+lib/core/proposal.mli: Algorand_crypto Vrf

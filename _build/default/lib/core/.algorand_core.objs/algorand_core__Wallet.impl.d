@@ -1,0 +1,1 @@
+lib/core/wallet.ml: Algorand_ledger Format Identity List Node String

@@ -1,0 +1,1 @@
+lib/core/wallet.mli: Algorand_ledger Format Identity Node

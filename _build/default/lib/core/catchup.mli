@@ -1,0 +1,51 @@
+(** Bootstrapping new users (section 8.3): replay downloaded blocks and
+    certificates from genesis, learning weights round by round so every
+    sortition proof can be checked. *)
+
+module Block = Algorand_ledger.Block
+module Chain = Algorand_ledger.Chain
+module Genesis = Algorand_ledger.Genesis
+module Vote = Algorand_ba.Vote
+module Params = Algorand_ba.Params
+
+type item = { block : Block.t; certificate : Certificate.t }
+
+type error =
+  [ `Round of int * Certificate.error
+  | `Chain of int * Chain.add_error
+  | `Hash_mismatch of int
+  | `Final_certificate of Certificate.error ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val validation_ctx :
+  params:Params.t ->
+  sig_scheme:Algorand_crypto.Signature_scheme.scheme ->
+  vrf_scheme:Algorand_crypto.Vrf.scheme ->
+  chain:Chain.t ->
+  round:int ->
+  Vote.validation_ctx
+(** The context a verifier derives for [round] from a chain prefix
+    (seed refresh and weight look-back included). *)
+
+val replay :
+  params:Params.t ->
+  sig_scheme:Algorand_crypto.Signature_scheme.scheme ->
+  vrf_scheme:Algorand_crypto.Vrf.scheme ->
+  genesis:Genesis.t ->
+  ?final_certificate:Certificate.t ->
+  item list ->
+  (Chain.t, error) result
+(** Verify a downloaded history in round order. A valid
+    [final_certificate] for the last block additionally marks it final
+    (proving safety of the whole prefix, since final blocks are totally
+    ordered). *)
+
+val collect : ?respect_shards:bool -> Node.t -> up_to_round:int -> item list
+(** Harvest a catch-up history from a running node;
+    [respect_shards] restricts it to rounds the node's storage shard
+    covers (section 8.3). *)
+
+val collect_from : Node.t list -> up_to_round:int -> item list option
+(** Assemble a full history from sharded servers, one round at a time;
+    [None] when some round is served by no one. *)

@@ -1,0 +1,85 @@
+(* Block certificates (section 8.3): the aggregate of votes from the
+   last BinaryBA* step, sufficient for any user to re-derive the
+   consensus conclusion. A *final* certificate additionally collects
+   final-step votes and proves safety of the block to late joiners.
+
+   Validation re-runs Algorithm 6 on every vote: same round and step,
+   same value, valid signatures and sortition proofs, and strictly more
+   than floor(T * tau) weighted votes in total. *)
+
+module Vote = Algorand_ba.Vote
+module Params = Algorand_ba.Params
+
+type t = {
+  round : int;
+  step : Vote.step;  (** the BinaryBA* step (or Final) the votes come from *)
+  block_hash : string;
+  votes : Vote.t list;
+}
+
+let make ~(round : int) ~(step : Vote.step) ~(block_hash : string)
+    ~(votes : Vote.t list) : t =
+  { round; step; block_hash; votes }
+
+let size_bytes (c : t) : int =
+  List.fold_left (fun acc v -> acc + Vote.size_bytes v) 0 c.votes
+
+type error =
+  [ `Wrong_round
+  | `Mixed_steps
+  | `Wrong_value
+  | `Invalid_vote
+  | `Duplicate_voter
+  | `Insufficient_votes of int * float
+  | `Too_many_steps ]
+
+let pp_error fmt = function
+  | `Wrong_round -> Format.fprintf fmt "vote for a different round"
+  | `Mixed_steps -> Format.fprintf fmt "votes from different steps"
+  | `Wrong_value -> Format.fprintf fmt "vote for a different value"
+  | `Invalid_vote -> Format.fprintf fmt "invalid vote (signature or sortition)"
+  | `Duplicate_voter -> Format.fprintf fmt "duplicate voter"
+  | `Insufficient_votes (got, need) ->
+    Format.fprintf fmt "insufficient votes: %d <= %.1f" got need
+  | `Too_many_steps -> Format.fprintf fmt "step number exceeds MaxSteps"
+
+(* [validate] needs the same context votes are checked against during
+   the round. The MaxSteps bound guards the attack discussed in
+   section 8.3: an adversary searching for a late step number whose
+   committee it controls. *)
+let validate ~(params : Params.t) ~(ctx : Vote.validation_ctx) (c : t) :
+    (unit, error) result =
+  let threshold =
+    match c.step with
+    | Vote.Final -> Params.final_threshold params
+    | _ -> Params.step_threshold params
+  in
+  let step_ok =
+    match c.step with
+    | Vote.Bin s -> s <= params.max_steps
+    | Vote.Final -> true
+    | Vote.Reduction_one | Vote.Reduction_two -> false
+  in
+  if not step_ok then Error `Too_many_steps
+  else begin
+    let seen = Hashtbl.create 32 in
+    let rec check total = function
+      | [] ->
+        if float_of_int total > threshold then Ok ()
+        else Error (`Insufficient_votes (total, threshold))
+      | (v : Vote.t) :: rest ->
+        if v.round <> c.round then Error `Wrong_round
+        else if not (Vote.equal_step v.step c.step) then Error `Mixed_steps
+        else if not (String.equal v.value c.block_hash) then Error `Wrong_value
+        else if Hashtbl.mem seen v.voter_pk then Error `Duplicate_voter
+        else begin
+          let votes = Vote.validate ctx v in
+          if votes = 0 then Error `Invalid_vote
+          else begin
+            Hashtbl.replace seen v.voter_pk ();
+            check (total + votes) rest
+          end
+        end
+    in
+    check 0 c.votes
+  end

@@ -1,0 +1,33 @@
+(** Block certificates (section 8.3): the votes from the last BinaryBA*
+    step (or the final step), enough for anyone to re-derive the
+    consensus conclusion. *)
+
+module Vote = Algorand_ba.Vote
+module Params = Algorand_ba.Params
+
+type t = {
+  round : int;
+  step : Vote.step;
+  block_hash : string;
+  votes : Vote.t list;
+}
+
+val make : round:int -> step:Vote.step -> block_hash:string -> votes:Vote.t list -> t
+val size_bytes : t -> int
+
+type error =
+  [ `Wrong_round
+  | `Mixed_steps
+  | `Wrong_value
+  | `Invalid_vote
+  | `Duplicate_voter
+  | `Insufficient_votes of int * float
+  | `Too_many_steps ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val validate : params:Params.t -> ctx:Vote.validation_ctx -> t -> (unit, error) result
+(** Re-run Algorithm 6 on every vote and check the quorum
+    (floor(T * tau) + 1). [`Too_many_steps] guards the certificate
+    attack of section 8.3 (an adversary searching for a late step whose
+    committee it controls). *)

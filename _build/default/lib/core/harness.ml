@@ -1,0 +1,316 @@
+(* Experiment harness: builds a complete simulated deployment - users
+   with stakes, genesis, WAN topology, gossip overlay, workload,
+   adversary - runs it for a number of rounds, and checks the safety
+   property across all users (section 3: no two honest users accept
+   conflicting blocks; no two different final blocks per round).
+
+   This is the module every experiment in section 10 goes through. *)
+
+open Algorand_crypto
+module Params = Algorand_ba.Params
+module Engine = Algorand_sim.Engine
+module Metrics = Algorand_sim.Metrics
+module Rng = Algorand_sim.Rng
+module Topology = Algorand_netsim.Topology
+module Network = Algorand_netsim.Network
+module Gossip = Algorand_netsim.Gossip
+module Adversary = Algorand_netsim.Adversary
+module Transaction = Algorand_ledger.Transaction
+module Genesis = Algorand_ledger.Genesis
+module Chain = Algorand_ledger.Chain
+module Block = Algorand_ledger.Block
+
+type crypto = Real_crypto | Sim_crypto
+
+type attack =
+  | No_attack
+  | Equivocate  (** section 10.4: malicious proposers + double-voting committee *)
+  | Partition of { from_ : float; until : float }
+      (** network split into two halves (weak synchrony) *)
+  | Targeted_dos of { fraction : float; from_ : float; until : float }
+      (** drop all traffic of a random user fraction *)
+  | Delay_votes of { delay : float; from_ : float; until : float }
+      (** the section 7.4 scheduling flavor: BinaryBA* votes are held
+          past the step timeout, so steps resolve by timeout and the
+          groups' next votes are steered by what trickled in; the
+          common coin must get the network unstuck once delivery
+          resumes *)
+
+type config = {
+  users : int;
+  stake_per_user : int;
+  stake_distribution : [ `Equal | `Linear ];
+      (** [`Equal] matches the paper's setup (it maximizes message
+          count); [`Linear] gives user i stake proportional to i+1,
+          exercising weighted sortition and weighted peer selection. *)
+  params : Params.t;
+  block_bytes : int;
+  rounds : int;
+  rng_seed : int;
+  crypto : crypto;
+  bandwidth_bps : float;
+  fanout : int;
+  malicious_fraction : float;  (** fraction of users (hence stake) that is malicious *)
+  attack : attack;
+  tx_rate_per_s : float;
+  max_sim_time : float;
+  cpu_vote_verify_s : float;
+  cpu_block_verify_s : float;
+  recovery_enabled : bool;  (** run the section 8.2 recovery protocol on clock ticks *)
+  storage_shards : int;  (** section 8.3 sharded block/certificate serving *)
+  pipeline_final : bool;  (** overlap final-step classification with the next round *)
+}
+
+let default =
+  {
+    users = 50;
+    stake_per_user = 1_000;
+    stake_distribution = `Equal;
+    params = Params.paper;
+    block_bytes = 1_000_000;
+    rounds = 3;
+    rng_seed = 42;
+    crypto = Sim_crypto;
+    bandwidth_bps = 20e6;
+    fanout = 4;
+    malicious_fraction = 0.0;
+    attack = No_attack;
+    tx_rate_per_s = 2.0;
+    max_sim_time = 3_600.0;
+    cpu_vote_verify_s = 0.0002;
+    cpu_block_verify_s = 0.005;
+    recovery_enabled = false;
+    storage_shards = 1;
+    pipeline_final = false;
+  }
+
+type t = {
+  config : config;
+  engine : Engine.t;
+  metrics : Metrics.t;
+  identities : Identity.t array;
+  nodes : Node.t array;
+  gossip : Message.t Gossip.t;
+  network : Message.t Network.t;
+  genesis : Genesis.t;
+}
+
+type safety_report = {
+  agreement_rounds : int;  (** rounds on which every user agrees *)
+  forked_rounds : int list;  (** rounds with conflicting blocks across users *)
+  double_final : int list;  (** rounds with two different *final* blocks: must be [] *)
+}
+
+type result = {
+  harness : t;
+  sim_time : float;
+  events : int;
+  safety : safety_report;
+  completion : Algorand_sim.Stats.summary;  (** per-user round completion times *)
+  final_rounds : int;  (** rounds that reached final consensus somewhere *)
+  tentative_rounds : int;
+}
+
+let schemes (c : crypto) : Signature_scheme.scheme * Vrf.scheme =
+  match c with
+  | Real_crypto -> (Signature_scheme.ed25519, Vrf.ecvrf)
+  | Sim_crypto -> (Signature_scheme.sim, Vrf.sim)
+
+let build (config : config) : t =
+  let sig_scheme, vrf_scheme = schemes config.crypto in
+  let identities =
+    Array.init config.users (fun i ->
+        Identity.generate ~sig_scheme ~vrf_scheme
+          ~seed:(Printf.sprintf "user-%d-%d" config.rng_seed i))
+  in
+  let stakes =
+    Array.init config.users (fun i ->
+        match config.stake_distribution with
+        | `Equal -> config.stake_per_user
+        | `Linear -> config.stake_per_user * (i + 1))
+  in
+  let genesis =
+    Genesis.make
+      (Array.to_list (Array.mapi (fun i id -> (id.Identity.pk, stakes.(i))) identities))
+  in
+  let engine = Engine.create () in
+  let metrics = Metrics.create ~users:config.users in
+  let rng = Rng.create config.rng_seed in
+  let topology = Topology.create ~nodes:config.users (Rng.split rng "topology") in
+  let network =
+    Network.create ~bandwidth_bps:config.bandwidth_bps
+      ~on_send:(fun ~src ~bytes -> Metrics.record_bytes_sent metrics ~user:src bytes)
+      ~on_receive:(fun ~dst ~bytes -> Metrics.record_bytes_received metrics ~user:dst bytes)
+      ~engine ~topology ()
+  in
+  let malicious_count =
+    int_of_float (Float.round (config.malicious_fraction *. float_of_int config.users))
+  in
+  let malicious =
+    (* Random subset so city assignment does not correlate with behavior. *)
+    let l = Rng.sample_indices (Rng.split rng "malicious") ~n:config.users ~k:malicious_count in
+    let s = Hashtbl.create 16 in
+    List.iter (fun i -> Hashtbl.replace s i ()) l;
+    s
+  in
+  let node_config i : Node.config =
+    {
+      params = config.params;
+      sig_scheme;
+      vrf_scheme;
+      block_target_bytes = config.block_bytes;
+      max_round = config.rounds;
+      byzantine =
+        (if Hashtbl.mem malicious i && config.attack = Equivocate then
+           Some { Node.equivocate_proposal = true; double_vote = true }
+         else None);
+      cpu_vote_verify_s = config.cpu_vote_verify_s;
+      cpu_block_verify_s = config.cpu_block_verify_s;
+      recovery_enabled = config.recovery_enabled;
+      storage_shards = config.storage_shards;
+      pipeline_final = config.pipeline_final;
+    }
+  in
+  let nodes =
+    Array.init config.users (fun i ->
+        Node.create ~index:i ~identity:identities.(i) ~config:(node_config i) ~engine
+          ~metrics ~genesis)
+  in
+  let weights = Array.map float_of_int stakes in
+  let gossip_config : Message.t Gossip.config =
+    {
+      msg_id = Message.id;
+      validate = (fun node msg -> Node.gossip_validate nodes.(node) msg);
+      deliver = (fun node ~src msg -> Node.deliver nodes.(node) ~src msg);
+      fanout = config.fanout;
+    }
+  in
+  let gossip = Gossip.create ~net:network ~rng:(Rng.split rng "gossip") ~weights gossip_config in
+  Array.iter (fun n -> Node.set_gossip n gossip) nodes;
+  (* Replace gossip peers each round (section 8.4), keyed off node 0's
+     progress as the round clock. *)
+  Node.set_on_round_complete nodes.(0) (fun _ ~round:_ ~final:_ ->
+      Gossip.redraw gossip ~weights);
+  (* Network adversary. *)
+  (match config.attack with
+  | No_attack | Equivocate -> ()
+  | Delay_votes { delay; from_; until } ->
+    Network.set_adversary network (fun ~now ~src:_ ~dst:_ msg ->
+        match msg with
+        | Message.Ba_vote { step = Algorand_ba.Vote.Bin _; _ }
+          when now >= from_ && now < until ->
+          Network.Delay delay
+        | _ -> Network.Deliver)
+  | Partition { from_; until } ->
+    let group_of i = if i < config.users / 2 then 0 else 1 in
+    Network.set_adversary network (fun ~now ~src ~dst msg ->
+        if now >= from_ then Adversary.partition ~group_of ~until ~now ~src ~dst msg
+        else Network.Deliver)
+  | Targeted_dos { fraction; from_; until } ->
+    let k = int_of_float (fraction *. float_of_int config.users) in
+    let targets = Hashtbl.create 16 in
+    List.iter
+      (fun i -> Hashtbl.replace targets i ())
+      (Rng.sample_indices (Rng.split rng "dos") ~n:config.users ~k);
+    Network.set_adversary network
+      (Adversary.target_nodes
+         ~targeted:(fun i -> Hashtbl.mem targets i)
+         ~active:(fun now -> now >= from_ && now < until)));
+  { config; engine; metrics; identities; nodes; gossip; network; genesis }
+
+(* Poisson transaction workload: random payer pays 1 unit to a random
+   payee, submitted at the payer's node. Nonces are tracked here (the
+   wallet's job); proposers filter anything that raced. *)
+let install_workload (t : t) : unit =
+  if t.config.tx_rate_per_s > 0.0 then begin
+    let rng = Rng.create (t.config.rng_seed + 7919) in
+    let nonces = Array.make t.config.users 0 in
+    let rec arrival () =
+      let all_stopped = Array.for_all (fun n -> Node.round n = 0) t.nodes in
+      if not all_stopped then begin
+        let payer = Rng.int rng t.config.users in
+        let payee = (payer + 1 + Rng.int rng (t.config.users - 1)) mod t.config.users in
+        let tx =
+          Transaction.make ~signer:t.identities.(payer).signer
+            ~sender:t.identities.(payer).pk ~recipient:t.identities.(payee).pk ~amount:1
+            ~nonce:nonces.(payer)
+        in
+        nonces.(payer) <- nonces.(payer) + 1;
+        Node.submit_tx t.nodes.(payer) tx;
+        Engine.schedule t.engine
+          ~delay:(Rng.exponential rng ~mean:(1.0 /. t.config.tx_rate_per_s))
+          arrival
+      end
+    in
+    Engine.schedule t.engine ~delay:0.5 arrival
+  end
+
+(* Cross-user safety audit over the final chains. *)
+let audit_safety (t : t) : safety_report =
+  let per_round : (int, (string, bool) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun node ->
+      let chain = Node.chain node in
+      let tip = Chain.tip chain in
+      List.iter
+        (fun (e : Chain.entry) ->
+          if e.height > 0 then begin
+            let tbl =
+              match Hashtbl.find_opt per_round e.height with
+              | Some tbl -> tbl
+              | None ->
+                let tbl = Hashtbl.create 4 in
+                Hashtbl.replace per_round e.height tbl;
+                tbl
+            in
+            let was_final =
+              match Hashtbl.find_opt tbl e.hash with Some f -> f | None -> false
+            in
+            Hashtbl.replace tbl e.hash (was_final || e.final)
+          end)
+        (Chain.ancestry chain tip.hash))
+    t.nodes;
+  let agreement = ref 0 and forked = ref [] and double_final = ref [] in
+  Hashtbl.iter
+    (fun round tbl ->
+      let variants = Hashtbl.length tbl in
+      let finals = Hashtbl.fold (fun _ f acc -> if f then acc + 1 else acc) tbl 0 in
+      if variants <= 1 then incr agreement else forked := round :: !forked;
+      if finals > 1 then double_final := round :: !double_final)
+    per_round;
+  {
+    agreement_rounds = !agreement;
+    forked_rounds = List.sort compare !forked;
+    double_final = List.sort compare !double_final;
+  }
+
+let run (config : config) : result =
+  let t = build config in
+  install_workload t;
+  Array.iter Node.start t.nodes;
+  let events = Engine.run t.engine ~until:config.max_sim_time () in
+  let safety = audit_safety t in
+  let completion =
+    Algorand_sim.Stats.summarize (Metrics.all_round_completion_times t.metrics)
+  in
+  let final_rounds = ref 0 and tentative_rounds = ref 0 in
+  for r = 1 to config.rounds do
+    let finals =
+      Array.exists
+        (fun node ->
+          match Chain.ancestor_at (Node.chain node) ~hash:(Chain.tip (Node.chain node)).hash ~height:r with
+          | Some e -> e.final
+          | None -> false)
+        t.nodes
+    in
+    if finals then incr final_rounds else incr tentative_rounds
+  done;
+  {
+    harness = t;
+    sim_time = Engine.now t.engine;
+    events;
+    safety;
+    completion;
+    final_rounds = !final_rounds;
+    tentative_rounds = !tentative_rounds;
+  }

@@ -1,0 +1,80 @@
+(** Experiment harness: builds a simulated deployment (users, genesis,
+    WAN, gossip, workload, adversary), runs it, and audits safety. All
+    section 10 experiments run through this module. *)
+
+module Params = Algorand_ba.Params
+module Engine = Algorand_sim.Engine
+module Metrics = Algorand_sim.Metrics
+module Genesis = Algorand_ledger.Genesis
+module Gossip = Algorand_netsim.Gossip
+module Network = Algorand_netsim.Network
+
+type crypto = Real_crypto | Sim_crypto
+
+type attack =
+  | No_attack
+  | Equivocate  (** section 10.4: equivocating proposers, double-voting committees *)
+  | Partition of { from_ : float; until : float }
+  | Targeted_dos of { fraction : float; from_ : float; until : float }
+  | Delay_votes of { delay : float; from_ : float; until : float }
+
+type config = {
+  users : int;
+  stake_per_user : int;
+  stake_distribution : [ `Equal | `Linear ];
+  params : Params.t;
+  block_bytes : int;
+  rounds : int;
+  rng_seed : int;
+  crypto : crypto;
+  bandwidth_bps : float;
+  fanout : int;
+  malicious_fraction : float;
+  attack : attack;
+  tx_rate_per_s : float;
+  max_sim_time : float;
+  cpu_vote_verify_s : float;
+  cpu_block_verify_s : float;
+  recovery_enabled : bool;
+  storage_shards : int;
+  pipeline_final : bool;
+}
+
+val default : config
+
+type t = {
+  config : config;
+  engine : Engine.t;
+  metrics : Metrics.t;
+  identities : Identity.t array;
+  nodes : Node.t array;
+  gossip : Message.t Gossip.t;
+  network : Message.t Network.t;
+  genesis : Genesis.t;
+}
+
+type safety_report = {
+  agreement_rounds : int;
+  forked_rounds : int list;  (** rounds with conflicting blocks across users *)
+  double_final : int list;  (** rounds with two different final blocks: must be [] *)
+}
+
+type result = {
+  harness : t;
+  sim_time : float;
+  events : int;
+  safety : safety_report;
+  completion : Algorand_sim.Stats.summary;
+  final_rounds : int;
+  tentative_rounds : int;
+}
+
+val build : config -> t
+(** Construct the deployment without starting it (for custom drivers;
+    see examples/payments.ml). *)
+
+val install_workload : t -> unit
+val audit_safety : t -> safety_report
+
+val run : config -> result
+(** Build, start every node, run to quiescence, audit. *)

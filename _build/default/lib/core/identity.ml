@@ -1,0 +1,30 @@
+(* A user's key material. The paper gives each user one public key used
+   both to sign messages and to evaluate the VRF; our signature and VRF
+   schemes have separate keys, so the user-visible public key is the
+   64-byte concatenation sig_pk || vrf_pk. Account balances (sortition
+   weights) are keyed by this composite key. *)
+
+open Algorand_crypto
+
+let sig_pk_length = 32
+let vrf_pk_length = 32
+let pk_length = sig_pk_length + vrf_pk_length
+
+type t = {
+  pk : string;  (** composite public key: sig_pk || vrf_pk *)
+  signer : Signature_scheme.signer;
+  prover : Vrf.prover;
+}
+
+let generate ~(sig_scheme : Signature_scheme.scheme) ~(vrf_scheme : Vrf.scheme)
+    ~(seed : string) : t =
+  let signer, sig_pk = sig_scheme.generate ~seed in
+  let prover, vrf_pk = vrf_scheme.generate ~seed in
+  if String.length sig_pk <> sig_pk_length || String.length vrf_pk <> vrf_pk_length then
+    invalid_arg "Identity.generate: unexpected key length";
+  { pk = sig_pk ^ vrf_pk; signer; prover }
+
+let sig_pk (pk : string) : string = String.sub pk 0 sig_pk_length
+let vrf_pk (pk : string) : string = String.sub pk sig_pk_length vrf_pk_length
+
+let short (pk : string) : string = Hex.of_string (String.sub pk 0 4)

@@ -1,0 +1,25 @@
+(** User key material. The paper gives each user one public key for
+    both signing and VRF evaluation; our schemes have separate keys, so
+    the user-visible key is the 64-byte concatenation
+    [sig_pk || vrf_pk]. Balances (sortition weights) are keyed by it. *)
+
+open Algorand_crypto
+
+val sig_pk_length : int
+val vrf_pk_length : int
+val pk_length : int
+
+type t = {
+  pk : string;  (** composite public key *)
+  signer : Signature_scheme.signer;
+  prover : Vrf.prover;
+}
+
+val generate : sig_scheme:Signature_scheme.scheme -> vrf_scheme:Vrf.scheme -> seed:string -> t
+
+val sig_pk : string -> string
+(** Signing half of a composite key. *)
+
+val vrf_pk : string -> string
+val short : string -> string
+(** Short hex prefix for logs. *)

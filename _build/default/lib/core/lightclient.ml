@@ -1,0 +1,49 @@
+(* Light-client payment verification: the answer to the paper's "cost
+   of joining" concern (section 11). Instead of fetching whole blocks,
+   a light client holds block *summaries* (header + padding length +
+   transaction Merkle root, ~300 bytes each) and checks that
+
+     1. the block's certificate carries a quorum of valid committee
+        votes for H(summary), so the block was agreed by BA-star, and
+     2. a Merkle inclusion proof ties the payment's id to the
+        summary's transaction root.
+
+   The validation context comes from the weights/seed of the client's
+   verified prefix (Catchup.validation_ctx) or from a trusted
+   checkpoint. *)
+
+module Block = Algorand_ledger.Block
+module Merkle = Algorand_crypto.Merkle
+module Vote = Algorand_ba.Vote
+module Params = Algorand_ba.Params
+
+type verified_payment = { round : int; block_hash : string; tx_id : string }
+
+type error =
+  [ `Summary_hash_mismatch
+  | `Certificate of Certificate.error
+  | `Not_included ]
+
+let pp_error fmt = function
+  | `Summary_hash_mismatch ->
+    Format.fprintf fmt "certificate is not for this block summary"
+  | `Certificate e -> Format.fprintf fmt "certificate: %a" Certificate.pp_error e
+  | `Not_included -> Format.fprintf fmt "Merkle proof does not tie the payment to the block"
+
+let verify_payment ~(params : Params.t) ~(ctx : Vote.validation_ctx)
+    ~(summary : Block.summary) ~(certificate : Certificate.t) ~(tx_id : string)
+    ~(proof : Merkle.proof) : (verified_payment, error) result =
+  let block_hash = Block.hash_of_summary summary in
+  if not (String.equal certificate.block_hash block_hash) then
+    Error `Summary_hash_mismatch
+  else begin
+    match Certificate.validate ~params ~ctx certificate with
+    | Error e -> Error (`Certificate e)
+    | Ok () ->
+      if Block.summary_contains summary ~tx_id proof then
+        Ok { round = certificate.round; block_hash; tx_id }
+      else Error `Not_included
+  end
+
+(* What the light client stores per block, in bytes. *)
+let summary_size_bytes : int = Block.header_size_bytes + 8 + 32

@@ -1,0 +1,29 @@
+(** Light-client payment verification (section 11's "cost of joining"):
+    certified block summaries plus Merkle inclusion proofs, no block
+    bodies. *)
+
+module Block = Algorand_ledger.Block
+module Merkle = Algorand_crypto.Merkle
+module Vote = Algorand_ba.Vote
+module Params = Algorand_ba.Params
+
+type verified_payment = { round : int; block_hash : string; tx_id : string }
+
+type error =
+  [ `Summary_hash_mismatch | `Certificate of Certificate.error | `Not_included ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val verify_payment :
+  params:Params.t ->
+  ctx:Vote.validation_ctx ->
+  summary:Block.summary ->
+  certificate:Certificate.t ->
+  tx_id:string ->
+  proof:Merkle.proof ->
+  (verified_payment, error) result
+(** Check the certificate quorum against H(summary), then the Merkle
+    proof against the summary's transaction root. *)
+
+val summary_size_bytes : int
+(** Per-block storage for a light client. *)

@@ -1,0 +1,1132 @@
+(* A full Algorand user (sections 4-8): collects transactions, runs
+   block proposal, drives BA*, maintains the chain, and serves
+   catch-up requests. All I/O goes through the gossip overlay; all
+   waiting goes through the simulation engine, so the same code runs
+   under every experiment in section 10.
+
+   Byzantine behaviors used by the evaluation (section 10.4) are
+   switched on per node: an equivocating proposer sends different
+   block versions to different peers, and malicious committee members
+   vote for two values by showing different votes to different peers. *)
+
+open Algorand_crypto
+module Block = Algorand_ledger.Block
+module Balances = Algorand_ledger.Balances
+module Chain = Algorand_ledger.Chain
+module Genesis = Algorand_ledger.Genesis
+module Transaction = Algorand_ledger.Transaction
+module Txpool = Algorand_ledger.Txpool
+module Vote = Algorand_ba.Vote
+module Params = Algorand_ba.Params
+module Ba_star = Algorand_ba.Ba_star
+module Engine = Algorand_sim.Engine
+module Metrics = Algorand_sim.Metrics
+module Gossip = Algorand_netsim.Gossip
+
+let src = Logs.Src.create "algorand.node" ~doc:"Algorand node"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type byzantine = {
+  equivocate_proposal : bool;  (** propose two block versions, one per half of peers *)
+  double_vote : bool;  (** vote both values in committee steps *)
+}
+
+type config = {
+  params : Params.t;
+  sig_scheme : Signature_scheme.scheme;
+  vrf_scheme : Vrf.scheme;
+  block_target_bytes : int;  (** proposers pad blocks to this size *)
+  max_round : int;  (** stop after completing this round *)
+  byzantine : byzantine option;
+  cpu_vote_verify_s : float;  (** modeled per-vote verification CPU time *)
+  cpu_block_verify_s : float;
+  recovery_enabled : bool;  (** run the section 8.2 fork-recovery protocol *)
+  storage_shards : int;
+      (** section 8.3 storage sharding: this node serves old blocks and
+          certificates only for rounds matching its key mod shards
+          (1 = serve everything) *)
+  pipeline_final : bool;
+      (** start the next round as soon as BinaryBA* returns, overlapping
+          the final-step classification with the next round's proposal
+          (the throughput optimization sketched in section 10.2) *)
+}
+
+let default_config =
+  {
+    params = Params.paper;
+    sig_scheme = Signature_scheme.sim;
+    vrf_scheme = Vrf.sim;
+    block_target_bytes = 1_000_000;
+    max_round = 3;
+    byzantine = None;
+    cpu_vote_verify_s = 0.0002;
+    cpu_block_verify_s = 0.005;
+    recovery_enabled = false;
+    storage_shards = 1;
+    pipeline_final = false;
+  }
+
+type round_state = {
+  round : int;
+  record : Metrics.round_record;
+  prev_hash : string;
+  seed : string;
+  total_weight : int;
+  weights : Balances.t;  (** the look-back weight snapshot (section 5.3) *)
+  empty_hash : string;
+  vctx : Vote.validation_ctx;
+  proposed_blocks : (string, Block.t) Hashtbl.t;  (** block hash -> block *)
+  blocks_by_proposer : (string, string) Hashtbl.t;  (** proposer pk -> block hash *)
+  equivocators : (string, unit) Hashtbl.t;
+  vote_weight_cache : (string, int) Hashtbl.t;  (** gossip id -> weighted votes *)
+  mutable best_priority : Proposal.priority_msg option;
+  mutable first_priority_at : float option;
+  mutable ba : Ba_star.t option;
+  mutable waiting_for_block : bool;
+  mutable last_step_started : float;
+  mutable decided_value : string option;  (** set while fetching a missing block *)
+  mutable decided_final : bool;
+  mutable completed : bool;  (** block appended, next round scheduled *)
+  mutable classified : bool;  (** final/tentative classification arrived *)
+  mutable buffered_votes : Vote.t list;  (** votes that arrived before BA started *)
+}
+
+(* State of one engagement of the fork-recovery protocol (section 8.2). *)
+type recovery_state = {
+  generation : int;  (** invalidates stale recovery timers *)
+  attempt : int;  (** the synchronized recovery tick that started this engagement *)
+  stable : Chain.entry;  (** deepest final entry: seed/weights come from before any fork *)
+  rseed : string;
+  rweights : Balances.t;
+  rtotal_weight : int;
+  mutable best_fork : Message.fork_proposal option;
+  mutable fork_round : int;  (** round of the recovery empty block, once adopted *)
+  mutable rvote_round : int;
+      (** vote-round namespace for this attempt: distinct from the
+          stalled regular round so recovery votes are not swallowed by
+          the gossip relay's one-message-per-(round,step,pk) rule *)
+  mutable rempty_hash : string;
+  mutable rtip_hash : string;  (** adopted fork tip *)
+  mutable rba : Ba_star.t option;
+  mutable rvctx : Vote.validation_ctx option;
+  mutable rbuffered : Vote.t list;
+}
+
+type t = {
+  index : int;
+  identity : Identity.t;
+  config : config;
+  engine : Engine.t;
+  metrics : Metrics.t;
+  chain : Chain.t;
+  txpool : Txpool.t;
+  mutable gossip : Message.t Gossip.t option;
+  mutable current : round_state option;
+  pending : (int, Message.t list ref) Hashtbl.t;  (** future-round messages *)
+  mutable previous : round_state option;
+      (** with [pipeline_final]: the completed round whose final-step
+          classification is still outstanding *)
+  certificates : (int, Certificate.t) Hashtbl.t;
+  final_certificates : (int, Certificate.t) Hashtbl.t;
+  mutable cpu_free_at : float;
+  mutable hung : bool;
+  mutable stopped : bool;
+  mutable recovering : recovery_state option;
+  mutable recovery_generation : int;
+  mutable recoveries_completed : int;
+  mutable on_round_complete : (t -> round:int -> final:bool -> unit) option;
+}
+
+let create ~(index : int) ~(identity : Identity.t) ~(config : config)
+    ~(engine : Engine.t) ~(metrics : Metrics.t) ~(genesis : Genesis.t) : t =
+  {
+    index;
+    identity;
+    config;
+    engine;
+    metrics;
+    chain = Chain.create genesis;
+    txpool = Txpool.create ();
+    gossip = None;
+    current = None;
+    pending = Hashtbl.create 8;
+    previous = None;
+    certificates = Hashtbl.create 8;
+    final_certificates = Hashtbl.create 8;
+    cpu_free_at = 0.0;
+    hung = false;
+    stopped = false;
+    recovering = None;
+    recovery_generation = 0;
+    recoveries_completed = 0;
+    on_round_complete = None;
+  }
+
+let set_gossip (t : t) (g : Message.t Gossip.t) : unit = t.gossip <- Some g
+let gossip (t : t) : Message.t Gossip.t = Option.get t.gossip
+let pk (t : t) : string = t.identity.pk
+let chain (t : t) : Chain.t = t.chain
+let round (t : t) : int = match t.current with Some rs -> rs.round | None -> 0
+let is_hung (t : t) : bool = t.hung
+let certificate (t : t) ~(round : int) : Certificate.t option =
+  Hashtbl.find_opt t.certificates round
+let final_certificate (t : t) ~(round : int) : Certificate.t option =
+  Hashtbl.find_opt t.final_certificates round
+
+(* Storage sharding (section 8.3): does this node serve round [round]'s
+   block and certificate to others? *)
+let serves_round (t : t) ~(round : int) : bool =
+  Algorand_ledger.Storage.stores ~shards:t.config.storage_shards ~pk:t.identity.pk
+    ~round
+
+let broadcast (t : t) (msg : Message.t) : unit =
+  Gossip.broadcast (gossip t) ~node:t.index ~bytes:(Message.size_bytes msg) msg
+
+(* ------------------------------------------------------------------ *)
+(* Round context (seeds and look-back weights, sections 5.2-5.3).      *)
+(* ------------------------------------------------------------------ *)
+
+(* The chain entry whose established seed selects committees for
+   round [r]: height max(0, r - 1 - (r mod R)). *)
+let seed_entry_for_round (t : t) ~(tip : Chain.entry) ~(r : int) : Chain.entry =
+  let height = max 0 (r - 1 - (r mod t.config.params.seed_refresh_interval)) in
+  match Chain.ancestor_at t.chain ~hash:tip.hash ~height with
+  | Some e -> e
+  | None -> Chain.genesis_entry t.chain
+
+(* Weights come from the last block created lookback_b before the seed
+   block (the "nothing at stake" look-back of section 5.3). *)
+let weight_entry (t : t) ~(seed_entry : Chain.entry) : Chain.entry =
+  let cutoff = seed_entry.block.header.timestamp -. t.config.params.lookback_b in
+  let rec back (e : Chain.entry) =
+    if e.height = 0 || e.block.header.timestamp <= cutoff then e
+    else begin
+      match Chain.find t.chain e.parent with None -> e | Some p -> back p
+    end
+  in
+  back seed_entry
+
+let make_round_state (t : t) ~(r : int) : round_state =
+  let tip = Chain.tip t.chain in
+  assert (tip.height = r - 1);
+  let seed_entry = seed_entry_for_round t ~tip ~r in
+  let weights = (weight_entry t ~seed_entry).balances_after in
+  let total_weight = Balances.total weights in
+  let prev_hash = tip.hash in
+  let p = t.config.params in
+  let vctx : Vote.validation_ctx =
+    {
+      sig_scheme = t.config.sig_scheme;
+      vrf_scheme = t.config.vrf_scheme;
+      sig_pk_of = Identity.sig_pk;
+      vrf_pk_of = Identity.vrf_pk;
+      seed = seed_entry.seed;
+      total_weight;
+      weight_of = Balances.balance weights;
+      last_block_hash = prev_hash;
+      tau_of_step = (function Vote.Final -> p.tau_final | _ -> p.tau_step);
+    }
+  in
+  {
+    round = r;
+    record = Metrics.start_round t.metrics ~user:t.index ~round:r ~now:(Engine.now t.engine);
+    prev_hash;
+    seed = seed_entry.seed;
+    total_weight;
+    weights;
+    empty_hash = Proposal.empty_hash ~round:r ~prev_hash;
+    vctx;
+    proposed_blocks = Hashtbl.create 8;
+    blocks_by_proposer = Hashtbl.create 8;
+    equivocators = Hashtbl.create 4;
+    vote_weight_cache = Hashtbl.create 256;
+    best_priority = None;
+    first_priority_at = None;
+    ba = None;
+    waiting_for_block = false;
+    last_step_started = Engine.now t.engine;
+    decided_value = None;
+    decided_final = false;
+    completed = false;
+    classified = false;
+    buffered_votes = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Vote creation and (byzantine) equivocation.                         *)
+(* ------------------------------------------------------------------ *)
+
+let make_vote (t : t) (rs : round_state) ~(step : Vote.step) ~(value : string) :
+    Vote.t option =
+  let p = t.config.params in
+  let tau = match step with Vote.Final -> p.tau_final | _ -> p.tau_step in
+  Vote.make ~signer:t.identity.signer ~prover:t.identity.prover
+    ~pk:t.identity.pk ~seed:rs.seed ~tau ~w:(Balances.balance rs.weights t.identity.pk)
+    ~total_weight:rs.total_weight ~round:rs.round ~step ~prev_hash:rs.prev_hash ~value
+
+(* An alternative value for double-voting: some other proposed block,
+   or the empty block if the primary vote already names a block. *)
+let alternative_value (rs : round_state) ~(value : string) : string option =
+  if not (String.equal value rs.empty_hash) then Some rs.empty_hash
+  else
+    Hashtbl.fold
+      (fun h _ acc -> if String.equal h value then acc else Some h)
+      rs.proposed_blocks None
+
+let send_vote (t : t) (rs : round_state) (v : Vote.t) : unit =
+  broadcast t (Message.Ba_vote v);
+  match t.config.byzantine with
+  | Some { double_vote = true; _ } -> (
+    match alternative_value rs ~value:v.value with
+    | None -> ()
+    | Some alt -> (
+      match make_vote t rs ~step:v.step ~value:alt with
+      | None -> ()
+      | Some v' ->
+        (* Show the conflicting vote to half of our peers directly; the
+           gossip id is shared, so each honest relay forwards whichever
+           version reached it first (section 8.4's relay rule). *)
+        let g = gossip t in
+        let peers = Gossip.peers g t.index in
+        List.iteri
+          (fun i dst ->
+            if i mod 2 = 1 then
+              Gossip.send_to g ~src:t.index ~dst
+                ~bytes:(Message.size_bytes (Message.Ba_vote v'))
+                (Message.Ba_vote v'))
+          peers))
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* BA* wiring.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let vote_weight (_t : t) (rs : round_state) (v : Vote.t) : int =
+  let id = Vote.gossip_id v in
+  match Hashtbl.find_opt rs.vote_weight_cache id with
+  | Some w -> w
+  | None ->
+    let w = Vote.validate rs.vctx v in
+    Hashtbl.replace rs.vote_weight_cache id w;
+    w
+
+let rec apply_ba_actions (t : t) (rs : round_state) (actions : Ba_star.action list) : unit =
+  let now = Engine.now t.engine in
+  List.iter
+    (fun action ->
+      match action with
+      | Ba_star.Broadcast v ->
+        send_vote t rs v;
+        (* Count our own vote locally (we do not gossip to ourselves). *)
+        deliver_to_ba t rs v
+      | Ba_star.Set_timer { token; delay } ->
+        Metrics.record_step_duration t.metrics (now -. rs.last_step_started);
+        rs.last_step_started <- now;
+        (* The closure captures this round's machine; stale tokens are
+           filtered inside it, so a pipelined previous round still gets
+           its final-classification timeout after [t.current] moves on. *)
+        Engine.schedule t.engine ~delay (fun () ->
+            match rs.ba with
+            | Some ba -> apply_ba_actions t rs (Ba_star.handle ba (Ba_star.Timer token))
+            | None -> ())
+      | Ba_star.Bin_decided { value; bin_steps } ->
+        rs.record.ba_done <- now;
+        rs.record.steps_taken <- bin_steps;
+        if t.config.pipeline_final then eager_complete t rs ~value
+      | Ba_star.Decided { value; final; bin_steps = _ } -> decide t rs ~value ~final
+      | Ba_star.Hang ->
+        t.hung <- true;
+        Log.warn (fun m -> m "node %d hung in round %d (MaxSteps)" t.index rs.round))
+    actions
+
+and deliver_to_ba (t : t) (rs : round_state) (v : Vote.t) : unit =
+  match rs.ba with
+  | Some ba -> apply_ba_actions t rs (Ba_star.handle ba (Ba_star.Deliver v))
+  | None -> rs.buffered_votes <- v :: rs.buffered_votes
+
+(* Start BA* once the proposal phase settles on an initial block hash. *)
+and start_ba (t : t) (rs : round_state) ~(hblock : string) : unit =
+  if rs.ba <> None then ()
+  else begin
+    rs.record.proposal_done <- Engine.now t.engine;
+    rs.waiting_for_block <- false;
+    let ctx : Ba_star.ctx =
+      {
+        params = t.config.params;
+        round = rs.round;
+        empty_hash = rs.empty_hash;
+        my_votes =
+          (fun ~step ~value ->
+            match make_vote t rs ~step ~value with None -> [] | Some v -> [ v ]);
+        validate = (fun v -> vote_weight t rs v);
+      }
+    in
+    let ba = Ba_star.create ctx in
+    rs.ba <- Some ba;
+    rs.last_step_started <- Engine.now t.engine;
+    let buffered = List.rev rs.buffered_votes in
+    rs.buffered_votes <- [];
+    List.iter (fun v -> apply_ba_actions t rs (Ba_star.handle ba (Ba_star.Deliver v))) buffered;
+    apply_ba_actions t rs (Ba_star.handle ba (Ba_star.Start hblock))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Round completion.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Resolve the agreed hash to a block and complete; shared by the
+   normal (post-classification) and pipelined (post-BinaryBA) paths. *)
+and resolve_and_complete (t : t) (rs : round_state) ~(value : string) : unit =
+  if String.equal value rs.empty_hash then
+    complete_round t rs (Block.empty ~round:rs.round ~prev_hash:rs.prev_hash)
+  else begin
+    match Hashtbl.find_opt rs.proposed_blocks value with
+    | Some b -> complete_round t rs b
+    | None ->
+      (* BlockOfHash (Algorithm 3): we agreed on a hash whose pre-image
+         we never received; fetch it from peers. *)
+      broadcast t
+        (Message.Block_request
+           { round = rs.round; block_hash = value; requester = t.index })
+  end
+
+(* Pipelined completion at BinaryBA* return: append the block and start
+   the next round now; the final/tentative classification lands later
+   through [decide]. *)
+and eager_complete (t : t) (rs : round_state) ~(value : string) : unit =
+  if not (rs.completed || rs.decided_value <> None) then begin
+    rs.decided_value <- Some value;
+    rs.decided_final <- false;
+    resolve_and_complete t rs ~value
+  end
+
+and decide (t : t) (rs : round_state) ~(value : string) ~(final : bool) : unit =
+  if rs.completed then begin
+    (* Pipelined round: the chain already moved on; record the
+       classification and upgrade finality. *)
+    rs.classified <- true;
+    rs.record.final <- final;
+    if final then begin
+      (match rs.decided_value with
+      | Some v ->
+        (match Chain.find t.chain v with
+        | Some e -> Chain.mark_final t.chain e.hash
+        | None -> ());
+        (match rs.ba with
+        | Some ba ->
+          let fvotes = Ba_star.final_certificate_votes ba in
+          if fvotes <> [] then
+            Hashtbl.replace t.final_certificates rs.round
+              (Certificate.make ~round:rs.round ~step:Vote.Final ~block_hash:v
+                 ~votes:fvotes)
+        | None -> ())
+      | None -> ())
+    end;
+    match t.previous with
+    | Some p when p.round = rs.round -> t.previous <- None
+    | _ -> ()
+  end
+  else begin
+    rs.classified <- true;
+    rs.decided_value <- Some value;
+    rs.decided_final <- final;
+    resolve_and_complete t rs ~value
+  end
+
+and complete_round (t : t) (rs : round_state) (block : Block.t) : unit =
+  if rs.completed then ()
+  else begin
+  rs.completed <- true;
+  let now = Engine.now t.engine in
+  rs.record.final_done <- now;
+  rs.record.final <- rs.decided_final;
+  if not rs.classified then t.previous <- Some rs;
+  (match Chain.add t.chain block with
+  | Ok _ | Error `Duplicate -> (
+    match Chain.find t.chain (Block.hash block) with
+    | Some entry ->
+      Chain.set_tip t.chain entry.hash;
+      if rs.decided_final then Chain.mark_final t.chain entry.hash
+    | None -> assert false)
+  | Error (`Unknown_parent | `Wrong_round _ | `Invalid_tx _) as e ->
+    Log.err (fun m ->
+        m "node %d: agreed block rejected by chain: %a" t.index Chain.pp_add_error
+          (match e with Error err -> err | Ok _ -> assert false)));
+  (* Store certificates (section 8.3). *)
+  (match rs.ba with
+  | Some ba ->
+    let votes = Ba_star.certificate_votes ba in
+    if votes <> [] then
+      Hashtbl.replace t.certificates rs.round
+        (Certificate.make ~round:rs.round
+           ~step:(Vote.Bin (Ba_star.bin_steps ba))
+           ~block_hash:(Block.hash block) ~votes);
+    let fvotes = Ba_star.final_certificate_votes ba in
+    if rs.decided_final && fvotes <> [] then
+      Hashtbl.replace t.final_certificates rs.round
+        (Certificate.make ~round:rs.round ~step:Vote.Final ~block_hash:(Block.hash block)
+           ~votes:fvotes)
+  | None -> ());
+  Txpool.remove_committed t.txpool block.txs;
+  Log.debug (fun m ->
+      m "node %d completed round %d (%s, %d bin steps) at %.2fs" t.index rs.round
+        (if rs.decided_final then "final" else "tentative")
+        rs.record.steps_taken now);
+  (match t.on_round_complete with
+  | Some f -> f t ~round:rs.round ~final:rs.decided_final
+  | None -> ());
+  if rs.round >= t.config.max_round then begin
+    t.stopped <- true;
+    t.current <- None
+  end
+  else Engine.schedule t.engine ~delay:0.0 (fun () -> start_round t ~r:(rs.round + 1))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Block proposal (section 6).                                         *)
+(* ------------------------------------------------------------------ *)
+
+and build_block (t : t) (rs : round_state) ~(variant : int) : Block.t =
+  let tip = Chain.tip t.chain in
+  let candidates =
+    (* Non-destructive: a losing proposal must not cost the pool its
+       transactions; commitment prunes pools via remove_committed. *)
+    Txpool.select t.txpool
+      ~max_bytes:(max 0 (t.config.block_target_bytes - Block.header_size_bytes))
+  in
+  (* Keep only transactions that apply cleanly in order, so the block
+     always passes validation (racing nonces are simply left out). *)
+  let txs =
+    List.rev
+      (fst
+         (List.fold_left
+            (fun (kept, st) tx ->
+              match Balances.apply_tx st tx with
+              | Ok st' -> (tx :: kept, st')
+              | Error _ -> (kept, st))
+            ([], tip.balances_after) candidates))
+  in
+  let tx_bytes = List.fold_left (fun a tx -> a + Transaction.size_bytes tx) 0 txs in
+  (* [variant] perturbs the payload so an equivocating proposer's two
+     versions really are different blocks (different hashes). *)
+  let padding =
+    max 0 (t.config.block_target_bytes - Block.header_size_bytes - tx_bytes) + variant
+  in
+  let seed, seed_proof =
+    Proposal.next_seed ~prover:t.identity.prover ~current_seed:tip.seed ~round:rs.round
+  in
+  let role = Vote.proposer_role ~round:rs.round in
+  let sel =
+    Algorand_sortition.Sortition.select ~prover:t.identity.prover ~seed:rs.seed
+      ~tau:t.config.params.tau_proposer ~role
+      ~w:(Balances.balance rs.weights t.identity.pk) ~total_weight:rs.total_weight
+  in
+  {
+    Block.header =
+      {
+        round = rs.round;
+        prev_hash = rs.prev_hash;
+        timestamp = Engine.now t.engine;
+        seed;
+        seed_proof;
+        proposer_pk = t.identity.pk;
+        proposer_vrf_hash = sel.vrf_hash;
+        proposer_vrf_proof = sel.vrf_proof;
+      };
+    txs;
+    padding;
+  }
+
+and record_proposed_block (t : t) (rs : round_state) (b : Block.t) : unit =
+  let h = Block.hash b in
+  let proposer = b.header.proposer_pk in
+  (match Hashtbl.find_opt rs.blocks_by_proposer proposer with
+  | Some h' when not (String.equal h h') ->
+    (* Conflicting versions from one proposer: the section 10.4
+       optimization discards both and falls back to the empty block. *)
+    Hashtbl.replace rs.equivocators proposer ()
+  | _ -> ());
+  Hashtbl.replace rs.blocks_by_proposer proposer h;
+  Hashtbl.replace rs.proposed_blocks h b;
+  ignore t
+
+and try_propose (t : t) (rs : round_state) : unit =
+  match
+    Proposal.try_propose ~prover:t.identity.prover ~pk:t.identity.pk ~seed:rs.seed
+      ~tau:t.config.params.tau_proposer ~round:rs.round ~prev_hash:rs.prev_hash
+      ~w:(Balances.balance rs.weights t.identity.pk) ~total_weight:rs.total_weight
+  with
+  | None -> ()
+  | Some prio ->
+    let block = build_block t rs ~variant:0 in
+    record_proposed_block t rs block;
+    consider_priority t rs prio;
+    broadcast t (Message.Priority prio);
+    let equivocate =
+      match t.config.byzantine with Some b -> b.equivocate_proposal | None -> false
+    in
+    if not equivocate then broadcast t (Message.Block_gossip block)
+    else begin
+      (* Equivocation attack (section 10.4): version A to half of our
+         peers, version B to the other half. Relays forward whichever
+         they saw first. *)
+      let block_b = build_block t rs ~variant:1 in
+      let g = gossip t in
+      Gossip.mark_seen g ~node:t.index (Message.Block_gossip block);
+      List.iteri
+        (fun i dst ->
+          let b = if i mod 2 = 0 then block else block_b in
+          let msg = Message.Block_gossip b in
+          Gossip.send_to g ~src:t.index ~dst ~bytes:(Message.size_bytes msg) msg)
+        (Gossip.peers g t.index)
+    end
+
+and consider_priority (t : t) (rs : round_state) (p : Proposal.priority_msg) : unit =
+  ignore t;
+  match rs.best_priority with
+  | Some best when not (Proposal.higher p best) -> ()
+  | _ -> rs.best_priority <- Some p
+
+(* Section 10.5 instrumentation: how long after the round started did
+   the first *remote* proposer priority arrive? *)
+and note_remote_priority (t : t) (rs : round_state) : unit =
+  if rs.first_priority_at = None then begin
+    rs.first_priority_at <- Some (Engine.now t.engine);
+    Metrics.record_priority_gossip t.metrics (Engine.now t.engine -. rs.record.started)
+  end
+
+(* The proposal wait of section 6: lambda_stepvar (for others to finish
+   the previous round) + lambda_priority (for the best priority to
+   gossip), then wait up to lambda_block for the block itself. *)
+and on_proposal_window_closed (t : t) (rs : round_state) : unit =
+  if rs.ba <> None then ()
+  else begin
+    match rs.best_priority with
+    | None -> start_ba t rs ~hblock:rs.empty_hash
+    | Some best ->
+      if Hashtbl.mem rs.equivocators best.proposer_pk then
+        start_ba t rs ~hblock:rs.empty_hash
+      else begin
+        match Hashtbl.find_opt rs.blocks_by_proposer best.proposer_pk with
+        | Some h -> start_ba t rs ~hblock:h
+        | None ->
+          rs.waiting_for_block <- true;
+          Engine.schedule t.engine ~delay:t.config.params.lambda_block (fun () ->
+              match t.current with
+              | Some rs' when rs'.round = rs.round && rs.ba = None ->
+                start_ba t rs ~hblock:rs.empty_hash
+              | _ -> ())
+      end
+  end
+
+and start_round (t : t) ~(r : int) : unit =
+  if t.stopped || t.hung then ()
+  else begin
+    let rs = make_round_state t ~r in
+    t.current <- Some rs;
+    try_propose t rs;
+    let p = t.config.params in
+    Engine.schedule t.engine ~delay:(p.lambda_priority +. p.lambda_stepvar) (fun () ->
+        match t.current with
+        | Some rs' when rs'.round = r -> on_proposal_window_closed t rs
+        | _ -> ());
+    (* Replay messages that arrived while we were in earlier rounds. *)
+    match Hashtbl.find_opt t.pending r with
+    | None -> ()
+    | Some msgs ->
+      let replay = List.rev !msgs in
+      Hashtbl.remove t.pending r;
+      List.iter (fun m -> process_message t m) replay
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Block validation (section 8.1).                                     *)
+(* ------------------------------------------------------------------ *)
+
+and validate_block (t : t) (rs : round_state) (b : Block.t) : bool =
+  let tip = Chain.tip t.chain in
+  Block.round b = rs.round
+  && String.equal (Block.prev_hash b) rs.prev_hash
+  && b.header.timestamp > tip.block.header.timestamp
+  && b.header.timestamp <= Engine.now t.engine +. 1.0
+  && (match Algorand_ledger.Balances.apply_all tip.balances_after b.txs with
+     | Ok _ -> true
+     | Error _ -> false)
+  && Proposal.verify_next_seed ~vrf_scheme:t.config.vrf_scheme
+       ~vrf_pk:(Identity.vrf_pk b.header.proposer_pk) ~current_seed:tip.seed
+       ~round:rs.round ~seed:b.header.seed ~proof:b.header.seed_proof
+  && Algorand_sortition.Sortition.verify ~scheme:t.config.vrf_scheme
+       ~pk:(Identity.vrf_pk b.header.proposer_pk) ~vrf_hash:b.header.proposer_vrf_hash
+       ~vrf_proof:b.header.proposer_vrf_proof ~seed:rs.seed
+       ~tau:t.config.params.tau_proposer
+       ~role:(Vote.proposer_role ~round:rs.round)
+       ~w:(Balances.balance rs.weights b.header.proposer_pk)
+       ~total_weight:rs.total_weight
+     > 0
+
+(* ------------------------------------------------------------------ *)
+(* Message handling.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+and process_message (t : t) (msg : Message.t) : unit =
+  match t.recovering with
+  | Some recovery -> process_recovery_message t recovery msg
+  | None -> (
+    match t.current with
+    | None -> (
+      (* Stopped - but a pipelined final round may still be awaiting
+         its classification votes. *)
+      match (msg, t.previous) with
+      | Message.Ba_vote v, Some p when p.round = v.round && not p.classified ->
+        deliver_to_ba t p v
+      | _ -> ())
+    | Some rs -> process_normal_message t rs msg)
+
+and process_normal_message (t : t) (rs : round_state) (msg : Message.t) : unit =
+  match msg with
+    | Message.Tx tx -> ignore (Txpool.add t.txpool tx)
+    | Message.Priority p ->
+      if p.round > rs.round then buffer t p.round msg
+      else if p.round = rs.round && String.equal p.prev_hash rs.prev_hash then begin
+        if
+          Proposal.validate ~vrf_scheme:t.config.vrf_scheme ~vrf_pk_of:Identity.vrf_pk
+            ~seed:rs.seed ~tau:t.config.params.tau_proposer
+            ~weight_of:(Balances.balance rs.weights) ~total_weight:rs.total_weight p
+        then begin
+          note_remote_priority t rs;
+          consider_priority t rs p
+        end
+      end
+    | Message.Block_gossip b | Message.Block_reply b ->
+      if Block.round b > rs.round then buffer t (Block.round b) msg
+      else if Block.round b = rs.round then begin
+        if validate_block t rs b then begin
+          record_proposed_block t rs b;
+          let h = Block.hash b in
+          (* A node blocked on the proposal, or one that already agreed
+             on this hash, can now make progress. *)
+          (match rs.decided_value with
+          | Some v when String.equal v h -> complete_round t rs b
+          | _ -> ());
+          if rs.waiting_for_block && rs.ba = None then begin
+            match rs.best_priority with
+            | Some best when String.equal best.proposer_pk b.header.proposer_pk ->
+              if Hashtbl.mem rs.equivocators best.proposer_pk then
+                start_ba t rs ~hblock:rs.empty_hash
+              else start_ba t rs ~hblock:h
+            | _ -> ()
+          end
+        end
+      end
+    | Message.Ba_vote v ->
+      if v.round > rs.round then buffer t v.round msg
+      else if v.round = rs.round then deliver_to_ba t rs v
+      else begin
+        (* With pipelining, the previous round's final-step votes are
+           still relevant until it is classified. *)
+        match t.previous with
+        | Some p when p.round = v.round && not p.classified -> deliver_to_ba t p v
+        | _ -> ()
+      end
+    | Message.Block_request { round; block_hash; requester } ->
+      let reply b =
+        let m = Message.Block_reply b in
+        Gossip.send_to (gossip t) ~src:t.index ~dst:requester
+          ~bytes:(Message.size_bytes m) m
+      in
+      if round = rs.round then (
+        match Hashtbl.find_opt rs.proposed_blocks block_hash with
+        | Some b -> reply b
+        | None -> ())
+      else (
+        (* Old rounds come out of sharded storage (section 8.3). *)
+        match Chain.find t.chain block_hash with
+        | Some e when serves_round t ~round:e.height -> reply e.block
+        | Some _ | None -> ())
+    | Message.Fork_proposal _ ->
+      (* Recovery ticks are clock-synchronized, so by the time a fork
+         proposal arrives we are either recovering (handled above) or
+         healthy and not interested. *)
+      ()
+
+and buffer (t : t) (round : int) (msg : Message.t) : unit =
+  match Hashtbl.find_opt t.pending round with
+  | Some l -> l := msg :: !l
+  | None -> Hashtbl.replace t.pending round (ref [ msg ])
+
+(* ------------------------------------------------------------------ *)
+(* Fork recovery (section 8.2).                                        *)
+(*                                                                     *)
+(* At every synchronized clock tick all users stop regular processing  *)
+(* and run the recovery protocol: fork proposers (chosen by sortition  *)
+(* under a recovery seed derived from a pre-fork block) propose their  *)
+(* longest fork, everyone adopts the highest-priority proposal, and    *)
+(* BA* decides on an empty block extending that fork. Seeds and        *)
+(* weights come from the deepest *final* block - our stand-in for the  *)
+(* paper's next-to-last b-period quantization; both pick a block from  *)
+(* before any live fork (finality implies uniqueness), which is the    *)
+(* property the protocol needs.                                        *)
+(* ------------------------------------------------------------------ *)
+
+and fork_proposer_role ~(attempt : int) : string =
+  Printf.sprintf "fork-proposer|%d" attempt
+
+and deepest_final (t : t) : Chain.entry =
+  let tip = Chain.tip t.chain in
+  List.fold_left
+    (fun (best : Chain.entry) (e : Chain.entry) ->
+      if e.final && e.height > best.height then e else best)
+    (Chain.genesis_entry t.chain)
+    (Chain.ancestry t.chain tip.hash)
+
+and longest_leaf_above (t : t) (stable : Chain.entry) : Chain.entry =
+  let candidates =
+    List.filter
+      (fun (e : Chain.entry) ->
+        Chain.descends_from t.chain ~hash:e.hash ~ancestor:stable.hash)
+      (Chain.leaves t.chain)
+  in
+  match candidates with
+  | [] -> stable
+  | first :: rest ->
+    List.fold_left
+      (fun (best : Chain.entry) (e : Chain.entry) ->
+        if
+          e.height > best.height
+          || (e.height = best.height && String.compare e.hash best.hash < 0)
+        then e
+        else best)
+      first rest
+
+and engage_recovery (t : t) ~(attempt : int) : unit =
+  t.hung <- false;
+  t.current <- None;
+  t.recovery_generation <- t.recovery_generation + 1;
+  let stable = deepest_final t in
+  let rseed = Sha256.digest_concat [ "recovery"; stable.seed; string_of_int attempt ] in
+  let rweights = stable.balances_after in
+  let rs =
+    {
+      generation = t.recovery_generation;
+      attempt;
+      stable;
+      rseed;
+      rweights;
+      rtotal_weight = Balances.total rweights;
+      best_fork = None;
+      fork_round = -1;
+      rvote_round = -1;
+      rempty_hash = "";
+      rtip_hash = "";
+      rba = None;
+      rvctx = None;
+      rbuffered = [];
+    }
+  in
+  t.recovering <- Some rs;
+  let p = t.config.params in
+  (* Fork proposal, if sortition selects us. *)
+  let sel =
+    Algorand_sortition.Sortition.select ~prover:t.identity.prover ~seed:rseed
+      ~tau:p.tau_proposer ~role:(fork_proposer_role ~attempt)
+      ~w:(Balances.balance rweights t.identity.pk) ~total_weight:rs.rtotal_weight
+  in
+  (match Algorand_sortition.Sortition.best_priority ~vrf_hash:sel.vrf_hash ~j:sel.j with
+  | None -> ()
+  | Some priority ->
+    let leaf = longest_leaf_above t stable in
+    let suffix =
+      Chain.ancestry t.chain leaf.hash
+      |> List.rev
+      |> List.filter (fun (e : Chain.entry) -> e.height > stable.height)
+      |> List.map (fun (e : Chain.entry) -> e.block)
+    in
+    let f =
+      {
+        Message.attempt;
+        proposer_pk = t.identity.pk;
+        vrf_hash = sel.vrf_hash;
+        vrf_proof = sel.vrf_proof;
+        priority;
+        suffix;
+        tip_hash = leaf.hash;
+      }
+    in
+    consider_fork rs f;
+    broadcast t (Message.Fork_proposal f));
+  Engine.schedule t.engine ~delay:(p.lambda_priority +. p.lambda_stepvar) (fun () ->
+      match t.recovering with
+      | Some rs' when rs'.generation = rs.generation -> adopt_fork t rs
+      | _ -> ())
+
+and consider_fork (rs : recovery_state) (f : Message.fork_proposal) : unit =
+  match rs.best_fork with
+  | Some best when String.compare best.priority f.priority >= 0 -> ()
+  | _ -> rs.best_fork <- Some f
+
+and validate_fork_proposal (t : t) (rs : recovery_state) (f : Message.fork_proposal) :
+    bool =
+  let p = t.config.params in
+  f.attempt = rs.attempt
+  && (let j =
+        Algorand_sortition.Sortition.verify ~scheme:t.config.vrf_scheme
+          ~pk:(Identity.vrf_pk f.proposer_pk) ~vrf_hash:f.vrf_hash
+          ~vrf_proof:f.vrf_proof ~seed:rs.rseed ~tau:p.tau_proposer
+          ~role:(fork_proposer_role ~attempt:rs.attempt)
+          ~w:(Balances.balance rs.rweights f.proposer_pk)
+          ~total_weight:rs.rtotal_weight
+      in
+      j > 0
+      &&
+      match Algorand_sortition.Sortition.best_priority ~vrf_hash:f.vrf_hash ~j with
+      | Some pr -> String.equal pr f.priority
+      | None -> false)
+  &&
+  match f.suffix with
+  | [] -> String.equal f.tip_hash rs.stable.hash
+  | first :: _ -> (
+    (* The proposed fork must graft onto a descendant of the stable
+       (final) block - anything branching below finality is rejected -
+       and form a linked chain ending at the claimed tip. *)
+    match Chain.find t.chain (Block.prev_hash first) with
+    | None -> false
+    | Some parent ->
+      Chain.descends_from t.chain ~hash:parent.hash ~ancestor:rs.stable.hash
+      &&
+      let rec linked prev = function
+        | [] -> String.equal prev f.tip_hash
+        | (b : Block.t) :: rest ->
+          String.equal (Block.prev_hash b) prev && linked (Block.hash b) rest
+      in
+      linked (Block.prev_hash first) f.suffix)
+
+and adopt_fork (t : t) (rs : recovery_state) : unit =
+  match rs.best_fork with
+  | None -> abandon_recovery t rs
+  | Some f ->
+    let grafted =
+      List.for_all
+        (fun b ->
+          match Chain.add t.chain b with
+          | Ok _ | Error `Duplicate -> true
+          | Error (`Unknown_parent | `Wrong_round _ | `Invalid_tx _) -> false)
+        f.suffix
+    in
+    if (not grafted) || not (Chain.mem t.chain f.tip_hash) then abandon_recovery t rs
+    else begin
+      let tip = Option.get (Chain.find t.chain f.tip_hash) in
+      rs.fork_round <- tip.height + 1;
+      rs.rvote_round <- (1_000_000 * rs.attempt) + rs.fork_round;
+      rs.rtip_hash <- tip.hash;
+      rs.rempty_hash <- Proposal.empty_hash ~round:rs.fork_round ~prev_hash:tip.hash;
+      let p = t.config.params in
+      let vctx : Vote.validation_ctx =
+        {
+          sig_scheme = t.config.sig_scheme;
+          vrf_scheme = t.config.vrf_scheme;
+          sig_pk_of = Identity.sig_pk;
+          vrf_pk_of = Identity.vrf_pk;
+          seed = rs.rseed;
+          total_weight = rs.rtotal_weight;
+          weight_of = Balances.balance rs.rweights;
+          last_block_hash = tip.hash;
+          tau_of_step = (function Vote.Final -> p.tau_final | _ -> p.tau_step);
+        }
+      in
+      rs.rvctx <- Some vctx;
+      let ctx : Ba_star.ctx =
+        {
+          params = p;
+          round = rs.rvote_round;
+          empty_hash = rs.rempty_hash;
+          my_votes =
+            (fun ~step ~value ->
+              let tau =
+                match step with Vote.Final -> p.tau_final | _ -> p.tau_step
+              in
+              match
+                Vote.make ~signer:t.identity.signer ~prover:t.identity.prover
+                  ~pk:t.identity.pk ~seed:rs.rseed ~tau
+                  ~w:(Balances.balance rs.rweights t.identity.pk)
+                  ~total_weight:rs.rtotal_weight ~round:rs.rvote_round ~step
+                  ~prev_hash:rs.rtip_hash ~value
+              with
+              | Some v -> [ v ]
+              | None -> []);
+          validate = (fun v -> Vote.validate vctx v);
+        }
+      in
+      let ba = Ba_star.create ctx in
+      rs.rba <- Some ba;
+      let buffered = List.rev rs.rbuffered in
+      rs.rbuffered <- [];
+      List.iter
+        (fun v -> apply_recovery_actions t rs (Ba_star.handle ba (Ba_star.Deliver v)))
+        buffered;
+      apply_recovery_actions t rs (Ba_star.handle ba (Ba_star.Start rs.rempty_hash))
+    end
+
+and apply_recovery_actions (t : t) (rs : recovery_state) (actions : Ba_star.action list) :
+    unit =
+  List.iter
+    (fun action ->
+      match action with
+      | Ba_star.Broadcast v ->
+        broadcast t (Message.Ba_vote v);
+        deliver_to_recovery_ba t rs v
+      | Ba_star.Set_timer { token; delay } ->
+        Engine.schedule t.engine ~delay (fun () ->
+            match (t.recovering, rs.rba) with
+            | Some rs', Some ba when rs'.generation = rs.generation ->
+              apply_recovery_actions t rs (Ba_star.handle ba (Ba_star.Timer token))
+            | _ -> ())
+      | Ba_star.Bin_decided _ -> ()
+      | Ba_star.Decided { value; final = _; bin_steps = _ } ->
+        finish_recovery t rs ~value
+      | Ba_star.Hang -> abandon_recovery t rs)
+    actions
+
+and deliver_to_recovery_ba (t : t) (rs : recovery_state) (v : Vote.t) : unit =
+  match rs.rba with
+  | Some ba -> apply_recovery_actions t rs (Ba_star.handle ba (Ba_star.Deliver v))
+  | None -> rs.rbuffered <- v :: rs.rbuffered
+
+and finish_recovery (t : t) (rs : recovery_state) ~(value : string) : unit =
+  if not (String.equal value rs.rempty_hash) then abandon_recovery t rs
+  else begin
+    let b = Block.empty ~round:rs.fork_round ~prev_hash:rs.rtip_hash in
+    (match Chain.add t.chain b with
+    | Ok _ | Error `Duplicate -> ()
+    | Error (`Unknown_parent | `Wrong_round _ | `Invalid_tx _) -> ());
+    (match Chain.find t.chain (Block.hash b) with
+    | Some e -> Chain.set_tip t.chain e.hash
+    | None -> ());
+    t.recovering <- None;
+    t.recoveries_completed <- t.recoveries_completed + 1;
+    Log.debug (fun m ->
+        m "node %d recovered to round %d at %.1fs" t.index rs.fork_round
+          (Engine.now t.engine));
+    if rs.fork_round >= t.config.max_round then t.stopped <- true
+    else
+      Engine.schedule t.engine ~delay:0.0 (fun () ->
+          if t.recovering = None && not t.stopped && t.current = None then
+            start_round t ~r:(rs.fork_round + 1))
+  end
+
+and abandon_recovery (t : t) (rs : recovery_state) : unit =
+  if t.recovering <> None then begin
+    t.recovering <- None;
+    Log.debug (fun m ->
+        m "node %d abandoned recovery attempt %d" t.index rs.attempt);
+    (* Resume the stalled round; the next synchronized tick retries. *)
+    if not t.stopped then begin
+      let tip = Chain.tip t.chain in
+      if tip.height < t.config.max_round then start_round t ~r:(tip.height + 1)
+      else t.stopped <- true
+    end
+  end
+
+and process_recovery_message (t : t) (rs : recovery_state) (msg : Message.t) : unit =
+  match msg with
+  | Message.Tx tx -> ignore (Txpool.add t.txpool tx)
+  | Message.Fork_proposal f ->
+    if validate_fork_proposal t rs f then consider_fork rs f
+  | Message.Ba_vote v ->
+    if rs.rba = None || v.round = rs.rvote_round then deliver_to_recovery_ba t rs v
+  | Message.Priority _ | Message.Block_gossip _ | Message.Block_reply _
+  | Message.Block_request _ ->
+    ()
+
+(* Gossip relay gating (section 8.4): validate what can be validated at
+   our current round; relay plausible near-future messages so laggards
+   do not partition the overlay; drop stale rounds. *)
+let gossip_validate (t : t) (msg : Message.t) : bool =
+  match (t.recovering, t.current) with
+  | Some _, _ ->
+    (* During recovery, relay recovery traffic and anything we cannot
+       judge yet; regular-round traffic is stale by construction. *)
+    (match msg with
+    | Message.Tx _ | Message.Fork_proposal _ | Message.Ba_vote _
+    | Message.Block_request _ | Message.Block_reply _ ->
+      true
+    | Message.Priority _ | Message.Block_gossip _ -> false)
+  | None, None -> (
+    match msg with
+    | Message.Fork_proposal _ -> true
+    | Message.Ba_vote v -> (
+      match t.previous with
+      | Some p when p.round = v.round && not p.classified -> vote_weight t p v > 0
+      | _ -> false)
+    | _ -> false)
+  | None, Some rs -> (
+    match msg with
+    | Message.Tx _ -> true
+    | Message.Priority p -> p.round >= rs.round
+    | Message.Block_gossip b ->
+      (* Priority-based block discard (section 6): relay a block only
+         if it comes from the highest-priority proposer seen so far,
+         so the network carries ~one full block per round instead of
+         tau_proposer of them. *)
+      Block.round b > rs.round
+      || Block.round b = rs.round
+         && (match rs.best_priority with
+            | None -> true
+            | Some best -> String.equal b.header.proposer_pk best.proposer_pk)
+    | Message.Ba_vote v ->
+      if v.round > rs.round then true
+      else if v.round = rs.round then vote_weight t rs v > 0
+      else (
+        match t.previous with
+        | Some p when p.round = v.round && not p.classified -> vote_weight t p v > 0
+        | _ -> false)
+    | Message.Block_request _ | Message.Block_reply _ -> true
+    | Message.Fork_proposal _ -> true)
+
+(* CPU model: message processing is serialized through one core with a
+   per-kind cost; with the default sub-millisecond costs this matters
+   only when thousands of votes land at once (the very effect the paper
+   hit at 500k users, section 10.1). *)
+let cpu_cost (t : t) (msg : Message.t) : float =
+  match msg with
+  | Message.Ba_vote _ -> t.config.cpu_vote_verify_s
+  | Message.Block_gossip _ | Message.Block_reply _ | Message.Fork_proposal _ ->
+    t.config.cpu_block_verify_s
+  | Message.Tx _ | Message.Priority _ | Message.Block_request _ -> 0.0
+
+let deliver (t : t) ~(src : int) (msg : Message.t) : unit =
+  ignore src;
+  let cost = cpu_cost t msg in
+  if cost <= 0.0 then process_message t msg
+  else begin
+    let now = Engine.now t.engine in
+    let start = Float.max now t.cpu_free_at in
+    t.cpu_free_at <- start +. cost;
+    Engine.schedule t.engine ~delay:(start +. cost -. now) (fun () ->
+        process_message t msg)
+  end
+
+let start (t : t) : unit =
+  if t.config.recovery_enabled && t.config.params.recovery_interval > 0.0 then begin
+    (* Loosely synchronized clocks: everyone kicks off recovery at the
+       same absolute multiples of the interval (section 8.2). *)
+    let interval = t.config.params.recovery_interval in
+    let rec tick k () =
+      if not t.stopped then begin
+        engage_recovery t ~attempt:k;
+        Engine.at t.engine ~time:(float_of_int (k + 1) *. interval) (tick (k + 1))
+      end
+    in
+    Engine.at t.engine ~time:interval (tick 1)
+  end;
+  start_round t ~r:1
+
+let recoveries_completed (t : t) : int = t.recoveries_completed
+let is_recovering (t : t) : bool = t.recovering <> None
+
+let set_on_round_complete (t : t) f : unit = t.on_round_complete <- Some f
+
+(* Submit a transaction at this node (entering its pool and the gossip
+   network), as a wallet would. *)
+let submit_tx (t : t) (tx : Transaction.t) : unit =
+  if Txpool.add t.txpool tx then broadcast t (Message.Tx tx)

@@ -1,0 +1,88 @@
+(** A full Algorand user (sections 4-8): transaction pool, block
+    proposal, BA* execution, chain maintenance, certificates, fork
+    recovery, and catch-up serving. All I/O goes through the gossip
+    overlay and all waiting through the simulation engine, so the same
+    code runs under every experiment of section 10. *)
+
+module Block = Algorand_ledger.Block
+module Chain = Algorand_ledger.Chain
+module Genesis = Algorand_ledger.Genesis
+module Transaction = Algorand_ledger.Transaction
+module Params = Algorand_ba.Params
+module Engine = Algorand_sim.Engine
+module Metrics = Algorand_sim.Metrics
+module Gossip = Algorand_netsim.Gossip
+
+type byzantine = {
+  equivocate_proposal : bool;
+      (** when proposing, send different block versions to different peers *)
+  double_vote : bool;  (** vote for two values in committee steps *)
+}
+
+type config = {
+  params : Params.t;
+  sig_scheme : Algorand_crypto.Signature_scheme.scheme;
+  vrf_scheme : Algorand_crypto.Vrf.scheme;
+  block_target_bytes : int;  (** proposers pad blocks to this size *)
+  max_round : int;  (** stop after completing this round *)
+  byzantine : byzantine option;
+  cpu_vote_verify_s : float;  (** modeled per-vote verification CPU time *)
+  cpu_block_verify_s : float;
+  recovery_enabled : bool;  (** run the section 8.2 recovery protocol *)
+  storage_shards : int;
+      (** serve old blocks/certificates only for rounds in this node's
+          shard (section 8.3); 1 = serve everything *)
+  pipeline_final : bool;
+      (** overlap the final-step classification with the next round's
+          proposal (the throughput optimization of section 10.2) *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  index:int ->
+  identity:Identity.t ->
+  config:config ->
+  engine:Engine.t ->
+  metrics:Metrics.t ->
+  genesis:Genesis.t ->
+  t
+
+val set_gossip : t -> Message.t Gossip.t -> unit
+(** Wire the node to its overlay; must be called before [start]. *)
+
+val start : t -> unit
+(** Begin round 1 (and, if enabled, schedule recovery clock ticks). *)
+
+val pk : t -> string
+val chain : t -> Chain.t
+
+val round : t -> int
+(** Current round, or 0 when idle/stopped. *)
+
+val is_hung : t -> bool
+val is_recovering : t -> bool
+val recoveries_completed : t -> int
+
+val certificate : t -> round:int -> Certificate.t option
+(** The certificate assembled for an agreed round (section 8.3). *)
+
+val final_certificate : t -> round:int -> Certificate.t option
+
+val serves_round : t -> round:int -> bool
+(** Storage sharding (section 8.3): whether this node serves the given
+    round's block and certificate to catch-up clients. *)
+
+val gossip_validate : t -> Message.t -> bool
+(** Relay gating (section 8.4), including the priority-based block
+    discard of section 6. Used as the overlay's validator. *)
+
+val deliver : t -> src:int -> Message.t -> unit
+(** The overlay's delivery callback (applies the modeled CPU cost). *)
+
+val submit_tx : t -> Transaction.t -> unit
+(** Submit a transaction at this node, as a wallet would. *)
+
+val set_on_round_complete : t -> (t -> round:int -> final:bool -> unit) -> unit

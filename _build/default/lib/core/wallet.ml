@@ -1,0 +1,71 @@
+(* A minimal wallet: tracks the sender's nonce, constructs and submits
+   signed payments through a node, and answers the question end users
+   actually ask - "is my payment confirmed?" - using the paper's
+   confirmation rule (section 8.2): a transaction is confirmed once it
+   sits in a final block or in an ancestor of one. *)
+
+module Chain = Algorand_ledger.Chain
+module Balances = Algorand_ledger.Balances
+module Transaction = Algorand_ledger.Transaction
+
+type t = {
+  identity : Identity.t;
+  node : Node.t;
+  mutable next_nonce : int;
+}
+
+let create ~(identity : Identity.t) ~(node : Node.t) : t =
+  let chain = Node.chain node in
+  let tip = Chain.tip chain in
+  { identity; node; next_nonce = Balances.nonce tip.balances_after identity.pk }
+
+let address (t : t) : string = t.identity.pk
+
+let balance (t : t) : int =
+  let chain = Node.chain t.node in
+  Balances.balance (Chain.tip chain).balances_after t.identity.pk
+
+(* Construct, record and submit a payment. The wallet hands out nonces
+   sequentially so concurrent payments from one wallet serialize. *)
+let pay (t : t) ~(to_ : string) ~(amount : int) : Transaction.t =
+  let tx =
+    Transaction.make ~signer:t.identity.signer ~sender:t.identity.pk ~recipient:to_
+      ~amount ~nonce:t.next_nonce
+  in
+  t.next_nonce <- t.next_nonce + 1;
+  Node.submit_tx t.node tx;
+  tx
+
+type status =
+  | Pending  (** not yet in any block on the node's chain *)
+  | Tentative of int  (** in the block at this round, not yet covered by finality *)
+  | Confirmed of int
+      (** in a final block or an ancestor of one (the paper's
+          confirmation rule) *)
+
+let pp_status fmt = function
+  | Pending -> Format.fprintf fmt "pending"
+  | Tentative r -> Format.fprintf fmt "tentative (round %d)" r
+  | Confirmed r -> Format.fprintf fmt "confirmed (round %d)" r
+
+let status (t : t) (tx : Transaction.t) : status =
+  let chain = Node.chain t.node in
+  let tip = Chain.tip chain in
+  let tx_id = Transaction.id tx in
+  let ancestry = Chain.ancestry chain tip.hash (* tip-first *) in
+  (* Deepest final height on the tip path covers everything below it
+     (final blocks are totally ordered, section 8.2). *)
+  let final_height =
+    List.fold_left
+      (fun acc (e : Chain.entry) -> if e.final then max acc e.height else acc)
+      0 ancestry
+  in
+  let containing =
+    List.find_opt
+      (fun (e : Chain.entry) ->
+        List.exists (fun tx' -> String.equal (Transaction.id tx') tx_id) e.block.txs)
+      ancestry
+  in
+  match containing with
+  | None -> Pending
+  | Some e -> if e.height <= final_height then Confirmed e.height else Tentative e.height

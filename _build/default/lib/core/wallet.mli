@@ -1,0 +1,20 @@
+(** A minimal wallet over a node: sequential nonces, signed payments,
+    and confirmation status per the paper's rule (a transaction is
+    confirmed when its block, or a successor, reaches final consensus). *)
+
+module Transaction = Algorand_ledger.Transaction
+
+type t
+
+val create : identity:Identity.t -> node:Node.t -> t
+val address : t -> string
+val balance : t -> int
+
+val pay : t -> to_:string -> amount:int -> Transaction.t
+(** Construct, sign and submit a payment; nonces are handed out
+    sequentially. *)
+
+type status = Pending | Tentative of int | Confirmed of int
+
+val pp_status : Format.formatter -> status -> unit
+val status : t -> Transaction.t -> status

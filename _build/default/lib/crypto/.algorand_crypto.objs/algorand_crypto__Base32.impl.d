@@ -1,0 +1,1 @@
+lib/crypto/base32.ml: Array Buffer Char Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/base32.mli:

@@ -1,0 +1,1 @@
+lib/crypto/ed25519.ml: Bytes Char Ed25519_p Fe25519 Nat Sha256 String

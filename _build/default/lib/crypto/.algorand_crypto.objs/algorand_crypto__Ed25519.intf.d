@@ -1,0 +1,1 @@
+lib/crypto/ed25519.mli: Nat

@@ -1,0 +1,1 @@
+lib/crypto/ed25519_p.ml: Nat

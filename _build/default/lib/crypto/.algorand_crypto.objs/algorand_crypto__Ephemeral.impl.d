@@ -1,0 +1,1 @@
+lib/crypto/ephemeral.ml: Array List Merkle Printf Signature_scheme String

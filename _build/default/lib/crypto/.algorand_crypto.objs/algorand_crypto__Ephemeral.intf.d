@@ -1,0 +1,1 @@
+lib/crypto/ephemeral.mli: Merkle Signature_scheme

@@ -1,0 +1,1 @@
+lib/crypto/fe25519.ml: Array Ed25519_p Nat

@@ -1,0 +1,1 @@
+lib/crypto/fe25519.mli: Nat

@@ -1,0 +1,1 @@
+lib/crypto/hex.ml: Buffer Char Printf String

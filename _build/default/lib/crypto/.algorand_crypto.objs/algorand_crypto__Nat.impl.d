@@ -1,0 +1,1 @@
+lib/crypto/nat.ml: Array Buffer Char Format Stdlib String

@@ -1,0 +1,1 @@
+lib/crypto/signature_scheme.ml: Ed25519 Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/signature_scheme.mli:

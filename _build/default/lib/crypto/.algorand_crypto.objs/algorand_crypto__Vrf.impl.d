@@ -1,0 +1,1 @@
+lib/crypto/vrf.ml: Char Ed25519 Nat Sha256 String

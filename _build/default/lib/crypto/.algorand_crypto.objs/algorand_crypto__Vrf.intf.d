@@ -1,0 +1,1 @@
+lib/crypto/vrf.mli: Ed25519

@@ -1,0 +1,73 @@
+(* RFC 4648 base32 (no padding) plus checksummed address rendering:
+   Algorand-style human-readable account addresses are the base32
+   encoding of the public key followed by a short SHA-256 checksum, so
+   a single mistyped character is caught locally. *)
+
+let alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ234567"
+
+let decode_table =
+  let t = Array.make 256 (-1) in
+  String.iteri (fun i c -> t.(Char.code c) <- i) alphabet;
+  t
+
+let encode (s : string) : string =
+  let buf = Buffer.create ((String.length s * 8 / 5) + 1) in
+  let acc = ref 0 and bits = ref 0 in
+  String.iter
+    (fun c ->
+      acc := (!acc lsl 8) lor Char.code c;
+      bits := !bits + 8;
+      while !bits >= 5 do
+        bits := !bits - 5;
+        Buffer.add_char buf alphabet.[(!acc lsr !bits) land 31]
+      done)
+    s;
+  if !bits > 0 then Buffer.add_char buf alphabet.[(!acc lsl (5 - !bits)) land 31];
+  Buffer.contents buf
+
+let decode (s : string) : string option =
+  let buf = Buffer.create (String.length s * 5 / 8) in
+  let acc = ref 0 and bits = ref 0 in
+  let ok = ref true in
+  String.iter
+    (fun c ->
+      let v = decode_table.(Char.code c) in
+      if v < 0 then ok := false
+      else begin
+        acc := (!acc lsl 5) lor v;
+        bits := !bits + 5;
+        if !bits >= 8 then begin
+          bits := !bits - 8;
+          Buffer.add_char buf (Char.chr ((!acc lsr !bits) land 0xff))
+        end
+      end)
+    s;
+  (* Trailing bits must be zero padding. *)
+  if (not !ok) || !acc land ((1 lsl !bits) - 1) <> 0 then None
+  else Some (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
+(* Checksummed addresses.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let checksum_length = 4
+
+let address_of_pk (pk : string) : string =
+  let check = String.sub (Sha256.digest_concat [ "addr"; pk ]) 0 checksum_length in
+  encode (pk ^ check)
+
+let pk_of_address (addr : string) : string option =
+  match decode addr with
+  | None -> None
+  | Some raw ->
+    let n = String.length raw in
+    if n <= checksum_length then None
+    else begin
+      let pk = String.sub raw 0 (n - checksum_length) in
+      let check = String.sub raw (n - checksum_length) checksum_length in
+      if
+        String.equal check
+          (String.sub (Sha256.digest_concat [ "addr"; pk ]) 0 checksum_length)
+      then Some pk
+      else None
+    end

@@ -1,0 +1,13 @@
+(** RFC 4648 base32 (unpadded) and checksummed account addresses
+    (base32 of pk || 4-byte SHA-256 checksum). *)
+
+val encode : string -> string
+
+val decode : string -> string option
+(** [None] on non-alphabet characters or nonzero trailing padding. *)
+
+val checksum_length : int
+val address_of_pk : string -> string
+
+val pk_of_address : string -> string option
+(** [None] when the checksum does not match (catches typos). *)

@@ -1,0 +1,35 @@
+(* A small deterministic random byte generator built on HMAC-SHA256.
+   Used to expand short seeds into key material for tests, examples and
+   simulations; determinism is a feature (reproducible experiments), so
+   this is intentionally not seeded from the OS. *)
+
+type t = { key : string; mutable counter : int }
+
+let create ~(seed : string) : t = { key = Sha256.digest_concat [ "drbg-seed"; seed ]; counter = 0 }
+
+let block t =
+  let ctr =
+    String.init 8 (fun i -> Char.chr ((t.counter lsr (8 * i)) land 0xff))
+  in
+  t.counter <- t.counter + 1;
+  Hmac.sha256 ~key:t.key ctr
+
+let random_bytes (t : t) (n : int) : string =
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    Buffer.add_string buf (block t)
+  done;
+  Buffer.sub buf 0 n
+
+let random_int (t : t) (bound : int) : int =
+  if bound <= 0 then invalid_arg "Drbg.random_int";
+  (* Rejection-sample to avoid modulo bias. *)
+  let rec go () =
+    let b = random_bytes t 8 in
+    let v = ref 0 in
+    String.iter (fun c -> v := (!v lsl 8) lor Char.code c) b;
+    let v = !v land max_int in
+    let limit = max_int - (max_int mod bound) in
+    if v >= limit then go () else v mod bound
+  in
+  go ()

@@ -1,0 +1,12 @@
+(** Deterministic random byte generator (HMAC-SHA256 counter mode).
+
+    Expands a short seed into unbounded key material. Deterministic by
+    design so experiments and tests are reproducible. *)
+
+type t
+
+val create : seed:string -> t
+val random_bytes : t -> int -> string
+
+val random_int : t -> int -> int
+(** [random_int t bound] is uniform in [\[0, bound)], rejection-sampled. *)

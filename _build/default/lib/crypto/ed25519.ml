@@ -1,0 +1,241 @@
+(* The ed25519 twisted Edwards curve (-x^2 + y^2 = 1 + d x^2 y^2 over
+   GF(2^255 - 19)) with Schnorr signatures.
+
+   All group constants are computed rather than transcribed: d is
+   -121665/121666, the base point is recovered from y = 4/5 with even x,
+   and sqrt(-1) is 2^((p-1)/4). Module initialization asserts the base
+   point is on the curve and that [L]B is the identity, so a derivation
+   bug cannot go unnoticed.
+
+   The signature scheme is textbook Schnorr over this curve with SHA-256
+   as the hash (deliberately not RFC 8032 wire-compatible; this is a
+   closed system with no interop requirement). *)
+
+(* ------------------------------------------------------------------ *)
+(* Field GF(p), p = 2^255 - 19, with pseudo-Mersenne reduction.        *)
+(* ------------------------------------------------------------------ *)
+
+module Fp = struct
+  let p = Ed25519_p.p
+
+  (* x mod p, folding the high part with 2^255 = 19 (mod p). *)
+  let reduce (x : Nat.t) : Nat.t =
+    let x = ref x in
+    while Nat.bit_length !x > 255 do
+      let lo = Nat.low_bits !x 255 and hi = Nat.shift_right !x 255 in
+      x := Nat.add lo (Nat.mul_int hi 19)
+    done;
+    if Nat.compare !x p >= 0 then Nat.sub !x p else !x
+
+  let zero = Nat.zero
+  let one = Nat.one
+  let add a b = reduce (Nat.add a b)
+  let sub a b = if Nat.compare a b >= 0 then Nat.sub a b else Nat.sub (Nat.add a p) b
+  let mul a b = reduce (Nat.mul a b)
+  let sqr a = mul a a
+  let neg a = if Nat.is_zero a then a else Nat.sub p a
+
+  let pow (base : Nat.t) (e : Nat.t) : Nat.t =
+    let result = ref one in
+    let b = ref (reduce base) in
+    let bits = Nat.bit_length e in
+    for i = 0 to bits - 1 do
+      if Nat.testbit e i then result := mul !result !b;
+      if i < bits - 1 then b := sqr !b
+    done;
+    !result
+
+  let inv a = pow a (Nat.sub p Nat.two)
+
+  (* sqrt(-1) = 2^((p-1)/4) mod p *)
+  let sqrt_m1 = pow Nat.two (Nat.shift_right (Nat.sub p Nat.one) 2)
+
+  (* Square root via the (p+3)/8 exponent trick. *)
+  let sqrt (u : Nat.t) : Nat.t option =
+    let cand = pow u (Nat.shift_right (Nat.add p (Nat.of_int 3)) 3) in
+    let c2 = sqr cand in
+    if Nat.equal c2 u then Some cand
+    else begin
+      let cand' = mul cand sqrt_m1 in
+      if Nat.equal (sqr cand') u then Some cand' else None
+    end
+
+  let of_int = Nat.of_int
+end
+
+(* Curve coefficient d = -121665/121666 and 2d. *)
+let d = Fp.mul (Fp.neg (Fp.of_int 121665)) (Fp.inv (Fp.of_int 121666))
+let two_d = Fp.add d d
+
+(* Prime subgroup order L = 2^252 + 27742317777372353535851937790883648493 *)
+let order =
+  Nat.add
+    (Nat.shift_left Nat.one 252)
+    (Nat.of_decimal "27742317777372353535851937790883648493")
+
+(* ------------------------------------------------------------------ *)
+(* Points in extended homogeneous coordinates (X : Y : Z : T).         *)
+(*                                                                     *)
+(* Coordinates live in the fixed-limb field (Fe25519): the group law   *)
+(* runs thousands of field multiplications per scalar multiplication,  *)
+(* and the fixed representation is several times faster than the       *)
+(* generic Nat arithmetic (which remains the reference oracle in the   *)
+(* Fp module above and in the test suite).                             *)
+(* ------------------------------------------------------------------ *)
+
+module Fe = Fe25519
+
+type point = { x : Fe.t; y : Fe.t; z : Fe.t; t : Fe.t }
+
+let two_d_fe = Fe.of_nat two_d
+
+let identity = { x = Fe.zero (); y = Fe.one (); z = Fe.one (); t = Fe.zero () }
+
+let of_affine ~x ~y =
+  let fx = Fe.of_nat x and fy = Fe.of_nat y in
+  { x = fx; y = fy; z = Fe.one (); t = Fe.mul fx fy }
+
+let to_affine (p : point) : Nat.t * Nat.t =
+  let zi = Fe.inv p.z in
+  (Fe.to_nat (Fe.mul p.x zi), Fe.to_nat (Fe.mul p.y zi))
+
+let on_curve (pt : point) : bool =
+  let x, y = to_affine pt in
+  let x2 = Fp.sqr x and y2 = Fp.sqr y in
+  let lhs = Fp.sub y2 x2 in
+  let rhs = Fp.add Fp.one (Fp.mul d (Fp.mul x2 y2)) in
+  Nat.equal lhs rhs
+
+(* RFC 8032 extended-coordinate addition (a = -1, complete formulas). *)
+let add (p : point) (q : point) : point =
+  let a = Fe.mul (Fe.sub p.y p.x) (Fe.sub q.y q.x) in
+  let b = Fe.mul (Fe.add p.y p.x) (Fe.add q.y q.x) in
+  let c = Fe.mul (Fe.mul p.t two_d_fe) q.t in
+  let dd = Fe.mul (Fe.add p.z p.z) q.z in
+  let e = Fe.sub b a in
+  let f = Fe.sub dd c in
+  let g = Fe.add dd c in
+  let h = Fe.add b a in
+  { x = Fe.mul e f; y = Fe.mul g h; t = Fe.mul e h; z = Fe.mul f g }
+
+let double (p : point) : point =
+  let a = Fe.sqr p.x in
+  let b = Fe.sqr p.y in
+  let c = Fe.add (Fe.sqr p.z) (Fe.sqr p.z) in
+  let h = Fe.add a b in
+  let e = Fe.sub h (Fe.sqr (Fe.add p.x p.y)) in
+  let g = Fe.sub a b in
+  let f = Fe.add c g in
+  { x = Fe.mul e f; y = Fe.mul g h; t = Fe.mul e h; z = Fe.mul f g }
+
+let neg (p : point) : point = { p with x = Fe.neg p.x; t = Fe.neg p.t }
+
+let scalar_mult (k : Nat.t) (p : point) : point =
+  let acc = ref identity in
+  for i = Nat.bit_length k - 1 downto 0 do
+    acc := double !acc;
+    if Nat.testbit k i then acc := add !acc p
+  done;
+  !acc
+
+let equal_points (p : point) (q : point) : bool =
+  (* Cross-multiplied comparison avoids inversions. *)
+  Fe.equal (Fe.mul p.x q.z) (Fe.mul q.x p.z)
+  && Fe.equal (Fe.mul p.y q.z) (Fe.mul q.y p.z)
+
+(* ------------------------------------------------------------------ *)
+(* Point compression: 32 bytes, little-endian y with x parity on top.  *)
+(* ------------------------------------------------------------------ *)
+
+let encode (p : point) : string =
+  let x, y = to_affine p in
+  let b = Bytes.of_string (Nat.to_bytes_le y ~len:32) in
+  if Nat.testbit x 0 then Bytes.set b 31 (Char.chr (Char.code (Bytes.get b 31) lor 0x80));
+  Bytes.unsafe_to_string b
+
+let decode (s : string) : point option =
+  if String.length s <> 32 then None
+  else begin
+    let sign = Char.code s.[31] lsr 7 in
+    let y_bytes =
+      let b = Bytes.of_string s in
+      Bytes.set b 31 (Char.chr (Char.code (Bytes.get b 31) land 0x7f));
+      Bytes.unsafe_to_string b
+    in
+    let y = Nat.of_bytes_le y_bytes in
+    if Nat.compare y Fp.p >= 0 then None
+    else begin
+      let y2 = Fp.sqr y in
+      let u = Fp.sub y2 Fp.one in
+      let v = Fp.add (Fp.mul d y2) Fp.one in
+      match Fp.sqrt (Fp.mul u (Fp.inv v)) with
+      | None -> None
+      | Some x ->
+        if Nat.is_zero x && sign = 1 then None
+        else begin
+          let x = if (if Nat.testbit x 0 then 1 else 0) <> sign then Fp.neg x else x in
+          Some (of_affine ~x ~y)
+        end
+    end
+  end
+
+(* Base point: y = 4/5, even x. *)
+let base =
+  let y = Fp.mul (Fp.of_int 4) (Fp.inv (Fp.of_int 5)) in
+  let enc = Nat.to_bytes_le y ~len:32 in
+  match decode enc with
+  | Some b -> b
+  | None -> failwith "ed25519: base point derivation failed"
+
+let () =
+  (* Self-check the derived constants once at startup. *)
+  assert (on_curve base);
+  assert (equal_points (scalar_mult order base) identity)
+
+(* ------------------------------------------------------------------ *)
+(* Schnorr signatures.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type secret = { seed : string; scalar : Nat.t; public : string }
+type public = string
+
+let scalar_of_hash (h : string) : Nat.t =
+  (* Uniform nonzero scalar: 1 + (h mod (L-1)). *)
+  Nat.add Nat.one (Nat.rem (Nat.of_bytes_le h) (Nat.sub order Nat.one))
+
+let derive_scalar ~seed = scalar_of_hash (Sha256.digest_concat [ "ed25519-scalar"; seed ])
+
+let generate ~(seed : string) : secret =
+  let scalar = derive_scalar ~seed in
+  let public = encode (scalar_mult scalar base) in
+  { seed; scalar; public }
+
+let public_key (sk : secret) : public = sk.public
+let secret_scalar (sk : secret) : Nat.t = sk.scalar
+let secret_seed (sk : secret) : string = sk.seed
+
+let signature_length = 64
+
+let challenge ~r_enc ~public ~msg =
+  Nat.rem (Nat.of_bytes_le (Sha256.digest_concat [ "ed25519-chal"; r_enc; public; msg ])) order
+
+let sign (sk : secret) (msg : string) : string =
+  let k = scalar_of_hash (Sha256.digest_concat [ "ed25519-nonce"; sk.seed; msg ]) in
+  let r_enc = encode (scalar_mult k base) in
+  let e = challenge ~r_enc ~public:sk.public ~msg in
+  let s = Nat.rem (Nat.add k (Nat.mul e sk.scalar)) order in
+  r_enc ^ Nat.to_bytes_le s ~len:32
+
+let verify ~(public : public) ~(msg : string) ~(signature : string) : bool =
+  String.length signature = signature_length
+  &&
+  let r_enc = String.sub signature 0 32 in
+  let s = Nat.of_bytes_le (String.sub signature 32 32) in
+  Nat.compare s order < 0
+  &&
+  match (decode r_enc, decode public) with
+  | Some r, Some a ->
+    let e = challenge ~r_enc ~public ~msg in
+    (* s*B = R + e*A *)
+    equal_points (scalar_mult s base) (add r (scalar_mult e a))
+  | _ -> false

@@ -1,0 +1,61 @@
+(** The ed25519 twisted Edwards curve with Schnorr signatures.
+
+    Group constants are derived (not transcribed) and self-checked at
+    module initialization. The signature scheme is Schnorr with SHA-256
+    and is not RFC 8032 wire-compatible; Algorand is a closed system so
+    no interop is required (see DESIGN.md, substitution 2). *)
+
+module Fp : sig
+  val p : Nat.t
+  val zero : Nat.t
+  val one : Nat.t
+  val add : Nat.t -> Nat.t -> Nat.t
+  val sub : Nat.t -> Nat.t -> Nat.t
+  val mul : Nat.t -> Nat.t -> Nat.t
+  val sqr : Nat.t -> Nat.t
+  val neg : Nat.t -> Nat.t
+  val inv : Nat.t -> Nat.t
+  val pow : Nat.t -> Nat.t -> Nat.t
+  val sqrt : Nat.t -> Nat.t option
+  val of_int : int -> Nat.t
+end
+
+type point
+
+val order : Nat.t
+(** Order of the prime subgroup (the scalar group). *)
+
+val identity : point
+val base : point
+val add : point -> point -> point
+val double : point -> point
+val neg : point -> point
+val scalar_mult : Nat.t -> point -> point
+val equal_points : point -> point -> bool
+val on_curve : point -> bool
+val to_affine : point -> Nat.t * Nat.t
+
+val encode : point -> string
+(** 32-byte compressed encoding (little-endian y, x parity in the top bit). *)
+
+val decode : string -> point option
+
+(** {1 Schnorr signatures} *)
+
+type secret
+type public = string
+
+val generate : seed:string -> secret
+(** Deterministic key generation from an arbitrary seed string. *)
+
+val public_key : secret -> public
+
+val secret_scalar : secret -> Nat.t
+(** The private scalar; consumed by the VRF (Gamma = scalar * H). *)
+
+val secret_seed : secret -> string
+(** The generation seed; consumed by the VRF for deterministic nonces. *)
+
+val signature_length : int
+val sign : secret -> string -> string
+val verify : public:public -> msg:string -> signature:string -> bool

@@ -1,0 +1,4 @@
+(* The curve25519 prime, shared by the generic (Nat-based) and
+   fixed-limb (Fe25519) field implementations. *)
+
+let p = Nat.sub (Nat.shift_left Nat.one 255) (Nat.of_int 19)

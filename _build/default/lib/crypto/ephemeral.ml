@@ -1,0 +1,91 @@
+(* Forward-secure ephemeral signing keys (the paper's section 11
+   "forward security" direction).
+
+   Committee members reveal their identity the moment they send a vote;
+   an attacker who later corrupts enough *past* committee members could
+   extract their long-term keys and forge a certificate for an old
+   round, creating a fork retroactively. The fix sketched by the paper:
+   sign each message with a one-time key that is *deleted* before the
+   message is sent, having committed to the whole sequence of one-time
+   keys in advance.
+
+   This module implements that scheme:
+   - [create] derives [epochs] one-time key pairs from a master seed
+     and publishes a Merkle commitment over the one-time public keys;
+   - [sign] signs with the epoch's key and attaches the public key and
+     its Merkle inclusion proof;
+   - [retire] deletes every signer up to an epoch - once retired, not
+     even the key's owner can produce another signature for it;
+   - [verify] checks the inclusion proof against the commitment, then
+     the one-time signature.
+
+   An epoch here is abstract; Algorand would use one epoch per
+   (round, step). *)
+
+type signed = {
+  epoch : int;
+  one_time_pk : string;
+  proof : Merkle.proof;
+  signature : string;
+}
+
+type t = {
+  scheme : Signature_scheme.scheme;
+  signers : Signature_scheme.signer option array;  (** None once retired *)
+  public_keys : string list;  (** all one-time pks, for proof generation *)
+  commitment : string;
+}
+
+let create ~(scheme : Signature_scheme.scheme) ~(seed : string) ~(epochs : int) :
+    t * string =
+  if epochs <= 0 then invalid_arg "Ephemeral.create: epochs must be positive";
+  let pairs =
+    List.init epochs (fun e ->
+        scheme.generate ~seed:(Printf.sprintf "ephemeral|%s|%d" seed e))
+  in
+  let signers = Array.of_list (List.map (fun (s, _) -> Some s) pairs) in
+  let public_keys = List.map snd pairs in
+  let commitment = Merkle.root public_keys in
+  ({ scheme; signers; public_keys; commitment }, commitment)
+
+let epochs (t : t) : int = Array.length t.signers
+
+let commitment (t : t) : string = t.commitment
+
+(* Sign for [epoch] and immediately delete the key: forward security
+   means the signing capability is gone before the message leaves. *)
+let sign (t : t) ~(epoch : int) (msg : string) : signed option =
+  if epoch < 0 || epoch >= Array.length t.signers then None
+  else begin
+    match t.signers.(epoch) with
+    | None -> None (* retired: not even the owner can sign again *)
+    | Some signer ->
+      t.signers.(epoch) <- None;
+      let one_time_pk = List.nth t.public_keys epoch in
+      let proof =
+        match Merkle.prove t.public_keys ~index:epoch with
+        | Some p -> p
+        | None -> assert false
+      in
+      Some { epoch; one_time_pk; proof; signature = signer.sign msg }
+  end
+
+(* Proactively delete all keys up to and including [epoch] (e.g. when a
+   user observes the network has moved past a round it never voted in). *)
+let retire (t : t) ~(epoch : int) : unit =
+  for e = 0 to min epoch (Array.length t.signers - 1) do
+    t.signers.(e) <- None
+  done
+
+let is_retired (t : t) ~(epoch : int) : bool =
+  epoch >= 0 && epoch < Array.length t.signers && t.signers.(epoch) = None
+
+let verify ~(scheme : Signature_scheme.scheme) ~(commitment : string) ~(msg : string)
+    (s : signed) : bool =
+  s.proof.leaf_index = s.epoch
+  && Merkle.verify ~root:commitment ~leaf:s.one_time_pk s.proof
+  && scheme.verify ~pk:s.one_time_pk ~msg ~signature:s.signature
+
+let signed_size_bytes (s : signed) : int =
+  8 + String.length s.one_time_pk + Merkle.proof_size_bytes s.proof
+  + String.length s.signature

@@ -1,0 +1,34 @@
+(** Forward-secure ephemeral signing keys (section 11, "forward
+    security"): one-time keys committed to in advance via a Merkle
+    root, deleted at (or before) use, so corrupting a user later cannot
+    forge its past committee votes. *)
+
+type signed = {
+  epoch : int;
+  one_time_pk : string;
+  proof : Merkle.proof;  (** inclusion of [one_time_pk] in the commitment *)
+  signature : string;
+}
+
+type t
+
+val create : scheme:Signature_scheme.scheme -> seed:string -> epochs:int -> t * string
+(** Derive [epochs] one-time key pairs; returns the key store and the
+    public Merkle commitment. @raise Invalid_argument on epochs <= 0. *)
+
+val epochs : t -> int
+val commitment : t -> string
+
+val sign : t -> epoch:int -> string -> signed option
+(** Sign with the epoch's one-time key and delete it immediately;
+    [None] when out of range or already used/retired. *)
+
+val retire : t -> epoch:int -> unit
+(** Delete every key up to and including [epoch]. *)
+
+val is_retired : t -> epoch:int -> bool
+
+val verify :
+  scheme:Signature_scheme.scheme -> commitment:string -> msg:string -> signed -> bool
+
+val signed_size_bytes : signed -> int

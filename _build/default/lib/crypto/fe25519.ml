@@ -1,0 +1,178 @@
+(* Fixed-size field arithmetic for GF(p), p = 2^255 - 19.
+
+   The generic Nat-based field ops in Ed25519.Fp allocate variable-size
+   arrays and renormalize on every step; this module uses a fixed
+   10-limb base-2^26 representation in native ints, with fused
+   multiply-and-fold reduction, making scalar multiplication several
+   times faster. Discipline: every public operation takes and returns
+   *canonical* values (limbs < 2^26, top limb < 2^22, value < p), so
+   intermediate bounds are easy to audit:
+
+   - a schoolbook product limb is at most 19 * (2^26)^2 < 2^57, safely
+     inside a 63-bit native int;
+   - limb 10+k of a product is worth 2^(260+26k) = 608 * 2^26k (mod p)
+     since 2^255 = 19 (mod p) and 260 - 255 = 5, 19 * 2^5 = 608.
+
+   The test suite cross-checks every operation against the Nat oracle
+   on random values. *)
+
+let limbs = 10
+let limb_bits = 26
+let limb_mask = (1 lsl limb_bits) - 1
+
+type t = int array (* canonical: 10 limbs, value < p *)
+
+(* p in limb form: [2^26-19; 2^26-1 x8; 2^21-1]. *)
+let p_limbs =
+  Array.init limbs (fun i ->
+      if i = 0 then limb_mask - 18 else if i = 9 then (1 lsl 21) - 1 else limb_mask)
+
+(* 2p in limb form (for subtraction staging): [2^27-38; 2^27-2 x8; 2^22-2]. *)
+let two_p_limbs = Array.map (fun l -> 2 * l) p_limbs
+
+let zero () : t = Array.make limbs 0
+
+let one () : t =
+  let a = zero () in
+  a.(0) <- 1;
+  a
+
+(* Compare as field values (canonical form assumed). *)
+let compare_t (a : t) (b : t) : int =
+  let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+  go (limbs - 1)
+
+let equal (a : t) (b : t) : bool = compare_t a b = 0
+
+let ge_p (a : t) : bool =
+  let rec go i =
+    if i < 0 then true
+    else if a.(i) > p_limbs.(i) then true
+    else if a.(i) < p_limbs.(i) then false
+    else go (i - 1)
+  in
+  go (limbs - 1)
+
+let sub_p_in_place (a : t) : unit =
+  let borrow = ref 0 in
+  for i = 0 to limbs - 1 do
+    let d = a.(i) - p_limbs.(i) - !borrow in
+    if d < 0 then begin
+      a.(i) <- d + limb_mask + 1;
+      borrow := 1
+    end
+    else begin
+      a.(i) <- d;
+      borrow := 0
+    end
+  done
+
+(* Carry-propagate nonnegative limbs (each < 2^62), folding overflow
+   beyond bit 260 back with 2^260 = 608 (mod p), then fully
+   canonicalize. *)
+let canonicalize (a : int array) : t =
+  let fold = ref 0 in
+  let pass () =
+    (* carry chain *)
+    let carry = ref 0 in
+    for i = 0 to limbs - 1 do
+      let v = a.(i) + !carry + if i = 0 then !fold * 608 else 0 in
+      a.(i) <- v land limb_mask;
+      carry := v asr limb_bits
+    done;
+    fold := !carry
+  in
+  pass ();
+  (* One more pass folds any remaining overflow (at most a few bits). *)
+  while !fold <> 0 do
+    pass ()
+  done;
+  (* Now value < 2^260; fold bits 255..259 (top limb bits 21..25). *)
+  let top = a.(9) asr 21 in
+  if top <> 0 then begin
+    a.(9) <- a.(9) land ((1 lsl 21) - 1);
+    let v = a.(0) + (top * 19) in
+    a.(0) <- v land limb_mask;
+    let carry = ref (v asr limb_bits) in
+    let i = ref 1 in
+    while !carry <> 0 && !i < limbs do
+      let v = a.(!i) + !carry in
+      a.(!i) <- v land limb_mask;
+      carry := v asr limb_bits;
+      incr i
+    done
+  end;
+  (* Value < 2^255 + small; at most two subtractions of p. *)
+  if ge_p a then sub_p_in_place a;
+  if ge_p a then sub_p_in_place a;
+  a
+
+let add (a : t) (b : t) : t =
+  canonicalize (Array.init limbs (fun i -> a.(i) + b.(i)))
+
+(* a - b = a + (2p - b); all stage values nonnegative for canonical b. *)
+let sub (a : t) (b : t) : t =
+  canonicalize (Array.init limbs (fun i -> a.(i) + two_p_limbs.(i) - b.(i)))
+
+let neg (a : t) : t = sub (zero ()) a
+
+let mul (a : t) (b : t) : t =
+  let prod = Array.make (2 * limbs) 0 in
+  for i = 0 to limbs - 1 do
+    let ai = a.(i) in
+    if ai <> 0 then
+      for j = 0 to limbs - 1 do
+        prod.(i + j) <- prod.(i + j) + (ai * b.(j))
+      done
+  done;
+  (* Carry-normalize the double-width product first (limbs are up to
+     ~2^57; multiplying those by 608 directly would overflow), then
+     fold: limb (10+k) is worth 608 * 2^26k. The product is below
+     p^2 < 2^510 < 2^520, so no carry escapes limb 19. *)
+  let carry = ref 0 in
+  for i = 0 to (2 * limbs) - 1 do
+    let v = prod.(i) + !carry in
+    prod.(i) <- v land limb_mask;
+    carry := v asr limb_bits
+  done;
+  let folded = Array.init limbs (fun k -> prod.(k) + (prod.(k + limbs) * 608)) in
+  canonicalize folded
+
+let sqr (a : t) : t = mul a a
+
+(* ------------------------------------------------------------------ *)
+(* Conversions and derived operations.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let of_nat (n : Nat.t) : t =
+  let n = Nat.rem n Ed25519_p.p in
+  Array.init limbs (fun i ->
+      match Nat.to_int_opt (Nat.low_bits (Nat.shift_right n (i * limb_bits)) limb_bits) with
+      | Some v -> v
+      | None -> assert false)
+
+let to_nat (a : t) : Nat.t =
+  let r = ref Nat.zero in
+  for i = limbs - 1 downto 0 do
+    r := Nat.add (Nat.shift_left !r limb_bits) (Nat.of_int a.(i))
+  done;
+  !r
+
+let of_int (x : int) : t = canonicalize (Array.init limbs (fun i -> if i = 0 then x else 0))
+
+(* Square-and-multiply over the fast field. *)
+let pow (base : t) (e : Nat.t) : t =
+  let result = ref (one ()) in
+  let b = ref base in
+  let bits = Nat.bit_length e in
+  for i = 0 to bits - 1 do
+    if Nat.testbit e i then result := mul !result !b;
+    if i < bits - 1 then b := sqr !b
+  done;
+  !result
+
+let inv (a : t) : t = pow a (Nat.sub Ed25519_p.p Nat.two)
+
+let is_zero (a : t) : bool = Array.for_all (fun l -> l = 0) a
+
+let copy : t -> t = Array.copy

@@ -1,0 +1,30 @@
+(** Fixed-limb arithmetic in GF(2{^255} - 19): ten 26-bit limbs in
+    native ints with fused multiply-and-fold reduction. Several times
+    faster than the generic [Nat] field ops, against which the test
+    suite cross-checks every operation. All public values are
+    canonical (fully reduced). *)
+
+type t
+
+val zero : unit -> t
+val one : unit -> t
+val of_int : int -> t
+val of_nat : Nat.t -> t
+(** Reduces mod p. *)
+
+val to_nat : t -> Nat.t
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val sqr : t -> t
+
+val pow : t -> Nat.t -> t
+(** Square-and-multiply exponentiation. *)
+
+val inv : t -> t
+(** Multiplicative inverse (Fermat). *)
+
+val copy : t -> t

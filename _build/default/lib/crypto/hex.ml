@@ -1,0 +1,19 @@
+(* Hexadecimal encoding of byte strings. *)
+
+let of_string (s : string) : string =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let digit_value c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Hex.to_string: invalid hex digit"
+
+let to_string (h : string) : string =
+  if String.length h mod 2 <> 0 then invalid_arg "Hex.to_string: odd length";
+  String.init
+    (String.length h / 2)
+    (fun i -> Char.chr ((digit_value h.[2 * i] lsl 4) lor digit_value h.[(2 * i) + 1]))

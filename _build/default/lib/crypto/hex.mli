@@ -1,0 +1,8 @@
+(** Hexadecimal encoding of byte strings. *)
+
+val of_string : string -> string
+(** [of_string bytes] is the lowercase hex rendering of [bytes]. *)
+
+val to_string : string -> string
+(** [to_string hex] decodes a hex string back to raw bytes.
+    @raise Invalid_argument on odd length or non-hex characters. *)

@@ -1,0 +1,13 @@
+(* HMAC-SHA256 (RFC 2104). *)
+
+let block_size = 64
+
+let sha256 ~key msg =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let pad c =
+    String.init block_size (fun i ->
+        let k = if i < String.length key then Char.code key.[i] else 0 in
+        Char.chr (k lxor c))
+  in
+  let ipad = pad 0x36 and opad = pad 0x5c in
+  Sha256.digest_concat [ opad; Sha256.digest_concat [ ipad; msg ] ]

@@ -1,0 +1,21 @@
+(** Binary Merkle trees with inclusion proofs. Used by blocks to commit
+    to their transaction list, enabling light-client payment
+    verification from certified headers (the "cost of joining" concern
+    of section 11). *)
+
+val leaf_hash : string -> string
+val node_hash : string -> string -> string
+val empty_root : string
+
+val root : string list -> string
+(** Root over leaf data (leaves hashed with a distinct tag; odd nodes
+    promoted unpaired; empty list gives [empty_root]). *)
+
+type side = Left | Right
+type proof = { leaf_index : int; path : (side * string) list }
+
+val prove : string list -> index:int -> proof option
+(** Inclusion proof for the [index]-th leaf; [None] out of range. *)
+
+val verify : root:string -> leaf:string -> proof -> bool
+val proof_size_bytes : proof -> int

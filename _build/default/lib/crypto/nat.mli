@@ -1,0 +1,57 @@
+(** Arbitrary-precision natural numbers (unsigned).
+
+    The representation is a little-endian array of 26-bit limbs. All
+    operations are functional; values are never mutated after creation.
+    This module backs the Ed25519 field/scalar arithmetic and the
+    sortition hash-interval comparisons. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+val is_zero : t -> bool
+val of_int : int -> t
+val to_int_opt : t -> int option
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** [sub a b] requires [a >= b]. @raise Invalid_argument on underflow. *)
+
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+val bit_length : t -> int
+val testbit : t -> int -> bool
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val low_bits : t -> int -> t
+(** [low_bits a k] is [a mod 2{^k}]. *)
+
+val divmod : t -> t -> t * t
+(** [divmod a d] is [(a / d, a mod d)]. @raise Division_by_zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+val mod_add : t -> t -> t -> t
+val mod_sub : t -> t -> t -> t
+val mod_mul : t -> t -> t -> t
+
+val mod_pow : t -> t -> t -> t
+(** [mod_pow m base e] is [base{^e} mod m]. *)
+
+val mod_inv_prime : t -> t -> t
+(** [mod_inv_prime p a] is [a{^-1} mod p] for prime [p] (Fermat). *)
+
+val of_bytes_be : string -> t
+val of_bytes_le : string -> t
+
+val to_bytes_be : t -> len:int -> string
+(** @raise Invalid_argument if the value needs more than [len] bytes. *)
+
+val to_bytes_le : t -> len:int -> string
+val of_decimal : string -> t
+val to_decimal : t -> string
+val pp : Format.formatter -> t -> unit

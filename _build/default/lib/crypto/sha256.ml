@@ -1,0 +1,118 @@
+(* SHA-256 (FIPS 180-4), pure OCaml.
+
+   The round constants are the first 32 bits of the fractional parts of
+   the cube roots of the first 64 primes, and the initial hash state
+   comes from the square roots of the first 8 primes. Rather than
+   transcribing 72 magic words (and risking a silent typo), we derive
+   them exactly at module initialization with integer root extraction,
+   and the test suite pins the resulting digests to known vectors. *)
+
+let first_primes n =
+  let rec is_prime k d = d * d > k || (k mod d <> 0 && is_prime k (d + 1)) in
+  let rec collect acc k = if List.length acc = n then List.rev acc else collect (if is_prime k 2 then k :: acc else acc) (k + 1) in
+  collect [] 2
+
+(* Integer k-th root of [p * 2^(32k)]; the result fits easily in an int. *)
+let scaled_root ~k p =
+  let target = Nat.shift_left (Nat.of_int p) (32 * k) in
+  let pow_k x =
+    let nx = Nat.of_int x in
+    let rec go acc i = if i = 0 then acc else go (Nat.mul acc nx) (i - 1) in
+    go nx (k - 1)
+  in
+  let rec search lo hi =
+    (* invariant: lo^k <= target < (hi+1)^k *)
+    if lo = hi then lo
+    else begin
+      let mid = (lo + hi + 1) / 2 in
+      if Nat.compare (pow_k mid) target <= 0 then search mid hi else search lo (mid - 1)
+    end
+  in
+  search 0 (1 lsl 36)
+
+let mask32 = 0xFFFFFFFF
+
+let k_table =
+  lazy (Array.of_list (List.map (fun p -> scaled_root ~k:3 p land mask32) (first_primes 64)))
+
+let h_init =
+  lazy (Array.of_list (List.map (fun p -> scaled_root ~k:2 p land mask32) (first_primes 8)))
+
+let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
+
+let compress (h : int array) (block : string) (off : int) =
+  let k = Lazy.force k_table in
+  let w = Array.make 64 0 in
+  for t = 0 to 15 do
+    let b i = Char.code block.[off + (4 * t) + i] in
+    w.(t) <- (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+  done;
+  for t = 16 to 63 do
+    let s0 = rotr w.(t - 15) 7 lxor rotr w.(t - 15) 18 lxor (w.(t - 15) lsr 3) in
+    let s1 = rotr w.(t - 2) 17 lxor rotr w.(t - 2) 19 lxor (w.(t - 2) lsr 10) in
+    w.(t) <- (w.(t - 16) + s0 + w.(t - 7) + s1) land mask32
+  done;
+  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+  for t = 0 to 63 do
+    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+    let ch = (!e land !f) lxor (lnot !e land !g) in
+    let t1 = (!hh + s1 + ch + k.(t) + w.(t)) land mask32 in
+    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+    let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
+    let t2 = (s0 + maj) land mask32 in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := (!d + t1) land mask32;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := (t1 + t2) land mask32
+  done;
+  h.(0) <- (h.(0) + !a) land mask32;
+  h.(1) <- (h.(1) + !b) land mask32;
+  h.(2) <- (h.(2) + !c) land mask32;
+  h.(3) <- (h.(3) + !d) land mask32;
+  h.(4) <- (h.(4) + !e) land mask32;
+  h.(5) <- (h.(5) + !f) land mask32;
+  h.(6) <- (h.(6) + !g) land mask32;
+  h.(7) <- (h.(7) + !hh) land mask32
+
+let digest_length = 32
+
+let digest (msg : string) : string =
+  let h = Array.copy (Lazy.force h_init) in
+  let len = String.length msg in
+  let full_blocks = len / 64 in
+  for i = 0 to full_blocks - 1 do
+    compress h msg (i * 64)
+  done;
+  (* Padding: 0x80, zeroes, then the 64-bit big-endian bit length. *)
+  let rem = len - (full_blocks * 64) in
+  let pad_len = if rem < 56 then 64 else 128 in
+  let tail = Bytes.make pad_len '\000' in
+  Bytes.blit_string msg (full_blocks * 64) tail 0 rem;
+  Bytes.set tail rem '\x80';
+  let bitlen = len * 8 in
+  for i = 0 to 7 do
+    Bytes.set tail (pad_len - 1 - i) (Char.chr ((bitlen lsr (8 * i)) land 0xff))
+  done;
+  let tail = Bytes.unsafe_to_string tail in
+  compress h tail 0;
+  if pad_len = 128 then compress h tail 64;
+  String.init 32 (fun i -> Char.chr ((h.(i / 4) lsr (8 * (3 - (i mod 4)))) land 0xff))
+
+let digest_hex msg = Hex.of_string (digest msg)
+
+let digest_concat parts = digest (String.concat "" parts)
+
+(* A short (62-bit) nonnegative int view of a digest, handy for seeding
+   simulation RNGs from protocol-level hashes. *)
+let digest_int msg =
+  let d = digest msg in
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code d.[i]
+  done;
+  !v land max_int

@@ -1,0 +1,17 @@
+(** SHA-256 (FIPS 180-4), pure OCaml, constants derived at init time. *)
+
+val digest_length : int
+(** 32 bytes. *)
+
+val digest : string -> string
+(** [digest msg] is the 32-byte SHA-256 digest of [msg]. *)
+
+val digest_hex : string -> string
+(** [digest_hex msg] is the digest rendered as lowercase hex. *)
+
+val digest_concat : string list -> string
+(** [digest_concat parts] hashes the concatenation of [parts]. *)
+
+val digest_int : string -> int
+(** A 62-bit nonnegative integer folded from the digest prefix; used to
+    seed deterministic simulation RNGs from protocol hashes. *)

@@ -1,0 +1,32 @@
+(* Pluggable signature scheme, mirroring the two VRF implementations:
+   [ed25519] is the real Schnorr scheme; [sim] is a recomputable hash
+   tag with the same interface and sizes, used by large-scale
+   simulations where the paper, too, elides cryptographic verification
+   cost (section 10.1). *)
+
+type signer = { sign : string -> string }
+
+type scheme = {
+  name : string;
+  generate : seed:string -> signer * string;  (** seed -> (signer, public key) *)
+  verify : pk:string -> msg:string -> signature:string -> bool;
+  signature_length : int;
+}
+
+let ed25519 : scheme =
+  let generate ~seed =
+    let sk = Ed25519.generate ~seed in
+    ({ sign = (fun msg -> Ed25519.sign sk msg) }, Ed25519.public_key sk)
+  in
+  let verify ~pk ~msg ~signature = Ed25519.verify ~public:pk ~msg ~signature in
+  { name = "ed25519"; generate; verify; signature_length = Ed25519.signature_length }
+
+let sim : scheme =
+  let generate ~seed =
+    let pk = Sha256.digest_concat [ "simsig-key"; seed ] in
+    ({ sign = (fun msg -> Sha256.digest_concat [ "simsig"; pk; msg ]) }, pk)
+  in
+  let verify ~pk ~msg ~signature =
+    String.equal signature (Sha256.digest_concat [ "simsig"; pk; msg ])
+  in
+  { name = "sim"; generate; verify; signature_length = Sha256.digest_length }

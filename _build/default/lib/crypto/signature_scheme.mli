@@ -1,0 +1,15 @@
+(** Pluggable signature schemes, mirroring the two VRF implementations:
+    [ed25519] is real Schnorr; [sim] is a recomputable hash tag with
+    the same interface, for large-scale simulations. *)
+
+type signer = { sign : string -> string }
+
+type scheme = {
+  name : string;
+  generate : seed:string -> signer * string;  (** seed -> (signer, public key) *)
+  verify : pk:string -> msg:string -> signature:string -> bool;
+  signature_length : int;
+}
+
+val ed25519 : scheme
+val sim : scheme

@@ -1,0 +1,133 @@
+(* Verifiable random functions (Micali-Rabin-Vadhan), two implementations
+   behind one closure-record interface:
+
+   - [ecvrf]: an ECVRF-style construction over the ed25519 curve
+     (try-and-increment hash-to-curve, Gamma = sk*H, Fiat-Shamir proof,
+     cofactor-cleared output), following the structure of the Goldberg
+     et al. VRF cited by the paper (section 9).
+
+   - [sim]: a hash-based stand-in with the same interface and the same
+     output distribution but no secrecy (outputs are derivable from the
+     public key). The paper itself replaces cryptographic verification
+     with sleeps when simulating 500,000 users (section 10.1); [sim]
+     plays that role for our large-scale simulations, with verification
+     cost modeled by the simulator instead of burned in CPU. *)
+
+type prover = { prove : string -> string * string  (** input -> (hash, proof) *) }
+
+type scheme = {
+  name : string;
+  generate : seed:string -> prover * string;  (** seed -> (prover, public key) *)
+  verify : pk:string -> input:string -> proof:string -> string option;
+      (** Returns the VRF hash iff the proof is valid for [pk] and [input]. *)
+  proof_length : int;
+  output_length : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* ECVRF over ed25519.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let hash_to_curve (input : string) : Ed25519.point =
+  let rec attempt ctr =
+    if ctr > 255 then failwith "Vrf.hash_to_curve: no point found (probability ~2^-256)"
+    else begin
+      let candidate =
+        Sha256.digest_concat [ "vrf-h2c"; input; String.make 1 (Char.chr ctr) ]
+      in
+      match Ed25519.decode candidate with
+      | Some p ->
+        (* Multiply by the cofactor 8 so the point lies in the prime
+           subgroup; reject the (negligible) identity outcome. *)
+        let p8 = Ed25519.double (Ed25519.double (Ed25519.double p)) in
+        if Ed25519.equal_points p8 Ed25519.identity then attempt (ctr + 1) else p8
+      | None -> attempt (ctr + 1)
+    end
+  in
+  attempt 0
+
+let challenge ~h_enc ~gamma_enc ~u_enc ~v_enc : Nat.t =
+  (* 128-bit Fiat-Shamir challenge. *)
+  Nat.low_bits
+    (Nat.of_bytes_le (Sha256.digest_concat [ "vrf-chal"; h_enc; gamma_enc; u_enc; v_enc ]))
+    128
+
+let output_of_gamma gamma = Sha256.digest_concat [ "vrf-out"; Ed25519.encode gamma ]
+
+let ecvrf : scheme =
+  let proof_length = 32 + 16 + 32 in
+  let generate ~seed =
+    let sk = Ed25519.generate ~seed:("vrf-" ^ seed) in
+    let pk = Ed25519.public_key sk in
+    let a = Ed25519.secret_scalar sk in
+    let prove input =
+      let h = hash_to_curve input in
+      let h_enc = Ed25519.encode h in
+      let gamma = Ed25519.scalar_mult a h in
+      let gamma_enc = Ed25519.encode gamma in
+      let k =
+        Nat.add Nat.one
+          (Nat.rem
+             (Nat.of_bytes_le
+                (Sha256.digest_concat [ "vrf-nonce"; Ed25519.secret_seed sk; input ]))
+             (Nat.sub Ed25519.order Nat.one))
+      in
+      let u_enc = Ed25519.encode (Ed25519.scalar_mult k Ed25519.base) in
+      let v_enc = Ed25519.encode (Ed25519.scalar_mult k h) in
+      let c = challenge ~h_enc ~gamma_enc ~u_enc ~v_enc in
+      let s = Nat.rem (Nat.add k (Nat.mul c a)) Ed25519.order in
+      let proof = gamma_enc ^ Nat.to_bytes_le c ~len:16 ^ Nat.to_bytes_le s ~len:32 in
+      (output_of_gamma gamma, proof)
+    in
+    ({ prove }, pk)
+  in
+  let verify ~pk ~input ~proof =
+    if String.length proof <> proof_length then None
+    else begin
+      let gamma_enc = String.sub proof 0 32 in
+      let c = Nat.of_bytes_le (String.sub proof 32 16) in
+      let s = Nat.of_bytes_le (String.sub proof 48 32) in
+      if Nat.compare s Ed25519.order >= 0 then None
+      else begin
+        match (Ed25519.decode gamma_enc, Ed25519.decode pk) with
+        | Some gamma, Some a_pt ->
+          let h = hash_to_curve input in
+          let h_enc = Ed25519.encode h in
+          (* U = s*B - c*A,  V = s*H - c*Gamma *)
+          let u =
+            Ed25519.add
+              (Ed25519.scalar_mult s Ed25519.base)
+              (Ed25519.neg (Ed25519.scalar_mult c a_pt))
+          in
+          let v =
+            Ed25519.add
+              (Ed25519.scalar_mult s h)
+              (Ed25519.neg (Ed25519.scalar_mult c gamma))
+          in
+          let c' =
+            challenge ~h_enc ~gamma_enc ~u_enc:(Ed25519.encode u)
+              ~v_enc:(Ed25519.encode v)
+          in
+          if Nat.equal c c' then Some (output_of_gamma gamma) else None
+        | _ -> None
+      end
+    end
+  in
+  { name = "ecvrf"; generate; verify; proof_length; output_length = 32 }
+
+(* ------------------------------------------------------------------ *)
+(* Simulation VRF: distribution-faithful, zero-cost, no secrecy.       *)
+(* ------------------------------------------------------------------ *)
+
+let sim : scheme =
+  let generate ~seed =
+    (* pk doubles as the (publicly known) key material: correct selection
+       distribution, no privacy. See DESIGN.md, substitution 3. *)
+    let pk = Sha256.digest_concat [ "simvrf-key"; seed ] in
+    let prove input = (Sha256.digest_concat [ "simvrf-out"; pk; input ], "") in
+    ({ prove }, pk)
+  in
+  let verify ~pk ~input ~proof =
+    if proof <> "" then None else Some (Sha256.digest_concat [ "simvrf-out"; pk; input ])
+  in
+  { name = "sim"; generate; verify; proof_length = 0; output_length = 32 }

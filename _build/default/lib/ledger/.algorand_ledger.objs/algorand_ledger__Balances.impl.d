@@ -1,0 +1,1 @@
+lib/ledger/balances.ml: Format List Map Result String Transaction

@@ -1,0 +1,1 @@
+lib/ledger/balances.mli: Format Transaction

@@ -1,0 +1,1 @@
+lib/ledger/block.ml: Algorand_crypto Format Hex List Merkle Option Sha256 String Transaction Wire

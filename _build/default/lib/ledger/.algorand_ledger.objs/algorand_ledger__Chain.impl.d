@@ -1,0 +1,1 @@
+lib/ledger/chain.ml: Algorand_crypto Balances Block Format Genesis Hashtbl List Map String

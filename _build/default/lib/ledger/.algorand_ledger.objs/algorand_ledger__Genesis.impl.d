@@ -1,0 +1,1 @@
+lib/ledger/genesis.ml: Algorand_crypto Balances Block List Sha256 String

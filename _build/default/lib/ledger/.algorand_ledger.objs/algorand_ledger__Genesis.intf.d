@@ -1,0 +1,1 @@
+lib/ledger/genesis.mli: Balances Block

@@ -1,0 +1,1 @@
+lib/ledger/storage.ml: Algorand_crypto Sha256

@@ -1,0 +1,1 @@
+lib/ledger/transaction.ml: Algorand_crypto Format Hex Sha256 Signature_scheme String Wire

@@ -1,0 +1,1 @@
+lib/ledger/transaction.mli: Algorand_crypto Format Signature_scheme

@@ -1,0 +1,1 @@
+lib/ledger/txpool.ml: List Queue Set String Transaction

@@ -1,0 +1,1 @@
+lib/ledger/wire.ml: Char List String

@@ -1,0 +1,59 @@
+(* The account state derived from a chain prefix: per-key balances (the
+   sortition weights of section 5.1) and per-key nonces. Purely
+   functional so that fork branches can share prefixes cheaply. *)
+
+module Smap = Map.Make (String)
+
+type t = { balances : int Smap.t; nonces : int Smap.t; total : int }
+
+let empty = { balances = Smap.empty; nonces = Smap.empty; total = 0 }
+
+let balance (t : t) (pk : string) : int =
+  match Smap.find_opt pk t.balances with Some b -> b | None -> 0
+
+let nonce (t : t) (pk : string) : int =
+  match Smap.find_opt pk t.nonces with Some n -> n | None -> 0
+
+let total (t : t) : int = t.total
+
+let credit (t : t) (pk : string) (amount : int) : t =
+  {
+    t with
+    balances = Smap.add pk (balance t pk + amount) t.balances;
+    total = t.total + amount;
+  }
+
+type tx_error = [ `Bad_nonce of int * int | `Insufficient_balance of int * int ]
+
+let pp_tx_error fmt = function
+  | `Bad_nonce (expected, got) -> Format.fprintf fmt "bad nonce: expected %d, got %d" expected got
+  | `Insufficient_balance (have, want) ->
+    Format.fprintf fmt "insufficient balance: have %d, want %d" have want
+
+(* Validate and apply one transaction. *)
+let apply_tx (t : t) (tx : Transaction.t) : (t, tx_error) result =
+  let expected = nonce t tx.sender in
+  if tx.nonce <> expected then Error (`Bad_nonce (expected, tx.nonce))
+  else begin
+    let have = balance t tx.sender in
+    if have < tx.amount then Error (`Insufficient_balance (have, tx.amount))
+    else
+      Ok
+        {
+          balances =
+            t.balances
+            |> Smap.add tx.sender (have - tx.amount)
+            |> Smap.add tx.recipient (balance t tx.recipient + tx.amount);
+          nonces = Smap.add tx.sender (expected + 1) t.nonces;
+          total = t.total;
+        }
+  end
+
+let apply_all (t : t) (txs : Transaction.t list) : (t, tx_error) result =
+  List.fold_left
+    (fun acc tx -> Result.bind acc (fun st -> apply_tx st tx))
+    (Ok t) txs
+
+let weights (t : t) : (string * int) list = Smap.bindings t.balances
+
+let holders (t : t) : int = Smap.cardinal t.balances

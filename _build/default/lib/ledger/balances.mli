@@ -1,0 +1,23 @@
+(** Account state derived from a chain prefix: balances (the sortition
+    weights of section 5.1) and per-key nonces. Purely functional so
+    fork branches share prefixes. *)
+
+type t
+
+val empty : t
+val balance : t -> string -> int
+val nonce : t -> string -> int
+val total : t -> int
+val credit : t -> string -> int -> t
+
+type tx_error = [ `Bad_nonce of int * int | `Insufficient_balance of int * int ]
+
+val pp_tx_error : Format.formatter -> tx_error -> unit
+
+val apply_tx : t -> Transaction.t -> (t, tx_error) result
+(** Validate (nonce, balance) and apply one payment. *)
+
+val apply_all : t -> Transaction.t list -> (t, tx_error) result
+
+val weights : t -> (string * int) list
+val holders : t -> int

@@ -1,0 +1,159 @@
+(* The block store a user maintains. Because BA* can produce tentative
+   consensus on different blocks under weak synchrony, the store is a
+   tree: every accepted block is indexed by hash with a parent pointer,
+   and the user tracks which leaf it currently extends. Balances after
+   each block are cached so sortition weight lookups (which may look
+   back several rounds, section 5.3) are O(log n).
+
+   Safety-critical invariant maintained here: a block marked *final*
+   at some round is the unique final block for that round, and the
+   current tip always descends from every final block. *)
+
+type entry = {
+  block : Block.t;
+  hash : string;
+  parent : string;
+  height : int;  (** number of blocks from genesis; equals the round *)
+  balances_after : Balances.t;
+  seed : string;  (** the sortition seed this block establishes for its round+1 *)
+  mutable final : bool;
+}
+
+module Smap = Map.Make (String)
+
+type t = {
+  mutable entries : entry Smap.t;
+  mutable tip : string;  (** hash of the block this user currently extends *)
+  genesis_hash : string;
+}
+
+let create (genesis : Genesis.t) : t =
+  let ghash = Genesis.hash genesis in
+  let entry =
+    {
+      block = genesis.block;
+      hash = ghash;
+      parent = String.make 32 '\000';
+      height = 0;
+      balances_after = genesis.balances;
+      seed = genesis.seed0;
+      final = true;
+    }
+  in
+  { entries = Smap.add ghash entry Smap.empty; tip = ghash; genesis_hash = ghash }
+
+let find (t : t) (hash : string) : entry option = Smap.find_opt hash t.entries
+let mem (t : t) (hash : string) : bool = Smap.mem hash t.entries
+let tip (t : t) : entry = Smap.find t.tip t.entries
+let genesis_entry (t : t) : entry = Smap.find t.genesis_hash t.entries
+
+type add_error =
+  [ `Unknown_parent
+  | `Wrong_round of int * int
+  | `Invalid_tx of Balances.tx_error
+  | `Duplicate ]
+
+let pp_add_error fmt = function
+  | `Unknown_parent -> Format.fprintf fmt "unknown parent"
+  | `Wrong_round (expected, got) ->
+    Format.fprintf fmt "wrong round: expected %d, got %d" expected got
+  | `Invalid_tx e -> Format.fprintf fmt "invalid tx: %a" Balances.pp_tx_error e
+  | `Duplicate -> Format.fprintf fmt "duplicate block"
+
+(* [derive_seed] computes the seed this block establishes: the block's
+   own (verified) seed field, or H(parent_seed || round) for empty /
+   seedless blocks (section 5.2). Seed *verification* is the caller's
+   job (it needs the proposer VRF); here we only thread the value. *)
+let derive_seed ~(parent_seed : string) (b : Block.t) : string =
+  if String.equal b.header.seed "" then
+    Algorand_crypto.Sha256.digest_concat
+      [ "empty-seed"; parent_seed; string_of_int (Block.round b) ]
+  else b.header.seed
+
+let add (t : t) (b : Block.t) : (entry, add_error) result =
+  let h = Block.hash b in
+  if Smap.mem h t.entries then Error `Duplicate
+  else begin
+    match Smap.find_opt (Block.prev_hash b) t.entries with
+    | None -> Error `Unknown_parent
+    | Some parent ->
+      if Block.round b <> parent.height + 1 then
+        Error (`Wrong_round (parent.height + 1, Block.round b))
+      else begin
+        match Balances.apply_all parent.balances_after b.txs with
+        | Error e -> Error (`Invalid_tx e)
+        | Ok balances_after ->
+          let entry =
+            {
+              block = b;
+              hash = h;
+              parent = parent.hash;
+              height = parent.height + 1;
+              balances_after;
+              seed = derive_seed ~parent_seed:parent.seed b;
+              final = false;
+            }
+          in
+          t.entries <- Smap.add h entry t.entries;
+          Ok entry
+      end
+  end
+
+let set_tip (t : t) (hash : string) : unit =
+  if not (Smap.mem hash t.entries) then invalid_arg "Chain.set_tip: unknown block";
+  t.tip <- hash
+
+let mark_final (t : t) (hash : string) : unit =
+  match Smap.find_opt hash t.entries with
+  | None -> invalid_arg "Chain.mark_final: unknown block"
+  | Some e -> e.final <- true
+
+(* Walk from [hash] back toward genesis, returning entries tip-first. *)
+let ancestry (t : t) (hash : string) : entry list =
+  let rec go h acc =
+    match Smap.find_opt h t.entries with
+    | None -> acc
+    | Some e -> if e.height = 0 then e :: acc else go e.parent (e :: acc)
+  in
+  List.rev (go hash [])
+
+(* The entry at [height] on the path from [hash] to genesis. *)
+let ancestor_at (t : t) ~(hash : string) ~(height : int) : entry option =
+  let rec go h =
+    match Smap.find_opt h t.entries with
+    | None -> None
+    | Some e -> if e.height = height then Some e else if e.height < height then None else go e.parent
+  in
+  go hash
+
+(* All current leaves (blocks with no children), i.e. fork tips. *)
+let leaves (t : t) : entry list =
+  let has_child = Hashtbl.create 16 in
+  Smap.iter (fun _ e -> Hashtbl.replace has_child e.parent ()) t.entries;
+  Smap.fold (fun h e acc -> if Hashtbl.mem has_child h then acc else e :: acc) t.entries []
+
+(* The longest fork (by height, ties broken by hash for determinism) -
+   the recovery protocol proposes this (section 8.2). *)
+let longest_leaf (t : t) : entry =
+  match leaves t with
+  | [] -> assert false
+  | first :: rest ->
+    List.fold_left
+      (fun best e ->
+        if e.height > best.height || (e.height = best.height && String.compare e.hash best.hash < 0)
+        then e
+        else best)
+      first rest
+
+(* Does [ancestor] lie on the path from [hash] to genesis? *)
+let descends_from (t : t) ~(hash : string) ~(ancestor : string) : bool =
+  let rec go h =
+    String.equal h ancestor
+    ||
+    match Smap.find_opt h t.entries with
+    | None -> false
+    | Some e -> e.height > 0 && go e.parent
+  in
+  go hash
+
+let size (t : t) : int = Smap.cardinal t.entries

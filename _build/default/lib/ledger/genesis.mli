@@ -1,0 +1,15 @@
+(** Bootstrapping (section 8.3): the common genesis block with initial
+    balances and seed_0 (modeled distributed randomness: a hash over
+    all initial keys and a public nonce). *)
+
+type t = {
+  block : Block.t;
+  balances : Balances.t;
+  seed0 : string;
+}
+
+val make : ?nonce:string -> (string * int) list -> t
+(** [make allocations] with positive initial stakes.
+    @raise Invalid_argument on empty or non-positive allocations. *)
+
+val hash : t -> string

@@ -1,0 +1,19 @@
+(* Block/certificate storage sharding (section 8.3): for N shards, a
+   user stores the blocks and certificates whose round number equals
+   (their public key mod N). This module captures the assignment rule
+   and the storage-cost accounting reported in section 10.3. *)
+
+open Algorand_crypto
+
+let shard_of_pk ~(shards : int) (pk : string) : int =
+  if shards <= 0 then invalid_arg "Storage.shard_of_pk";
+  Sha256.digest_int pk mod shards
+
+let stores ~(shards : int) ~(pk : string) ~(round : int) : bool =
+  shards = 1 || round mod shards = shard_of_pk ~shards pk
+
+(* Expected bytes a user stores per appended block: the block plus its
+   certificate, divided across shards. *)
+let per_block_cost_bytes ~(shards : int) ~(block_bytes : int) ~(certificate_bytes : int) :
+    float =
+  float_of_int (block_bytes + certificate_bytes) /. float_of_int (max 1 shards)

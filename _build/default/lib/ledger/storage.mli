@@ -1,0 +1,8 @@
+(** Block/certificate storage sharding (section 8.3): a user stores the
+    rounds matching its key modulo the shard count. *)
+
+val shard_of_pk : shards:int -> string -> int
+val stores : shards:int -> pk:string -> round:int -> bool
+
+val per_block_cost_bytes : shards:int -> block_bytes:int -> certificate_bytes:int -> float
+(** Expected bytes stored per appended block (section 10.3). *)

@@ -1,0 +1,54 @@
+(* Signed payment transactions. Each payment moves [amount] currency
+   units from [sender] to [recipient]; the per-sender [nonce] makes
+   every transaction unique and gives the ledger a replay/double-spend
+   rejection rule (a transaction is valid only when its nonce equals
+   the sender's current sequence number). *)
+
+open Algorand_crypto
+
+type t = {
+  sender : string;  (** public key *)
+  recipient : string;  (** public key *)
+  amount : int;
+  nonce : int;
+  signature : string;
+}
+
+let body ~sender ~recipient ~amount ~nonce =
+  Wire.concat [ "pay"; sender; recipient; Wire.u64 amount; Wire.u64 nonce ]
+
+let make ~(signer : Signature_scheme.signer) ~sender ~recipient ~amount ~nonce : t =
+  if amount < 0 then invalid_arg "Transaction.make: negative amount";
+  let signature = signer.sign (body ~sender ~recipient ~amount ~nonce) in
+  { sender; recipient; amount; nonce; signature }
+
+let serialize (t : t) : string =
+  Wire.concat [ t.sender; t.recipient; Wire.u64 t.amount; Wire.u64 t.nonce; t.signature ]
+
+let deserialize (s : string) : t option =
+  match Wire.split s with
+  | [ sender; recipient; amount; nonce; signature ] ->
+    Some
+      {
+        sender;
+        recipient;
+        amount = Wire.read_u64 amount 0;
+        nonce = Wire.read_u64 nonce 0;
+        signature;
+      }
+  | _ | (exception Invalid_argument _) -> None
+
+let id (t : t) : string = Sha256.digest (serialize t)
+
+let verify_signature ~(scheme : Signature_scheme.scheme) (t : t) : bool =
+  scheme.verify ~pk:t.sender
+    ~msg:(body ~sender:t.sender ~recipient:t.recipient ~amount:t.amount ~nonce:t.nonce)
+    ~signature:t.signature
+
+let size_bytes (t : t) : int = String.length (serialize t)
+
+let pp fmt (t : t) =
+  Format.fprintf fmt "%s -> %s : %d (nonce %d)"
+    (Hex.of_string (String.sub t.sender 0 4))
+    (Hex.of_string (String.sub t.recipient 0 4))
+    t.amount t.nonce

@@ -1,0 +1,31 @@
+(** Signed payment transactions. The per-sender [nonce] equals the
+    sender's sequence number at application time, which is the ledger's
+    replay/double-spend rejection rule. *)
+
+open Algorand_crypto
+
+type t = {
+  sender : string;  (** public key *)
+  recipient : string;
+  amount : int;
+  nonce : int;
+  signature : string;
+}
+
+val make :
+  signer:Signature_scheme.signer ->
+  sender:string ->
+  recipient:string ->
+  amount:int ->
+  nonce:int ->
+  t
+(** @raise Invalid_argument on negative amounts. *)
+
+val serialize : t -> string
+val deserialize : string -> t option
+val id : t -> string
+(** SHA-256 of the canonical serialization. *)
+
+val verify_signature : scheme:Signature_scheme.scheme -> t -> bool
+val size_bytes : t -> int
+val pp : Format.formatter -> t -> unit

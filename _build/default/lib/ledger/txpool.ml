@@ -1,0 +1,78 @@
+(* The pending-transaction pool each user maintains (Figure 1): users
+   collect transactions from the gossip network so that, if selected as
+   a block proposer, they have a block ready. Deduplicated by
+   transaction id, drained in arrival order. *)
+
+module Sset = Set.Make (String)
+
+type t = {
+  mutable seen : Sset.t;
+  queue : Transaction.t Queue.t;
+  mutable bytes : int;
+}
+
+let create () = { seen = Sset.empty; queue = Queue.create (); bytes = 0 }
+
+(* Returns true if the transaction was new. *)
+let add (t : t) (tx : Transaction.t) : bool =
+  let id = Transaction.id tx in
+  if Sset.mem id t.seen then false
+  else begin
+    t.seen <- Sset.add id t.seen;
+    Queue.add tx t.queue;
+    t.bytes <- t.bytes + Transaction.size_bytes tx;
+    true
+  end
+
+let mem (t : t) (tx : Transaction.t) : bool = Sset.mem (Transaction.id tx) t.seen
+
+(* Select pending transactions up to [max_bytes] of serialized size
+   without removing them - block proposers use this: a proposal may
+   lose BA*, and only *committed* transactions should leave the pool
+   (via [remove_committed]). *)
+let select (t : t) ~(max_bytes : int) : Transaction.t list =
+  let acc = ref [] and used = ref 0 and full = ref false in
+  Queue.iter
+    (fun tx ->
+      if not !full then begin
+        let sz = Transaction.size_bytes tx in
+        if !used + sz > max_bytes then full := true
+        else begin
+          acc := tx :: !acc;
+          used := !used + sz
+        end
+      end)
+    t.queue;
+  List.rev !acc
+
+(* Take pending transactions up to [max_bytes] of serialized size,
+   removing them from the pool. *)
+let take (t : t) ~(max_bytes : int) : Transaction.t list =
+  let rec go acc used =
+    match Queue.peek_opt t.queue with
+    | None -> List.rev acc
+    | Some tx ->
+      let sz = Transaction.size_bytes tx in
+      if used + sz > max_bytes then List.rev acc
+      else begin
+        ignore (Queue.pop t.queue);
+        t.bytes <- t.bytes - sz;
+        go (tx :: acc) (used + sz)
+      end
+  in
+  go [] 0
+
+(* Drop transactions that made it into an agreed block. *)
+let remove_committed (t : t) (txs : Transaction.t list) : unit =
+  let committed = Sset.of_list (List.map Transaction.id txs) in
+  let keep = Queue.create () in
+  Queue.iter
+    (fun tx ->
+      if not (Sset.mem (Transaction.id tx) committed) then Queue.add tx keep
+      else t.bytes <- t.bytes - Transaction.size_bytes tx)
+    t.queue;
+  Queue.clear t.queue;
+  Queue.transfer keep t.queue
+
+let size (t : t) : int = Queue.length t.queue
+let bytes (t : t) : int = t.bytes

@@ -1,0 +1,23 @@
+(** The pending-transaction pool (Figure 1): deduplicated by id,
+    drained FIFO. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Transaction.t -> bool
+(** [true] iff the transaction was new. *)
+
+val mem : t -> Transaction.t -> bool
+
+val select : t -> max_bytes:int -> Transaction.t list
+(** Like [take] but non-destructive: what block proposers use, since a
+    losing proposal must not cost the pool its transactions. *)
+
+val take : t -> max_bytes:int -> Transaction.t list
+(** Remove and return pending transactions up to [max_bytes] of
+    serialized size, oldest first. *)
+
+val remove_committed : t -> Transaction.t list -> unit
+val size : t -> int
+val bytes : t -> int

@@ -1,0 +1,31 @@
+(* A minimal deterministic serialization: length-prefixed byte fields
+   and fixed-width integers. Canonical (one encoding per value), which
+   is what hashing block and transaction contents requires. *)
+
+let u64 (v : int) : string =
+  String.init 8 (fun i -> Char.chr ((v lsr (8 * (7 - i))) land 0xff))
+
+let read_u64 (s : string) (off : int) : int =
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  !v
+
+let field (s : string) : string = u64 (String.length s) ^ s
+
+let concat (fields : string list) : string = String.concat "" (List.map field fields)
+
+(* Inverse of [concat]. *)
+let split (s : string) : string list =
+  let n = String.length s in
+  let rec go off acc =
+    if off = n then List.rev acc
+    else if off + 8 > n then invalid_arg "Wire.split: truncated length"
+    else begin
+      let len = read_u64 s off in
+      if off + 8 + len > n then invalid_arg "Wire.split: truncated field"
+      else go (off + 8 + len) (String.sub s (off + 8) len :: acc)
+    end
+  in
+  go 0 []

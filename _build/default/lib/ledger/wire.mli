@@ -1,0 +1,15 @@
+(** Minimal canonical serialization: fixed-width integers and
+    length-prefixed fields. One encoding per value, suitable for
+    hashing. *)
+
+val u64 : int -> string
+(** 8-byte big-endian. *)
+
+val read_u64 : string -> int -> int
+val field : string -> string
+
+val concat : string list -> string
+(** Length-prefixed concatenation. *)
+
+val split : string -> string list
+(** Inverse of [concat]. @raise Invalid_argument on truncated input. *)

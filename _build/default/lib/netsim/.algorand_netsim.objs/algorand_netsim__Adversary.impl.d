@@ -1,0 +1,1 @@
+lib/netsim/adversary.ml: Algorand_sim Network

@@ -1,0 +1,1 @@
+lib/netsim/gossip.ml: Algorand_sim Array Hashtbl List Network Rng

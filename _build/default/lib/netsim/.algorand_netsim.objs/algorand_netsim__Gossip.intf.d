@@ -1,0 +1,1 @@
+lib/netsim/gossip.mli: Algorand_sim Network Rng

@@ -1,0 +1,1 @@
+lib/netsim/network.ml: Algorand_sim Array Engine Float Topology

@@ -1,0 +1,1 @@
+lib/netsim/topology.ml: Algorand_sim Array Float Rng

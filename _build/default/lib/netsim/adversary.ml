@@ -1,0 +1,45 @@
+(* Canned network adversaries for experiments (sections 3, 10.4):
+   partitions (weak synchrony), targeted message dropping (DoS on
+   chosen users), and uniform loss. These compose with the app-level
+   byzantine behaviors (equivocation, double voting) configured on
+   malicious nodes themselves. *)
+
+let none : 'msg Network.adversary = Network.no_adversary
+
+(* Sever all links between the two groups until [until]. *)
+let partition ~(group_of : int -> int) ~(until : float) : 'msg Network.adversary =
+ fun ~now ~src ~dst _ ->
+  if now < until && group_of src <> group_of dst then Network.Drop else Network.Deliver
+
+(* Drop everything sent by or to the targeted nodes (targeted DoS)
+   while [active] says so. *)
+let target_nodes ~(targeted : int -> bool) ~(active : float -> bool) :
+    'msg Network.adversary =
+ fun ~now ~src ~dst _ ->
+  if active now && (targeted src || targeted dst) then Network.Drop else Network.Deliver
+
+(* Drop each message independently with probability [p]. *)
+let uniform_loss ~(rng : Algorand_sim.Rng.t) ~(p : float) : 'msg Network.adversary =
+ fun ~now:_ ~src:_ ~dst:_ _ ->
+  if Algorand_sim.Rng.float rng 1.0 < p then Network.Drop else Network.Deliver
+
+(* Add [extra] seconds of delay to every message (degraded WAN). *)
+let uniform_delay ~(extra : float) : 'msg Network.adversary =
+ fun ~now:_ ~src:_ ~dst:_ _ -> Network.Delay extra
+
+(* Full adversarial scheduling for a time window: hold every message
+   until [release] (models the asynchronous period of weak synchrony -
+   messages are not lost, only arbitrarily delayed). *)
+let hold_until ~(release : float) : 'msg Network.adversary =
+ fun ~now ~src:_ ~dst:_ _ ->
+  if now < release then Network.Delay (release -. now) else Network.Deliver
+
+(* Chain adversaries: the first non-Deliver verdict wins. *)
+let compose (advs : 'msg Network.adversary list) : 'msg Network.adversary =
+ fun ~now ~src ~dst msg ->
+  let rec go = function
+    | [] -> Network.Deliver
+    | a :: rest -> (
+      match a ~now ~src ~dst msg with Network.Deliver -> go rest | verdict -> verdict)
+  in
+  go advs

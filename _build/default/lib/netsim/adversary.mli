@@ -1,0 +1,20 @@
+(** Canned network adversaries (sections 3 and 10.4). *)
+
+val none : 'msg Network.adversary
+
+val partition : group_of:(int -> int) -> until:float -> 'msg Network.adversary
+(** Sever all links between groups until [until]. *)
+
+val target_nodes :
+  targeted:(int -> bool) -> active:(float -> bool) -> 'msg Network.adversary
+(** Targeted DoS: drop everything to/from the targeted nodes. *)
+
+val uniform_loss : rng:Algorand_sim.Rng.t -> p:float -> 'msg Network.adversary
+val uniform_delay : extra:float -> 'msg Network.adversary
+
+val hold_until : release:float -> 'msg Network.adversary
+(** Full adversarial scheduling: delay (not drop) everything until
+    [release] - the asynchronous period of weak synchrony. *)
+
+val compose : 'msg Network.adversary list -> 'msg Network.adversary
+(** First non-Deliver verdict wins. *)

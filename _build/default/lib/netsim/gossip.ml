@@ -1,0 +1,124 @@
+(* The gossip overlay (section 4): each user connects to a small set of
+   peers, signs what it originates, validates before relaying, and
+   never relays the same message twice. Peer selection is weighted by
+   stake to mitigate pollution attacks, and peers are re-drawn every
+   round to heal possible disconnections (section 8.4).
+
+   The overlay is generic in the message type; the application supplies
+   a message id (for dedup), a validator (relay gating) and a delivery
+   callback. *)
+
+open Algorand_sim
+
+type 'msg config = {
+  msg_id : 'msg -> string;
+  validate : int -> 'msg -> bool;
+      (** [validate node msg]: relay (and deliver) only if true. *)
+  deliver : int -> src:int -> 'msg -> unit;
+  fanout : int;  (** outgoing peers per node; the paper uses 4 (8 total with inbound) *)
+}
+
+type 'msg t = {
+  net : 'msg Network.t;
+  config : 'msg config;
+  rng : Rng.t;
+  mutable peers : int list array;
+  seen : (string, unit) Hashtbl.t array;
+  mutable duplicates_dropped : int;
+  mutable invalid_dropped : int;
+}
+
+(* Draw peers for every node, weighted by stake. Each node initiates
+   [fanout] connections; like the paper's TCP links these are
+   bidirectional (a user "accepts incoming connections"), giving
+   2 * fanout neighbors on average and - crucially - leaving no node
+   without an inbound path. *)
+let draw_peers (t : 'msg t) ~(weights : float array) : unit =
+  let n = Network.nodes t.net in
+  let chosen = Array.init n (fun _ -> Hashtbl.create 8) in
+  for node = 0 to n - 1 do
+    let budget = min t.config.fanout (n - 1) in
+    (* Rejection-sample distinct weighted peers; cap attempts for tiny nets. *)
+    let attempts = ref 0 in
+    let picked = ref 0 in
+    while !picked < budget && !attempts < 50 * budget do
+      incr attempts;
+      let candidate = Rng.weighted_index t.rng weights in
+      if candidate <> node && not (Hashtbl.mem chosen.(node) candidate) then begin
+        Hashtbl.replace chosen.(node) candidate ();
+        Hashtbl.replace chosen.(candidate) node ();
+        incr picked
+      end
+    done
+  done;
+  for node = 0 to n - 1 do
+    t.peers.(node) <- Hashtbl.fold (fun k () acc -> k :: acc) chosen.(node) []
+  done
+
+let create ~(net : 'msg Network.t) ~(rng : Rng.t) ~(weights : float array)
+    (config : 'msg config) : 'msg t =
+  let n = Network.nodes net in
+  let t =
+    {
+      net;
+      config;
+      rng;
+      peers = Array.make n [];
+      seen = Array.init n (fun _ -> Hashtbl.create 64);
+      duplicates_dropped = 0;
+      invalid_dropped = 0;
+    }
+  in
+  draw_peers t ~weights;
+  let handle node ~src ~bytes:sz msg =
+    let id = config.msg_id msg in
+    if Hashtbl.mem t.seen.(node) id then t.duplicates_dropped <- t.duplicates_dropped + 1
+    else if not (config.validate node msg) then
+      (* Not marked seen: validation is stateful (e.g. the priority-
+         based block discard of section 6), so a copy arriving later -
+         when this node knows more - gets a fresh chance. *)
+      t.invalid_dropped <- t.invalid_dropped + 1
+    else begin
+      Hashtbl.replace t.seen.(node) id ();
+      config.deliver node ~src msg;
+      List.iter
+        (fun peer -> if peer <> src then Network.send net ~src:node ~dst:peer ~bytes:sz msg)
+        t.peers.(node)
+    end
+  in
+  for node = 0 to n - 1 do
+    Network.set_handler net node (handle node)
+  done;
+  t
+
+(* Originate a message at [node]: mark seen, deliver locally, forward. *)
+let broadcast (t : 'msg t) ~(node : int) ~(bytes : int) (msg : 'msg) : unit =
+  let id = t.config.msg_id msg in
+  if not (Hashtbl.mem t.seen.(node) id) then begin
+    Hashtbl.replace t.seen.(node) id ();
+    List.iter (fun peer -> Network.send t.net ~src:node ~dst:peer ~bytes msg) t.peers.(node)
+  end
+
+(* Forget dedup state older than the current round to bound memory; the
+   protocol never re-gossips old-round messages anyway. *)
+let flush_seen (t : 'msg t) : unit = Array.iter Hashtbl.reset t.seen
+
+(* Re-draw the whole peer graph (section 8.4: "Algorand replaces gossip
+   peers each round", healing nodes that landed in a disconnected
+   component). In-flight messages are unaffected. *)
+let redraw (t : 'msg t) ~(weights : float array) : unit = draw_peers t ~weights
+
+let duplicates_dropped (t : 'msg t) : int = t.duplicates_dropped
+let invalid_dropped (t : 'msg t) : int = t.invalid_dropped
+
+let peers (t : 'msg t) (node : int) : int list = t.peers.(node)
+
+(* Point-to-point send outside the overlay: block-fetch replies, and
+   byzantine senders that show different messages to different peers. *)
+let send_to (t : 'msg t) ~(src : int) ~(dst : int) ~(bytes : int) (msg : 'msg) : unit =
+  Network.send t.net ~src ~dst ~bytes msg
+
+(* Mark a message as seen at [node] without delivering it (used by
+   originators of direct sends so their own relays stay consistent). *)
+let mark_seen (t : 'msg t) ~(node : int) (msg : 'msg) : unit =
+  Hashtbl.replace t.seen.(node) (t.config.msg_id msg) ()

@@ -1,0 +1,37 @@
+(** The gossip overlay (section 4): stake-weighted bidirectional peer
+    links, validate-before-relay, at-most-once relay per message id. *)
+
+open Algorand_sim
+
+type 'msg config = {
+  msg_id : 'msg -> string;
+  validate : int -> 'msg -> bool;
+      (** Relay gate; stateful validators get re-asked on later copies
+          of a message they rejected. *)
+  deliver : int -> src:int -> 'msg -> unit;
+  fanout : int;  (** connections initiated per node (the paper uses 4) *)
+}
+
+type 'msg t
+
+val create :
+  net:'msg Network.t -> rng:Rng.t -> weights:float array -> 'msg config -> 'msg t
+
+val broadcast : 'msg t -> node:int -> bytes:int -> 'msg -> unit
+(** Originate a message at [node]. *)
+
+val peers : 'msg t -> int -> int list
+
+val send_to : 'msg t -> src:int -> dst:int -> bytes:int -> 'msg -> unit
+(** Point-to-point send outside the overlay (block-fetch replies,
+    byzantine equivocation). *)
+
+val mark_seen : 'msg t -> node:int -> 'msg -> unit
+
+val redraw : 'msg t -> weights:float array -> unit
+(** Replace every node's peers (section 8.4: peers are re-drawn each
+    round, healing disconnected components). *)
+
+val flush_seen : 'msg t -> unit
+val duplicates_dropped : 'msg t -> int
+val invalid_dropped : 'msg t -> int

@@ -1,0 +1,82 @@
+(* Point-to-point message delivery over the simulated WAN.
+
+   Model, following the paper's experimental setup (section 10):
+   - each process has a capped uplink (default 20 Mbit/s); sends are
+     serialized through it FIFO, so a large block queued ahead of a
+     small vote delays the vote (this is what makes block size matter);
+   - propagation latency comes from the 20-city topology with jitter;
+   - an adversary hook may drop or delay any message (weak synchrony,
+     partitions, targeted DoS). *)
+
+open Algorand_sim
+
+type 'msg action = Deliver | Drop | Delay of float
+
+type 'msg adversary = now:float -> src:int -> dst:int -> 'msg -> 'msg action
+
+type 'msg t = {
+  engine : Engine.t;
+  topology : Topology.t;
+  bandwidth_bps : float;  (** uplink capacity per process, bits/second *)
+  uplink_free_at : float array;
+  handlers : (src:int -> bytes:int -> 'msg -> unit) option array;
+  mutable adversary : 'msg adversary;
+  mutable messages_sent : int;
+  mutable bytes_sent : float;
+  on_send : (src:int -> bytes:int -> unit) option;
+  on_receive : (dst:int -> bytes:int -> unit) option;
+}
+
+let no_adversary : 'msg adversary = fun ~now:_ ~src:_ ~dst:_ _ -> Deliver
+
+let create ?(bandwidth_bps = 20e6) ?on_send ?on_receive ~(engine : Engine.t)
+    ~(topology : Topology.t) () : 'msg t =
+  let n = Topology.nodes topology in
+  {
+    engine;
+    topology;
+    bandwidth_bps;
+    uplink_free_at = Array.make n 0.0;
+    handlers = Array.make n None;
+    adversary = no_adversary;
+    messages_sent = 0;
+    bytes_sent = 0.0;
+    on_send;
+    on_receive;
+  }
+
+let set_handler (t : 'msg t) (node : int) (h : src:int -> bytes:int -> 'msg -> unit) : unit =
+  t.handlers.(node) <- Some h
+
+let set_adversary (t : 'msg t) (a : 'msg adversary) : unit = t.adversary <- a
+
+let nodes (t : 'msg t) : int = Array.length t.handlers
+
+(* Send [msg] of [bytes] from [src] to [dst]. The sender's uplink is
+   occupied for the serialization time regardless of what the adversary
+   later does to the packet (dropping happens in the network, not at
+   the sender). *)
+let send (t : 'msg t) ~(src : int) ~(dst : int) ~(bytes : int) (msg : 'msg) : unit =
+  if src = dst then ()
+  else begin
+    let now = Engine.now t.engine in
+    let tx_time = float_of_int (8 * bytes) /. t.bandwidth_bps in
+    let start = Float.max now t.uplink_free_at.(src) in
+    t.uplink_free_at.(src) <- start +. tx_time;
+    t.messages_sent <- t.messages_sent + 1;
+    t.bytes_sent <- t.bytes_sent +. float_of_int bytes;
+    (match t.on_send with Some f -> f ~src ~bytes | None -> ());
+    let latency = Topology.latency t.topology ~src ~dst in
+    let base_arrival = start +. tx_time +. latency in
+    let deliver () =
+      match t.handlers.(dst) with
+      | Some h ->
+        (match t.on_receive with Some f -> f ~dst ~bytes | None -> ());
+        h ~src ~bytes msg
+      | None -> ()
+    in
+    match t.adversary ~now ~src ~dst msg with
+    | Drop -> ()
+    | Deliver -> Engine.at t.engine ~time:base_arrival deliver
+    | Delay extra -> Engine.at t.engine ~time:(base_arrival +. extra) deliver
+  end

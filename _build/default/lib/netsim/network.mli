@@ -1,0 +1,32 @@
+(** Point-to-point delivery over the simulated WAN: capped FIFO uplinks
+    (so large blocks delay queued votes), topology latency, and an
+    adversary hook that may drop or delay anything. *)
+
+open Algorand_sim
+
+type 'msg action = Deliver | Drop | Delay of float
+type 'msg adversary = now:float -> src:int -> dst:int -> 'msg -> 'msg action
+
+type 'msg t
+
+val no_adversary : 'msg adversary
+
+val create :
+  ?bandwidth_bps:float ->
+  ?on_send:(src:int -> bytes:int -> unit) ->
+  ?on_receive:(dst:int -> bytes:int -> unit) ->
+  engine:Engine.t ->
+  topology:Topology.t ->
+  unit ->
+  'msg t
+(** [bandwidth_bps] is the per-process uplink (default 20 Mbit/s, the
+    paper's cap). *)
+
+val set_handler : 'msg t -> int -> (src:int -> bytes:int -> 'msg -> unit) -> unit
+val set_adversary : 'msg t -> 'msg adversary -> unit
+val nodes : 'msg t -> int
+
+val send : 'msg t -> src:int -> dst:int -> bytes:int -> 'msg -> unit
+(** Occupies the sender's uplink for the serialization time; the
+    adversary is consulted after the send is committed. Self-sends are
+    dropped. *)

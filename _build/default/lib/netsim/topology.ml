@@ -1,0 +1,84 @@
+(* The paper's network model (section 10): each machine is assigned to
+   one of 20 major cities; inter-city latency follows measured ping
+   times; latency within a city is negligible.
+
+   We derive the latency matrix from city coordinates instead of
+   transcribing a 20x20 table: one-way latency = great-circle distance
+   at 2/3 c with a 30% path-stretch factor plus a small fixed hop cost.
+   This tracks public inter-city ping statistics (e.g. WonderNetwork)
+   to within tens of percent, which is all the experiments' *shape*
+   depends on. *)
+
+open Algorand_sim
+
+type city = { name : string; lat : float; lon : float }
+
+let cities : city array =
+  [|
+    { name = "New York"; lat = 40.7; lon = -74.0 };
+    { name = "Los Angeles"; lat = 34.1; lon = -118.2 };
+    { name = "Chicago"; lat = 41.9; lon = -87.6 };
+    { name = "Toronto"; lat = 43.7; lon = -79.4 };
+    { name = "Sao Paulo"; lat = -23.6; lon = -46.6 };
+    { name = "London"; lat = 51.5; lon = -0.1 };
+    { name = "Paris"; lat = 48.9; lon = 2.4 };
+    { name = "Frankfurt"; lat = 50.1; lon = 8.7 };
+    { name = "Amsterdam"; lat = 52.4; lon = 4.9 };
+    { name = "Stockholm"; lat = 59.3; lon = 18.1 };
+    { name = "Dublin"; lat = 53.3; lon = -6.3 };
+    { name = "Moscow"; lat = 55.8; lon = 37.6 };
+    { name = "Johannesburg"; lat = -26.2; lon = 28.0 };
+    { name = "Dubai"; lat = 25.2; lon = 55.3 };
+    { name = "Mumbai"; lat = 19.1; lon = 72.9 };
+    { name = "Singapore"; lat = 1.35; lon = 103.8 };
+    { name = "Hong Kong"; lat = 22.3; lon = 114.2 };
+    { name = "Seoul"; lat = 37.6; lon = 127.0 };
+    { name = "Tokyo"; lat = 35.7; lon = 139.7 };
+    { name = "Sydney"; lat = -33.9; lon = 151.2 };
+  |]
+
+let num_cities = Array.length cities
+
+let earth_radius_km = 6371.0
+
+let great_circle_km (a : city) (b : city) : float =
+  let rad d = d *. Float.pi /. 180.0 in
+  let dlat = rad (b.lat -. a.lat) and dlon = rad (b.lon -. a.lon) in
+  let h =
+    (sin (dlat /. 2.0) ** 2.0)
+    +. (cos (rad a.lat) *. cos (rad b.lat) *. (sin (dlon /. 2.0) ** 2.0))
+  in
+  2.0 *. earth_radius_km *. asin (sqrt (min 1.0 h))
+
+(* One-way latency in seconds between two cities. *)
+let base_latency_s =
+  let speed_km_per_s = 200_000.0 (* ~2/3 c in fiber *) in
+  let stretch = 1.3 and hop_cost = 0.002 in
+  let m = Array.make_matrix num_cities num_cities 0.0 in
+  for i = 0 to num_cities - 1 do
+    for j = 0 to num_cities - 1 do
+      if i <> j then
+        m.(i).(j) <-
+          (great_circle_km cities.(i) cities.(j) /. speed_km_per_s *. stretch) +. hop_cost
+    done
+  done;
+  m
+
+type t = {
+  node_city : int array;  (** city index of each node *)
+  jitter_frac : float;  (** multiplicative jitter amplitude *)
+  rng : Rng.t;
+}
+
+let create ?(jitter_frac = 0.15) ~(nodes : int) (rng : Rng.t) : t =
+  { node_city = Array.init nodes (fun _ -> Rng.int rng num_cities); jitter_frac; rng }
+
+let city_of (t : t) (node : int) : string = cities.(t.node_city.(node)).name
+
+(* A fresh one-way latency sample between two nodes. *)
+let latency (t : t) ~(src : int) ~(dst : int) : float =
+  let base = base_latency_s.(t.node_city.(src)).(t.node_city.(dst)) in
+  let jitter = Rng.float t.rng (t.jitter_frac *. (base +. 0.001)) in
+  base +. jitter +. 0.0005
+
+let nodes (t : t) : int = Array.length t.node_city

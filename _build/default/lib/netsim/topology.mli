@@ -1,0 +1,20 @@
+(** The paper's WAN model (section 10): nodes assigned to 20 major
+    cities; inter-city latency derived from great-circle distance at
+    2/3 c with path stretch, tracking public ping statistics. *)
+
+open Algorand_sim
+
+type t
+
+val num_cities : int
+
+val create : ?jitter_frac:float -> nodes:int -> Rng.t -> t
+(** Assign [nodes] uniformly to cities; [jitter_frac] is the
+    multiplicative latency jitter amplitude (default 0.15). *)
+
+val city_of : t -> int -> string
+
+val latency : t -> src:int -> dst:int -> float
+(** A fresh one-way latency sample in seconds (includes jitter). *)
+
+val nodes : t -> int

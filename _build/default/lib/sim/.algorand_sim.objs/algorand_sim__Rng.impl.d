@@ -1,0 +1,1 @@
+lib/sim/rng.ml: Array Hashtbl Int64

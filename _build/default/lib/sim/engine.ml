@@ -1,0 +1,44 @@
+(* The discrete-event simulation loop: a virtual clock and a queue of
+   thunks. Handlers run at their scheduled virtual time and may
+   schedule further events. *)
+
+type t = {
+  queue : (unit -> unit) Event_queue.t;
+  mutable now : float;
+  mutable events_processed : int;
+}
+
+let create () : t = { queue = Event_queue.create (); now = 0.0; events_processed = 0 }
+
+let now (t : t) : float = t.now
+
+let schedule (t : t) ~(delay : float) (f : unit -> unit) : unit =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  Event_queue.push t.queue ~time:(t.now +. delay) f
+
+let at (t : t) ~(time : float) (f : unit -> unit) : unit =
+  Event_queue.push t.queue ~time:(max time t.now) f
+
+(* Run until the queue drains or the clock passes [until]. Returns the
+   number of events processed. *)
+let run (t : t) ?(until = infinity) ?(max_events = max_int) () : int =
+  let processed_before = t.events_processed in
+  let continue = ref true in
+  while !continue do
+    match Event_queue.peek_time t.queue with
+    | None -> continue := false
+    | Some time when time > until -> continue := false
+    | Some _ ->
+      if t.events_processed - processed_before >= max_events then continue := false
+      else begin
+        match Event_queue.pop t.queue with
+        | None -> continue := false
+        | Some (time, f) ->
+          t.now <- time;
+          t.events_processed <- t.events_processed + 1;
+          f ()
+      end
+  done;
+  t.events_processed - processed_before
+
+let pending (t : t) : int = Event_queue.length t.queue

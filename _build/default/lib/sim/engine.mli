@@ -1,0 +1,19 @@
+(** Discrete-event simulation loop: a virtual clock plus a queue of
+    thunks. Fully deterministic (FIFO tie-breaking). *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** @raise Invalid_argument on negative delays. *)
+
+val at : t -> time:float -> (unit -> unit) -> unit
+(** Absolute-time scheduling; past times are clamped to now. *)
+
+val run : t -> ?until:float -> ?max_events:int -> unit -> int
+(** Process events until the queue drains, the clock passes [until], or
+    [max_events] have run. Returns the number processed. *)
+
+val pending : t -> int

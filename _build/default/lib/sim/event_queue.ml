@@ -1,0 +1,68 @@
+(* A binary min-heap of timestamped events. Ties are broken by
+   insertion sequence so the simulation is fully deterministic. *)
+
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;  (* heap.(0) is a dummy slot *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () : 'a t = { heap = [||]; size = 0; next_seq = 0 }
+
+let is_empty (t : 'a t) : bool = t.size = 0
+let length (t : 'a t) : int = t.size
+
+let before (a : 'a entry) (b : 'a entry) : bool =
+  a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow (t : 'a t) (template : 'a entry) =
+  let cap = Array.length t.heap in
+  if t.size + 1 >= cap then begin
+    let ncap = max 16 (2 * cap) in
+    let h = Array.make ncap template in
+    Array.blit t.heap 0 h 0 cap;
+    t.heap <- h
+  end
+
+let push (t : 'a t) ~(time : float) (payload : 'a) : unit =
+  let entry = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.size <- t.size + 1;
+  let i = ref t.size in
+  t.heap.(!i) <- entry;
+  while !i > 1 && before t.heap.(!i) t.heap.(!i / 2) do
+    let p = !i / 2 in
+    let tmp = t.heap.(p) in
+    t.heap.(p) <- t.heap.(!i);
+    t.heap.(!i) <- tmp;
+    i := p
+  done
+
+let pop (t : 'a t) : (float * 'a) option =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(1) in
+    t.heap.(1) <- t.heap.(t.size);
+    t.size <- t.size - 1;
+    let i = ref 1 in
+    let continue = ref true in
+    while !continue do
+      let l = 2 * !i and r = (2 * !i) + 1 in
+      let smallest = ref !i in
+      if l <= t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+      if r <= t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = t.heap.(!smallest) in
+        t.heap.(!smallest) <- t.heap.(!i);
+        t.heap.(!i) <- tmp;
+        i := !smallest
+      end
+    done;
+    Some (top.time, top.payload)
+  end
+
+let peek_time (t : 'a t) : float option = if t.size = 0 then None else Some t.heap.(1).time

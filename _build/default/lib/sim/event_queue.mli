@@ -1,0 +1,10 @@
+(** Binary min-heap of timestamped events with FIFO tie-breaking. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a t -> time:float -> 'a -> unit
+val pop : 'a t -> (float * 'a) option
+val peek_time : 'a t -> float option

@@ -1,0 +1,99 @@
+(* Experiment instrumentation: per-user round phase timestamps (for the
+   Figure 7 breakdown), per-user bytes sent/received (section 10.3
+   bandwidth costs), and per-step BA* completion times (section 10.5
+   timeout validation). *)
+
+type phase = Block_proposal | Ba_no_final | Ba_final
+
+let phase_name = function
+  | Block_proposal -> "block proposal"
+  | Ba_no_final -> "BA* w/o final step"
+  | Ba_final -> "BA* final step"
+
+type round_record = {
+  user : int;
+  round : int;
+  mutable started : float;
+  mutable proposal_done : float;  (** got (or gave up on) the proposed block *)
+  mutable ba_done : float;  (** BinaryBA* returned *)
+  mutable final_done : float;  (** final-step vote count resolved *)
+  mutable steps_taken : int;
+  mutable final : bool;
+}
+
+type t = {
+  mutable rounds : round_record list;
+  mutable bytes_sent : float array;  (** per user *)
+  mutable bytes_received : float array;
+  mutable step_durations : float list;  (** per (user, round, step) wall time *)
+  mutable priority_gossip_times : float list;  (** proposer priority msg propagation *)
+}
+
+let create ~(users : int) : t =
+  {
+    rounds = [];
+    bytes_sent = Array.make users 0.0;
+    bytes_received = Array.make users 0.0;
+    step_durations = [];
+    priority_gossip_times = [];
+  }
+
+let start_round (t : t) ~(user : int) ~(round : int) ~(now : float) : round_record =
+  let r =
+    {
+      user;
+      round;
+      started = now;
+      proposal_done = nan;
+      ba_done = nan;
+      final_done = nan;
+      steps_taken = 0;
+      final = false;
+    }
+  in
+  t.rounds <- r :: t.rounds;
+  r
+
+let record_bytes_sent (t : t) ~(user : int) (bytes : int) : unit =
+  t.bytes_sent.(user) <- t.bytes_sent.(user) +. float_of_int bytes
+
+let record_bytes_received (t : t) ~(user : int) (bytes : int) : unit =
+  t.bytes_received.(user) <- t.bytes_received.(user) +. float_of_int bytes
+
+let record_step_duration (t : t) (d : float) : unit =
+  t.step_durations <- d :: t.step_durations
+
+let record_priority_gossip (t : t) (d : float) : unit =
+  t.priority_gossip_times <- d :: t.priority_gossip_times
+
+(* Completed-round durations for a given round across users. *)
+let round_completion_times (t : t) ~(round : int) : float list =
+  List.filter_map
+    (fun r ->
+      if r.round = round && not (Float.is_nan r.final_done) then
+        Some (r.final_done -. r.started)
+      else None)
+    t.rounds
+
+let all_round_completion_times (t : t) : float list =
+  List.filter_map
+    (fun r ->
+      if (not (Float.is_nan r.final_done)) && r.round > 0 then Some (r.final_done -. r.started)
+      else None)
+    t.rounds
+
+(* Phase durations across completed rounds (Figure 7 decomposition). *)
+let phase_times (t : t) (phase : phase) : float list =
+  List.filter_map
+    (fun r ->
+      if Float.is_nan r.final_done then None
+      else begin
+        match phase with
+        | Block_proposal -> Some (r.proposal_done -. r.started)
+        | Ba_no_final -> Some (r.ba_done -. r.proposal_done)
+        | Ba_final -> Some (r.final_done -. r.ba_done)
+      end)
+    t.rounds
+
+let completed_rounds (t : t) : int =
+  List.length (List.filter (fun r -> not (Float.is_nan r.final_done)) t.rounds)

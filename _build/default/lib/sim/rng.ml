@@ -1,0 +1,65 @@
+(* SplitMix64: a tiny, fast, high-quality deterministic PRNG. Every
+   source of simulation randomness (topology, jitter, workload,
+   adversary) gets its own stream so experiments are reproducible and
+   independently perturbable. *)
+
+type t = { mutable state : int64 }
+
+let create (seed : int) : t = { state = Int64.of_int seed }
+
+let split (t : t) (label : string) : t =
+  (* Derive an independent stream; hashing keeps labels order-free. *)
+  let h = Hashtbl.hash (Int64.to_int t.state, label) in
+  { state = Int64.add (Int64.of_int h) 0x9E3779B97F4A7C15L }
+
+let next_int64 (t : t) : int64 =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int (t : t) (bound : int) : int =
+  if bound <= 0 then invalid_arg "Rng.int";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int bound))
+
+let float (t : t) (bound : float) : float =
+  let u = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) /. 9007199254740992.0 in
+  u *. bound
+
+let bool (t : t) : bool = Int64.logand (next_int64 t) 1L = 1L
+
+(* Exponential with the given mean (for Poisson processes). *)
+let exponential (t : t) ~(mean : float) : float =
+  let u = float t 1.0 in
+  -.mean *. log (1.0 -. u)
+
+(* Fisher-Yates shuffle (in place). *)
+let shuffle (t : t) (a : 'a array) : unit =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+(* Sample [k] distinct indices from [0, n). *)
+let sample_indices (t : t) ~(n : int) ~(k : int) : int list =
+  if k > n then invalid_arg "Rng.sample_indices";
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  Array.to_list (Array.sub a 0 k)
+
+(* Pick an index with probability proportional to [weights]. *)
+let weighted_index (t : t) (weights : float array) : int =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Rng.weighted_index";
+  let target = float t total in
+  let rec go i acc =
+    if i = Array.length weights - 1 then i
+    else begin
+      let acc = acc +. weights.(i) in
+      if target < acc then i else go (i + 1) acc
+    end
+  in
+  go 0 0.0

@@ -1,0 +1,19 @@
+(** SplitMix64 deterministic PRNG. Every randomness consumer gets its
+    own labeled stream so experiments are reproducible and
+    independently perturbable. *)
+
+type t
+
+val create : int -> t
+val split : t -> string -> t
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [\[0, bound)]. @raise Invalid_argument on bound <= 0. *)
+
+val float : t -> float -> float
+val bool : t -> bool
+val exponential : t -> mean:float -> float
+val shuffle : t -> 'a array -> unit
+val sample_indices : t -> n:int -> k:int -> int list
+val weighted_index : t -> float array -> int

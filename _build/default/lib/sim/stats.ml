@@ -1,0 +1,48 @@
+(* Summary statistics matching the paper's graphs, which plot the
+   minimum, 25th percentile, median, 75th percentile and maximum of
+   round completion times across users. *)
+
+type summary = {
+  count : int;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  max : float;
+  mean : float;
+}
+
+let percentile (sorted : float array) (p : float) : float =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else begin
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+    let frac = rank -. floor rank in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let summarize (xs : float list) : summary =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then { count = 0; min = nan; p25 = nan; median = nan; p75 = nan; max = nan; mean = nan }
+  else
+    {
+      count = n;
+      min = a.(0);
+      p25 = percentile a 0.25;
+      median = percentile a 0.5;
+      p75 = percentile a 0.75;
+      max = a.(n - 1);
+      mean = Array.fold_left ( +. ) 0.0 a /. float_of_int n;
+    }
+
+let pp_summary fmt (s : summary) =
+  Format.fprintf fmt "min=%.2f p25=%.2f med=%.2f p75=%.2f max=%.2f (n=%d)"
+    s.min s.p25 s.median s.p75 s.max s.count
+
+let mean (xs : float list) : float =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)

@@ -1,0 +1,19 @@
+(** Summary statistics matching the paper's plots (min / p25 / median /
+    p75 / max across users). *)
+
+type summary = {
+  count : int;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  max : float;
+  mean : float;
+}
+
+val percentile : float array -> float -> float
+(** Linear interpolation on a sorted array. *)
+
+val summarize : float list -> summary
+val pp_summary : Format.formatter -> summary -> unit
+val mean : float list -> float

@@ -1,0 +1,1 @@
+lib/sortition/committee.mli:

@@ -1,0 +1,1 @@
+lib/sortition/poisson.ml: Array Special

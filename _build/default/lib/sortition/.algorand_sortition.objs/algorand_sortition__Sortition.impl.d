@@ -1,0 +1,1 @@
+lib/sortition/sortition.ml: Algorand_crypto Binomial Char Sha256 String Vrf

@@ -1,0 +1,1 @@
+lib/sortition/sortition.mli: Algorand_crypto Vrf

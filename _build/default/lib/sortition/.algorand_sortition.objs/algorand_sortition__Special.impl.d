@@ -1,0 +1,1 @@
+lib/sortition/special.ml: Float

@@ -1,0 +1,131 @@
+(* Committee-size analysis (section 7.5 / Figure 3).
+
+   Model: committee members are drawn by sortition with expected size
+   tau from a large population in which a weighted fraction h is
+   honest. In the W -> infinity limit the honest membership count g and
+   the byzantine count b are independent Poisson variables with means
+   h*tau and (1-h)*tau.
+
+   BA* needs, at every step,
+     liveness:  g > T*tau            (honest votes alone cross the threshold)
+     safety:    g/2 + b <= T*tau     (no two values can both cross it)
+
+   For a candidate (tau, T) the violation probability is bounded by
+     P(g <= T*tau) + P(g/2 + b > T*tau)
+   and Figure 3 plots the smallest tau for which some T keeps this
+   below 5e-9.
+
+   Distribution tables (pmf, prefix and suffix sums) are computed once
+   per (h, tau) and shared across the threshold scan, keeping the
+   binary search over tau fast. *)
+
+let default_violation_target = 5e-9
+
+type tables = {
+  tau : float;
+  cdf_g : float array;  (** cdf_g.(k) = P(g <= k) *)
+  pmf_g : float array;
+  sf_b : float array;  (** sf_b.(k) = P(b > k) *)
+  g_hi : int;
+  b_hi : int;
+}
+
+let make_tables ~(h : float) ~(tau : float) : tables =
+  let mean_g = h *. tau and mean_b = (1.0 -. h) *. tau in
+  let hi mean = int_of_float (mean +. (40.0 *. sqrt mean)) + 20 in
+  let g_hi = hi mean_g and b_hi = hi mean_b in
+  let pmf mean k = Poisson.pmf ~k ~mean in
+  let pmf_g = Array.init (g_hi + 1) (pmf mean_g) in
+  let cdf_g = Array.make (g_hi + 1) 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun k p ->
+      acc := !acc +. p;
+      cdf_g.(k) <- min 1.0 !acc)
+    pmf_g;
+  (* Suffix sums, smallest terms first for accuracy. *)
+  let pmf_b = Array.init (b_hi + 1) (pmf mean_b) in
+  let sf_b = Array.make (b_hi + 2) 0.0 in
+  for k = b_hi downto 0 do
+    sf_b.(k) <- sf_b.(k + 1) +. pmf_b.(k)
+  done;
+  (* sf_b.(k) currently holds P(b >= k); shift to P(b > k). *)
+  let sf_gt = Array.init (b_hi + 2) (fun k -> if k + 1 <= b_hi + 1 then sf_b.(k + 1) else 0.0) in
+  { tau; cdf_g; pmf_g; sf_b = sf_gt; g_hi; b_hi }
+
+(* P(g <= T*tau). *)
+let liveness_failure_t (tb : tables) ~(t : float) : float =
+  let threshold = int_of_float (t *. tb.tau) in
+  if threshold < 0 then 0.0 else tb.cdf_g.(min threshold tb.g_hi)
+
+(* P(g/2 + b > T*tau). *)
+let safety_failure_t (tb : tables) ~(t : float) : float =
+  let acc = ref 0.0 in
+  for g = 0 to tb.g_hi do
+    let budget = (t *. tb.tau) -. (float_of_int g /. 2.0) in
+    let tail =
+      if budget < 0.0 then 1.0
+      else begin
+        let k = int_of_float budget in
+        if k > tb.b_hi then 0.0 else tb.sf_b.(k)
+      end
+    in
+    acc := !acc +. (tb.pmf_g.(g) *. tail)
+  done;
+  !acc
+
+let violation_t (tb : tables) ~(t : float) : float =
+  liveness_failure_t tb ~t +. safety_failure_t tb ~t
+
+(* Convenience single-shot forms. *)
+let liveness_failure ~(h : float) ~(tau : float) ~(t : float) : float =
+  liveness_failure_t (make_tables ~h ~tau) ~t
+
+let safety_failure ~(h : float) ~(tau : float) ~(t : float) : float =
+  safety_failure_t (make_tables ~h ~tau) ~t
+
+let violation_probability ~(h : float) ~(tau : float) ~(t : float) : float =
+  violation_t (make_tables ~h ~tau) ~t
+
+(* Best threshold T for a given tau: scan a grid; liveness failure
+   increases with T while safety failure decreases, so the minimum of
+   their sum is found reliably by a grid. *)
+let best_threshold ~(h : float) ~(tau : float) : float * float =
+  let tb = make_tables ~h ~tau in
+  let best_t = ref 0.0 and best_v = ref infinity in
+  let steps = 120 in
+  for i = 0 to steps do
+    let t = 0.55 +. (float_of_int i *. (0.40 /. float_of_int steps)) in
+    let v = violation_t tb ~t in
+    if v < !best_v then begin
+      best_v := v;
+      best_t := t
+    end
+  done;
+  (!best_t, !best_v)
+
+(* Smallest expected committee size tau meeting the violation target at
+   honest fraction h, with the T that achieves it. Binary search over
+   tau: the violation probability decreases in tau. *)
+let required_committee_size ?(target = default_violation_target) ~(h : float) () :
+    int * float =
+  if h <= 2.0 /. 3.0 then invalid_arg "Committee.required_committee_size: need h > 2/3";
+  let feasible tau = snd (best_threshold ~h ~tau:(float_of_int tau)) <= target in
+  let rec grow hi = if feasible hi then hi else grow (hi * 2) in
+  let hi = grow 128 in
+  let rec bisect lo hi =
+    (* invariant: not (feasible lo), feasible hi *)
+    if hi - lo <= 1 then hi
+    else begin
+      let mid = (lo + hi) / 2 in
+      if feasible mid then bisect lo mid else bisect mid hi
+    end
+  in
+  let tau = if feasible 1 then 1 else bisect 1 hi in
+  let t, _ = best_threshold ~h ~tau:(float_of_int tau) in
+  (tau, t)
+
+(* The final-step parameters must keep the *safety* failure negligible
+   on their own (section 7.5: tau_final = 10,000, T_final = 0.74). *)
+let final_step_violation ~(h : float) ~(tau : float) ~(t : float) : float =
+  safety_failure ~h ~tau ~t

@@ -1,0 +1,30 @@
+(** Committee-size analysis (section 7.5 / Figure 3).
+
+    Honest and byzantine committee membership counts are modeled as
+    independent Poisson variables with means h*tau and (1-h)*tau; a
+    step's parameters (tau, T) are violated when either liveness
+    (g > T*tau) or safety (g/2 + b <= T*tau) fails. *)
+
+val default_violation_target : float
+(** 5e-9, the probability Figure 3 is drawn at. *)
+
+val liveness_failure : h:float -> tau:float -> t:float -> float
+(** P(g <= T*tau). *)
+
+val safety_failure : h:float -> tau:float -> t:float -> float
+(** P(g/2 + b > T*tau). *)
+
+val violation_probability : h:float -> tau:float -> t:float -> float
+(** Union bound of the two failures. *)
+
+val best_threshold : h:float -> tau:float -> float * float
+(** [(t, violation)] minimizing the violation probability over T. *)
+
+val required_committee_size : ?target:float -> h:float -> unit -> int * float
+(** Smallest expected committee size meeting [target] at honest
+    fraction [h], with the threshold achieving it. Reproduces the
+    Figure 3 curve. @raise Invalid_argument when [h <= 2/3]. *)
+
+val final_step_violation : h:float -> tau:float -> t:float -> float
+(** Safety failure alone, the constraint sizing the final step
+    (tau_final = 10,000, T_final = 0.74). *)

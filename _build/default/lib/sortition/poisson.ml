@@ -1,0 +1,49 @@
+(* Poisson distribution, log-space. The committee-size analysis of
+   section 7.5 models honest/byzantine committee membership counts as
+   Poisson (the W -> infinity limit of binomial sortition), matching
+   the computation behind Figure 3. *)
+
+let log_pmf ~(k : int) ~(mean : float) : float =
+  if k < 0 then neg_infinity
+  else if mean <= 0.0 then if k = 0 then 0.0 else neg_infinity
+  else (float_of_int k *. log mean) -. mean -. Special.log_factorial k
+
+let pmf ~k ~mean = exp (log_pmf ~k ~mean)
+
+(* cdf table: entry k is P(X <= k), for k in 0..kmax. *)
+let cdf_table ~(mean : float) ~(kmax : int) : float array =
+  let t = Array.make (kmax + 1) 0.0 in
+  let acc = ref 0.0 in
+  for k = 0 to kmax do
+    acc := !acc +. pmf ~k ~mean;
+    t.(k) <- min 1.0 !acc
+  done;
+  t
+
+let cdf ~(k : int) ~(mean : float) : float =
+  if k < 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to k do
+      acc := !acc +. pmf ~k:i ~mean
+    done;
+    min 1.0 !acc
+  end
+
+(* Upper tail P(X > k). Computed by direct summation from k+1 upward
+   (not 1 - cdf, which loses all precision in the far tail). *)
+let sf ~(k : int) ~(mean : float) : float =
+  if k < 0 then 1.0
+  else begin
+    let sigma = sqrt mean in
+    let hi = int_of_float (mean +. (40.0 *. sigma)) + 20 in
+    if k >= hi then 0.0
+    else begin
+      let acc = ref 0.0 in
+      (* Sum smallest terms first for accuracy. *)
+      for i = hi downto k + 1 do
+        acc := !acc +. pmf ~k:i ~mean
+      done;
+      !acc
+    end
+  end

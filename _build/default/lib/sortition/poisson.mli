@@ -1,0 +1,15 @@
+(** Poisson distribution, log space. Used by the committee-size
+    analysis of section 7.5 (the W -> infinity limit of binomial
+    sortition). *)
+
+val log_pmf : k:int -> mean:float -> float
+val pmf : k:int -> mean:float -> float
+
+val cdf_table : mean:float -> kmax:int -> float array
+(** Entry [k] is P(X <= k). *)
+
+val cdf : k:int -> mean:float -> float
+
+val sf : k:int -> mean:float -> float
+(** Upper tail P(X > k), summed directly so far-tail values (down to
+    1e-300) keep full relative precision. *)

@@ -1,0 +1,51 @@
+(** Cryptographic sortition (Algorithms 1 and 2 of the paper).
+
+    A user with weight [w] out of a total [W] evaluates a VRF on
+    [seed||role] and maps the hash through the binomial CDF of
+    B(.; w, tau/W); the result [j] is how many of the user's
+    "sub-users" are selected for the role. Splitting weight across
+    Sybil identities leaves the selected-count distribution unchanged
+    (binomial additivity, section 5.1). *)
+
+open Algorand_crypto
+
+type selection = {
+  vrf_hash : string;  (** VRF output; also the priority source (section 6) *)
+  vrf_proof : string;
+  j : int;  (** number of selected sub-users; 0 = not selected *)
+}
+
+val hash_fraction : string -> float
+(** [hash / 2{^hashlen}] using the top 53 bits. *)
+
+val vrf_input : seed:string -> role:string -> string
+
+val select :
+  prover:Vrf.prover ->
+  seed:string ->
+  tau:float ->
+  role:string ->
+  w:int ->
+  total_weight:int ->
+  selection
+(** Algorithm 1. @raise Invalid_argument on nonsensical weights. *)
+
+val verify :
+  scheme:Vrf.scheme ->
+  pk:string ->
+  vrf_hash:string ->
+  vrf_proof:string ->
+  seed:string ->
+  tau:float ->
+  role:string ->
+  w:int ->
+  total_weight:int ->
+  int
+(** Algorithm 2: the verified number of selected sub-users, or 0 if the
+    proof is invalid. *)
+
+val sub_user_priority : vrf_hash:string -> index:int -> string
+(** H(vrf_hash || index): the block-proposal priority of one sub-user. *)
+
+val best_priority : vrf_hash:string -> j:int -> string option
+(** Highest sub-user priority, or [None] when [j = 0]. *)

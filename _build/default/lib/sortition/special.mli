@@ -1,0 +1,10 @@
+(** Special functions for the sortition numerics. *)
+
+val log_gamma : float -> float
+(** Stirling-series log-Gamma with argument shifting; accurate to
+    ~1e-12 for x > 0. @raise Invalid_argument for x <= 0. *)
+
+val log_factorial : int -> float
+
+val log_choose : n:int -> k:int -> float
+(** log C(n, k); [neg_infinity] outside 0 <= k <= n. *)

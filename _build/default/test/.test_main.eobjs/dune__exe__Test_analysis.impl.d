@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Algorand_ba Algorand_sortition List Printf

@@ -1,0 +1,1 @@
+test/test_ba_star.ml: Alcotest Algorand_ba Algorand_core Algorand_crypto Array Ba_star Hex List Option Params Printf Sha256 Signature_scheme String Vote Vrf

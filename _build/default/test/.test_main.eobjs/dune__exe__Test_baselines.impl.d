@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Algorand_baselines Printf

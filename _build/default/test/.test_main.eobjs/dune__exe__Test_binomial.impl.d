@@ -1,0 +1,1 @@
+test/test_binomial.ml: Alcotest Algorand_sortition Array Binomial Float List Poisson Printf Special

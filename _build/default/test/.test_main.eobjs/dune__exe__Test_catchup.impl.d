@@ -1,0 +1,1 @@
+test/test_catchup.ml: Alcotest Algorand_ba Algorand_core Algorand_crypto Algorand_ledger Array Hex List Result Sha256 Signature_scheme Vrf

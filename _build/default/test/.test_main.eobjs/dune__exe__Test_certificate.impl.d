@@ -1,0 +1,1 @@
+test/test_certificate.ml: Alcotest Algorand_ba Algorand_core Algorand_crypto Array List Params Printf Sha256 Signature_scheme String Vote Vrf

@@ -1,0 +1,1 @@
+test/test_chain.ml: Alcotest Algorand_crypto Algorand_ledger Balances Block Chain Genesis Hex List Result Sha256 Signature_scheme String Transaction

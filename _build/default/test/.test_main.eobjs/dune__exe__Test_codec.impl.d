@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Algorand_ba Algorand_core Algorand_crypto Algorand_ledger Hex List QCheck2 QCheck_alcotest Sha256 Signature_scheme String

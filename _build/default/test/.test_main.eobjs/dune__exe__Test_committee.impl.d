@@ -1,0 +1,1 @@
+test/test_committee.ml: Alcotest Algorand_sortition Committee Printf

@@ -1,0 +1,1 @@
+test/test_ed25519.ml: Alcotest Algorand_crypto Bytes Char Drbg Ed25519 List Nat Printf String

@@ -1,0 +1,1 @@
+test/test_ephemeral.ml: Alcotest Algorand_crypto Ephemeral Hex List Option Printf Sha256 Signature_scheme String

@@ -1,0 +1,1 @@
+test/test_fe25519.ml: Alcotest Algorand_crypto Ed25519 Fe25519 List Nat QCheck2 QCheck_alcotest Sha256

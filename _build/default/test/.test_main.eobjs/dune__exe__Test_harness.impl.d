@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Algorand_ba Algorand_core Algorand_ledger Algorand_sim Array Float List Printf String

@@ -1,0 +1,1 @@
+test/test_ledger.ml: Alcotest Algorand_crypto Algorand_ledger Balances Block Genesis List QCheck2 QCheck_alcotest Signature_scheme Storage String Transaction Txpool Wire

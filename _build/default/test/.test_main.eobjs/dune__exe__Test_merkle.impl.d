@@ -1,0 +1,1 @@
+test/test_merkle.ml: Alcotest Algorand_core Algorand_crypto Algorand_ledger Array Hex List Merkle Option Printf QCheck2 QCheck_alcotest Sha256 Signature_scheme String

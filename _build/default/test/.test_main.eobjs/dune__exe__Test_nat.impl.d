@@ -1,0 +1,1 @@
+test/test_nat.ml: Alcotest Algorand_crypto List Nat QCheck2 QCheck_alcotest String

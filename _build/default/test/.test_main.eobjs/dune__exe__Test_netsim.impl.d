@@ -1,0 +1,1 @@
+test/test_netsim.ml: Adversary Alcotest Algorand_netsim Algorand_sim Array Engine Gossip List Network Printf Rng String Topology

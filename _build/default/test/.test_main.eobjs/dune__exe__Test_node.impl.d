@@ -1,0 +1,1 @@
+test/test_node.ml: Alcotest Algorand_ba Algorand_core Algorand_crypto Algorand_ledger Array Hex List Printf Sha256 Signature_scheme String Vrf

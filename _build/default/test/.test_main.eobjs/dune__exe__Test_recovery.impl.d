@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Algorand_ba Algorand_core Algorand_ledger Array List Printf String

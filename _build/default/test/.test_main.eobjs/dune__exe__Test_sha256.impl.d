@@ -1,0 +1,1 @@
+test/test_sha256.ml: Alcotest Algorand_crypto Drbg Hex Hmac List QCheck2 QCheck_alcotest Sha256 String

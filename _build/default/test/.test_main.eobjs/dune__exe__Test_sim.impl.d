@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Algorand_sim Array Engine Event_queue Float List Metrics Option Printf Rng Stats

@@ -1,0 +1,1 @@
+test/test_sortition.ml: Alcotest Algorand_crypto Algorand_sortition Drbg Float List Option Printf Sha256 Sortition String Vrf

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Algorand_core Algorand_crypto Algorand_ledger Array Base32 Filename Fun Hex List Printf QCheck2 QCheck_alcotest Sha256 Signature_scheme String Sys Unix Vrf

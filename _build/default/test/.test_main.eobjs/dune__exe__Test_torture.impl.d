@@ -1,0 +1,1 @@
+test/test_torture.ml: Alcotest Algorand_ba Algorand_core Algorand_crypto Algorand_sim Array Ba_star Hex List Params Printf Sha256 Signature_scheme String Vote Vrf

@@ -1,0 +1,1 @@
+test/test_vote.ml: Alcotest Algorand_ba Algorand_core Algorand_crypto Array Common_coin List Printf Sha256 Signature_scheme String Vote Vote_counter Vrf

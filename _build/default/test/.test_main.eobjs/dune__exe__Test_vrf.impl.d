@@ -1,0 +1,1 @@
+test/test_vrf.ml: Alcotest Algorand_crypto Bytes Char Ed25519 List Printf Signature_scheme String Vrf

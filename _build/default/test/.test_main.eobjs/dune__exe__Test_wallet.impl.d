@@ -1,0 +1,1 @@
+test/test_wallet.ml: Alcotest Algorand_core Algorand_ledger Algorand_sim Array List

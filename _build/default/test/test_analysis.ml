@@ -1,0 +1,85 @@
+(* The appendix analyses (technical report A, B.1, C.3 and the
+   section 8.3 certificate-attack bound). *)
+
+module Analysis = Algorand_ba.Analysis
+
+let t name f = Alcotest.test_case name `Quick f
+
+let proposer_bounds () =
+  (* Appendix B.1: tau_proposer = 26 gives at least one proposer and at
+     most 70 with very high probability (paper: 1 - 1e-11). *)
+  let p_none = Analysis.no_proposer_probability ~tau:26.0 in
+  Alcotest.(check bool) (Printf.sprintf "P(none) = %.2e" p_none) true (p_none < 1e-11);
+  let p_many = Analysis.too_many_proposers_probability ~tau:26.0 ~bound:70 in
+  Alcotest.(check bool) (Printf.sprintf "P(>70) = %.2e" p_many) true (p_many < 1e-11);
+  let p = Analysis.proposer_failure_probability ~tau:26.0 ~bound:70 in
+  Alcotest.(check bool) (Printf.sprintf "combined %.2e" p) true (p < 2.2e-11);
+  (* Monotonicity sanity. *)
+  Alcotest.(check bool) "smaller tau, more none-failures" true
+    (Analysis.no_proposer_probability ~tau:5.0 > p_none)
+
+let step_counts () =
+  Alcotest.(check int) "common case 4 steps" 4 Analysis.common_case_steps;
+  let e = Analysis.expected_worst_case_steps ~h:0.8 in
+  (* Paper: expected 13 steps in the worst case (analysis in C.3). *)
+  Alcotest.(check bool) (Printf.sprintf "worst case %.1f near 13" e) true
+    (e >= 10.0 && e <= 14.0);
+  (* Weaker honesty -> more steps. *)
+  Alcotest.(check bool) "monotone in h" true
+    (Analysis.expected_worst_case_steps ~h:0.7 > e)
+
+let max_steps_bound () =
+  let p = Analysis.max_steps_overflow_probability ~h:0.8 ~max_steps:150 in
+  Alcotest.(check bool) (Printf.sprintf "overflow %.2e negligible" p) true (p < 1e-9);
+  Alcotest.(check bool) "fewer steps, higher overflow" true
+    (Analysis.max_steps_overflow_probability ~h:0.8 ~max_steps:30 > p)
+
+let honest_seed_blocks () =
+  (* Logarithmic in 1/F (Appendix A). *)
+  let b9 = Analysis.blocks_for_honest_seed ~h:0.8 ~failure:1e-9 in
+  let b18 = Analysis.blocks_for_honest_seed ~h:0.8 ~failure:1e-18 in
+  Alcotest.(check bool) (Printf.sprintf "1e-9 needs %d blocks" b9) true (b9 <= 15);
+  Alcotest.(check int) "doubling the exponent doubles the blocks" (2 * b9) b18;
+  (* At h = 0.8, each block is dishonest w.p. 0.2; 13 blocks give
+     0.2^13 < 1e-9. *)
+  Alcotest.(check int) "exact count at h=0.8" 13 b9
+
+let certificate_attack () =
+  (* Section 8.3: for tau_step > 1000 the per-step forgery probability
+     is below 2^-166. Our Chernoff bound must confirm (it is in fact
+     far smaller at tau = 2000). *)
+  let log2_p = Analysis.log2_certificate_attack_per_step ~h:0.8 ~tau:2000.0 ~t:0.685 in
+  Alcotest.(check bool) (Printf.sprintf "per-step 2^%.0f < 2^-166" log2_p) true
+    (log2_p < -166.0);
+  let log2_all =
+    Analysis.log2_certificate_attack ~h:0.8 ~tau:2000.0 ~t:0.685 ~max_steps:150
+  in
+  Alcotest.(check bool) "union over steps still negligible" true (log2_all < -150.0);
+  (* The bound degrades as tau shrinks. *)
+  let log2_small = Analysis.log2_certificate_attack_per_step ~h:0.8 ~tau:200.0 ~t:0.685 in
+  Alcotest.(check bool) "monotone in tau" true (log2_small > log2_p)
+
+let chernoff_sanity () =
+  (* The bound must actually bound: compare against the summed tail
+     where both are representable. *)
+  List.iter
+    (fun (mean, k) ->
+      let exact = Algorand_sortition.Poisson.sf ~k:(int_of_float k - 1) ~mean in
+      let bound = 2.0 ** Analysis.log2_poisson_tail_bound ~mean ~k in
+      if exact > bound +. 1e-300 then
+        Alcotest.failf "bound violated at mean=%g k=%g: exact %.3e > bound %.3e" mean k
+          exact bound)
+    [ (10.0, 20.0); (10.0, 30.0); (100.0, 150.0); (400.0, 600.0) ]
+
+let suite =
+  [
+    ( "analysis",
+      [
+        t "proposer bounds (B.1)" proposer_bounds;
+        t "step counts (C.3)" step_counts;
+        t "MaxSteps overflow" max_steps_bound;
+        t "honest seed blocks (A)" honest_seed_blocks;
+        t "certificate attack (8.3)" certificate_attack;
+        t "chernoff bound is a bound" chernoff_sanity;
+      ] );
+  ]

@@ -1,0 +1,123 @@
+(* The Nakamoto (Bitcoin-style) baseline used for the section 10.2
+   throughput comparison. *)
+
+module Nakamoto = Algorand_baselines.Nakamoto
+
+let t name f = Alcotest.test_case name `Quick f
+let ts name f = Alcotest.test_case name `Slow f
+
+let short_config =
+  {
+    Nakamoto.bitcoin_default with
+    duration_s = 10.0 *. 86_400.0 (* 10 simulated days *);
+    rng_seed = 11;
+  }
+
+let block_interval_matches () =
+  let r = Nakamoto.run short_config in
+  (* ~600s between main-chain blocks (a bit above because of orphans). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "interval %.0fs near 600" r.mean_interval_s)
+    true
+    (r.mean_interval_s > 500.0 && r.mean_interval_s < 750.0)
+
+let confirmation_takes_an_hour () =
+  let r = Nakamoto.run short_config in
+  (* Six confirmations at ten minutes each: the paper's "about an
+     hour" claim for Bitcoin. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "confirmation %.0fs near 3600" r.mean_confirmation_latency_s)
+    true
+    (r.mean_confirmation_latency_s > 2800.0 && r.mean_confirmation_latency_s < 4600.0)
+
+let throughput_ballpark () =
+  let r = Nakamoto.run short_config in
+  (* 1 MB / 10 min = 6 MB/hour (section 10.2). *)
+  let mb_per_hour = r.throughput_bytes_per_hour /. 1e6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput %.1f MB/h near 6" mb_per_hour)
+    true
+    (mb_per_hour > 4.5 && mb_per_hour < 7.0)
+
+let orphans_exist_but_rare () =
+  let r = Nakamoto.run short_config in
+  Alcotest.(check bool) "found blocks" true (r.blocks_found > 1000);
+  (* With 15s propagation vs 600s intervals, a few percent fork rate. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "orphan rate %.3f" r.orphan_rate)
+    true
+    (r.orphan_rate < 0.15)
+
+let faster_blocks_mean_more_forks () =
+  (* The trade-off that motivates the paper: shortening the block
+     interval (to cut latency) inflates the fork/orphan rate. *)
+  let slow = Nakamoto.run short_config in
+  let fast =
+    Nakamoto.run { short_config with mean_block_interval_s = 30.0; duration_s = 86_400.0 }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "orphans %.3f (30s blocks) > %.3f (600s blocks)" fast.orphan_rate
+       slow.orphan_rate)
+    true
+    (fast.orphan_rate > 2.0 *. slow.orphan_rate)
+
+let deterministic () =
+  let a = Nakamoto.run { short_config with duration_s = 86_400.0 } in
+  let b = Nakamoto.run { short_config with duration_s = 86_400.0 } in
+  Alcotest.(check int) "same blocks" a.blocks_found b.blocks_found;
+  Alcotest.(check int) "same main chain" a.main_chain_length b.main_chain_length
+
+module Fixed_bft = Algorand_baselines.Fixed_bft
+
+let fixed_bft_latency () =
+  let r = Fixed_bft.run Fixed_bft.honey_badger_default in
+  Alcotest.(check bool) "not halted" false r.halted;
+  (* The paper quotes ~5 minutes for HoneyBadger with 10 MB blocks and
+     104 servers; our model should land in the same ballpark. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "latency %.0fs in minutes range" r.mean_round_latency_s)
+    true
+    (r.mean_round_latency_s > 120.0 && r.mean_round_latency_s < 900.0);
+  (* ~200 KB/s of ledger data. *)
+  let kbps = r.throughput_bytes_per_hour /. 3600.0 /. 1000.0 in
+  Alcotest.(check bool) (Printf.sprintf "throughput %.0f KB/s" kbps) true
+    (kbps > 10.0 && kbps < 500.0)
+
+let fixed_bft_dos_halts () =
+  (* The fixed-server weakness: silencing a bit over a third of the
+     known servers halts the system completely; Algorand instead
+     re-draws a secret committee every step. *)
+  let c = Fixed_bft.honey_badger_default in
+  let attacked = Fixed_bft.run { c with dos_servers = (c.servers / 3) + 2 } in
+  Alcotest.(check bool) "halted" true attacked.halted;
+  Alcotest.(check int) "no rounds" 0 attacked.committed_rounds;
+  (* Just below the threshold it keeps going. *)
+  let survives = Fixed_bft.run { c with dos_servers = c.servers / 4 } in
+  Alcotest.(check bool) "survives below threshold" false survives.halted
+
+let fixed_bft_quadratic_traffic () =
+  let traffic n =
+    (Fixed_bft.run { Fixed_bft.honey_badger_default with servers = n; block_bytes = 0 })
+      .bytes_per_server_per_round
+  in
+  let t50 = traffic 50 and t200 = traffic 200 in
+  Alcotest.(check bool)
+    (Printf.sprintf "vote traffic grows with committee (%.0f -> %.0f)" t50 t200)
+    true
+    (t200 > 3.0 *. t50)
+
+let suite =
+  [
+    ( "baselines",
+      [
+        t "fixed BFT latency/throughput" fixed_bft_latency;
+        t "fixed BFT halts under DoS" fixed_bft_dos_halts;
+        t "fixed BFT vote traffic grows" fixed_bft_quadratic_traffic;
+        ts "block interval" block_interval_matches;
+        ts "confirmation latency ~1 hour" confirmation_takes_an_hour;
+        ts "throughput ~6 MB/hour" throughput_ballpark;
+        ts "orphans exist but rare" orphans_exist_but_rare;
+        ts "faster blocks, more forks" faster_blocks_mean_more_forks;
+        t "deterministic" deterministic;
+      ] );
+  ]

@@ -1,0 +1,136 @@
+(* Numerics underpinning sortition: binomial pmf/cdf, the interval
+   search of Algorithm 1, Poisson tails, and log-gamma accuracy. *)
+
+open Algorand_sortition
+
+let t name f = Alcotest.test_case name `Quick f
+let close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let log_gamma_small () =
+  (* ln Gamma(n) = ln (n-1)! for small integers. *)
+  let fact = [| 1.; 1.; 2.; 6.; 24.; 120.; 720.; 5040. |] in
+  for n = 1 to 7 do
+    close ~eps:1e-10 (Printf.sprintf "lgamma(%d)" n) (log fact.(n - 1))
+      (Special.log_gamma (float_of_int n))
+  done
+
+let log_gamma_recurrence () =
+  (* Gamma(x+1) = x Gamma(x) across magnitudes. *)
+  List.iter
+    (fun x ->
+      close ~eps:1e-9
+        (Printf.sprintf "recurrence at %g" x)
+        (Special.log_gamma x +. log x)
+        (Special.log_gamma (x +. 1.0)))
+    [ 0.5; 1.5; 3.7; 12.0; 100.5; 5000.0 ]
+
+let pmf_sums_to_one () =
+  List.iter
+    (fun (n, p) ->
+      let s = ref 0.0 in
+      for k = 0 to n do
+        s := !s +. Binomial.pmf ~k ~n ~p
+      done;
+      close ~eps:1e-9 (Printf.sprintf "sum n=%d p=%g" n p) 1.0 !s)
+    [ (1, 0.5); (10, 0.1); (100, 0.01); (1000, 0.002) ]
+
+let pmf_matches_direct () =
+  (* Small cases against exact arithmetic. *)
+  close "B(1;2,0.5)" 0.5 (Binomial.pmf ~k:1 ~n:2 ~p:0.5);
+  close "B(0;3,0.5)" 0.125 (Binomial.pmf ~k:0 ~n:3 ~p:0.5);
+  close "B(2;4,0.25)" (6.0 *. (0.25 ** 2.) *. (0.75 ** 2.)) (Binomial.pmf ~k:2 ~n:4 ~p:0.25)
+
+let cdf_monotone () =
+  let n = 50 and p = 0.1 in
+  let prev = ref (-1.0) in
+  for k = 0 to n do
+    let c = Binomial.cdf ~k ~n ~p in
+    if c < !prev -. 1e-12 then Alcotest.fail "cdf not monotone";
+    prev := c
+  done;
+  close "cdf(n) = 1" 1.0 (Binomial.cdf ~k:n ~n ~p)
+
+let select_j_boundaries () =
+  (* frac below B(0) selects 0 sub-users; frac just under 1 selects ~n. *)
+  Alcotest.(check int) "tiny frac" 0 (Binomial.select_j ~frac:1e-12 ~w:100 ~p:0.01);
+  Alcotest.(check int) "zero weight" 0 (Binomial.select_j ~frac:0.5 ~w:0 ~p:0.5);
+  Alcotest.(check int) "p = 1 selects all" 7 (Binomial.select_j ~frac:0.3 ~w:7 ~p:1.0);
+  Alcotest.(check int) "p = 0 selects none" 0 (Binomial.select_j ~frac:0.3 ~w:7 ~p:0.0);
+  let j = Binomial.select_j ~frac:0.999999 ~w:10 ~p:0.5 in
+  Alcotest.(check bool) "high frac selects many" true (j >= 9)
+
+let select_j_is_cdf_inverse () =
+  (* j = select_j(frac) iff cdf(j-1) <= frac < cdf(j). *)
+  let w = 40 and p = 0.13 in
+  List.iter
+    (fun frac ->
+      let j = Binomial.select_j ~frac ~w ~p in
+      let below = if j = 0 then 0.0 else Binomial.cdf ~k:(j - 1) ~n:w ~p in
+      let upto = Binomial.cdf ~k:j ~n:w ~p in
+      if not (below <= frac && (frac < upto || j = w)) then
+        Alcotest.failf "frac %g -> j=%d but interval [%g, %g)" frac j below upto)
+    [ 0.0; 0.001; 0.01; 0.2; 0.5; 0.9; 0.99; 0.9999 ]
+
+let select_j_heavy_regime () =
+  (* w*p so large that B(0) underflows: the mode-walk path. The median
+     of the selection must sit near the mean. *)
+  let w = 1_000_000 and p = 0.002 in
+  (* mean 2000, sigma ~44.7 *)
+  let j = Binomial.select_j ~frac:0.5 ~w ~p in
+  Alcotest.(check bool)
+    (Printf.sprintf "median near mean (got %d)" j)
+    true
+    (j > 1900 && j < 2100);
+  let j_low = Binomial.select_j ~frac:0.0001 ~w ~p in
+  let j_high = Binomial.select_j ~frac:0.9999 ~w ~p in
+  Alcotest.(check bool) "tails ordered" true (j_low < j && j < j_high)
+
+let expected_selection_fraction () =
+  (* E[j] = w * p: Monte Carlo over uniformly spaced fracs. *)
+  let w = 500 and p = 0.02 in
+  let samples = 2000 in
+  let total = ref 0 in
+  for i = 0 to samples - 1 do
+    let frac = (float_of_int i +. 0.5) /. float_of_int samples in
+    total := !total + Binomial.select_j ~frac ~w ~p
+  done;
+  let mean = float_of_int !total /. float_of_int samples in
+  close ~eps:0.5 "mean selection" (float_of_int w *. p) mean
+
+let poisson_basics () =
+  close "pmf(0)" (exp (-2.0)) (Poisson.pmf ~k:0 ~mean:2.0);
+  close "pmf(1)" (2.0 *. exp (-2.0)) (Poisson.pmf ~k:1 ~mean:2.0);
+  let s = ref 0.0 in
+  for k = 0 to 100 do
+    s := !s +. Poisson.pmf ~k ~mean:5.0
+  done;
+  close "sums to 1" 1.0 !s;
+  (* sf + cdf = 1 *)
+  close ~eps:1e-9 "sf complement" 1.0 (Poisson.cdf ~k:7 ~mean:5.0 +. Poisson.sf ~k:7 ~mean:5.0)
+
+let poisson_far_tail () =
+  (* Known far-tail value: P(X > k) for large mean stays positive and
+     tiny; 1 - cdf would round to 0. *)
+  let tail = Poisson.sf ~k:2600 ~mean:2000.0 in
+  Alcotest.(check bool) "positive" true (tail > 0.0);
+  Alcotest.(check bool) "tiny" true (tail < 1e-30)
+
+let suite =
+  [
+    ( "binomial+poisson",
+      [
+        t "log_gamma small integers" log_gamma_small;
+        t "log_gamma recurrence" log_gamma_recurrence;
+        t "pmf sums to one" pmf_sums_to_one;
+        t "pmf matches direct computation" pmf_matches_direct;
+        t "cdf monotone" cdf_monotone;
+        t "select_j boundaries" select_j_boundaries;
+        t "select_j inverts the cdf" select_j_is_cdf_inverse;
+        t "select_j heavy regime" select_j_heavy_regime;
+        t "expected selection fraction" expected_selection_fraction;
+        t "poisson basics" poisson_basics;
+        t "poisson far tail" poisson_far_tail;
+      ] );
+  ]

@@ -1,0 +1,153 @@
+(* Block certificates (section 8.3): quorum checking, forgery
+   rejection, and the MaxSteps bound against late-step certificates. *)
+
+open Algorand_crypto
+open Algorand_ba
+module Identity = Algorand_core.Identity
+module Certificate = Algorand_core.Certificate
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* Committee sizes chosen so a full vote set clears its threshold with
+   a wide statistical margin (E = tau, threshold = T * tau, sigma well
+   below the gap), keeping the deterministic seeds far from the edge. *)
+let params = { Params.paper with tau_step = 60.0; tau_final = 200.0; max_steps = 24 }
+let sig_scheme = Signature_scheme.sim
+let vrf_scheme = Vrf.sim
+let n = 10
+let users =
+  Array.init n (fun i ->
+      Identity.generate ~sig_scheme ~vrf_scheme ~seed:(Printf.sprintf "cert%d" i))
+
+let weight = 100
+let total_weight = weight * n
+let prev_hash = String.make 32 'C'
+let seed = "cert-seed"
+let round = 5
+let step = Vote.Bin 2
+let value = Sha256.digest "certified-block"
+
+let vctx : Vote.validation_ctx =
+  {
+    sig_scheme;
+    vrf_scheme;
+    sig_pk_of = Identity.sig_pk;
+    vrf_pk_of = Identity.vrf_pk;
+    seed;
+    total_weight;
+    weight_of = (fun _ -> weight);
+    last_block_hash = prev_hash;
+    tau_of_step = (function Vote.Final -> params.tau_final | _ -> params.tau_step);
+  }
+
+let all_votes ?(value = value) ?(step = step) () : Vote.t list =
+  Array.to_list users
+  |> List.filter_map (fun (u : Identity.t) ->
+         Vote.make ~signer:u.signer ~prover:u.prover ~pk:u.pk ~seed ~tau:params.tau_step
+           ~w:weight ~total_weight ~round ~step ~prev_hash ~value)
+
+let valid_certificate () =
+  let votes = all_votes () in
+  Alcotest.(check bool) "enough voters" true (List.length votes >= 7);
+  let c = Certificate.make ~round ~step ~block_hash:value ~votes in
+  (match Certificate.validate ~params ~ctx:vctx c with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid certificate rejected: %a" Certificate.pp_error e);
+  Alcotest.(check bool) "has a size" true (Certificate.size_bytes c > 0)
+
+let insufficient_votes () =
+  let votes = all_votes () in
+  let few = [ List.hd votes ] in
+  let c = Certificate.make ~round ~step ~block_hash:value ~votes:few in
+  match Certificate.validate ~params ~ctx:vctx c with
+  | Error (`Insufficient_votes _) -> ()
+  | Ok () -> Alcotest.fail "single vote accepted as quorum"
+  | Error e -> Alcotest.failf "unexpected: %a" Certificate.pp_error e
+
+let wrong_value_vote () =
+  let votes = all_votes () in
+  let bad = all_votes ~value:(Sha256.digest "other") () in
+  let c =
+    Certificate.make ~round ~step ~block_hash:value ~votes:(List.hd bad :: List.tl votes)
+  in
+  match Certificate.validate ~params ~ctx:vctx c with
+  | Error `Wrong_value -> ()
+  | _ -> Alcotest.fail "vote for another value accepted"
+
+let mixed_steps () =
+  let votes = all_votes () in
+  let other_step = all_votes ~step:(Vote.Bin 3) () in
+  let c =
+    Certificate.make ~round ~step ~block_hash:value
+      ~votes:(List.hd other_step :: List.tl votes)
+  in
+  match Certificate.validate ~params ~ctx:vctx c with
+  | Error `Mixed_steps -> ()
+  | _ -> Alcotest.fail "mixed-step votes accepted"
+
+let duplicate_voter () =
+  let votes = all_votes () in
+  let c =
+    Certificate.make ~round ~step ~block_hash:value ~votes:(List.hd votes :: votes)
+  in
+  match Certificate.validate ~params ~ctx:vctx c with
+  | Error `Duplicate_voter -> ()
+  | _ -> Alcotest.fail "duplicate voter accepted"
+
+let forged_signature () =
+  let votes = all_votes () in
+  let forged = { (List.hd votes) with signature = String.make 32 'x' } in
+  let c =
+    Certificate.make ~round ~step ~block_hash:value ~votes:(forged :: List.tl votes)
+  in
+  match Certificate.validate ~params ~ctx:vctx c with
+  | Error `Invalid_vote -> ()
+  | _ -> Alcotest.fail "forged signature accepted"
+
+let late_step_rejected () =
+  (* Section 8.3's certificate attack: a step number beyond MaxSteps
+     must be rejected outright. *)
+  let step = Vote.Bin (params.max_steps + 10) in
+  let votes = all_votes ~step () in
+  let c = Certificate.make ~round ~step ~block_hash:value ~votes in
+  match Certificate.validate ~params ~ctx:vctx c with
+  | Error `Too_many_steps -> ()
+  | _ -> Alcotest.fail "late-step certificate accepted"
+
+let reduction_step_rejected () =
+  let step = Vote.Reduction_one in
+  let votes = all_votes ~step () in
+  let c = Certificate.make ~round ~step ~block_hash:value ~votes in
+  match Certificate.validate ~params ~ctx:vctx c with
+  | Error `Too_many_steps -> ()
+  | _ -> Alcotest.fail "reduction-step certificate accepted"
+
+let final_certificate_uses_final_threshold () =
+  (* Final-step certificates need the final-step threshold: a full vote
+     set (~tau_final votes in expectation) passes, a third of it fails. *)
+  let votes = all_votes ~step:Vote.Final () in
+  let c = Certificate.make ~round ~step:Vote.Final ~block_hash:value ~votes in
+  (match Certificate.validate ~params ~ctx:vctx c with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "full final certificate rejected: %a" Certificate.pp_error e);
+  let half = List.filteri (fun i _ -> i < List.length votes / 3) votes in
+  let c' = Certificate.make ~round ~step:Vote.Final ~block_hash:value ~votes:half in
+  match Certificate.validate ~params ~ctx:vctx c' with
+  | Error (`Insufficient_votes _) -> ()
+  | _ -> Alcotest.fail "third of final votes accepted"
+
+let suite =
+  [
+    ( "certificate",
+      [
+        t "valid certificate accepted" valid_certificate;
+        t "insufficient votes" insufficient_votes;
+        t "wrong value" wrong_value_vote;
+        t "mixed steps" mixed_steps;
+        t "duplicate voter" duplicate_voter;
+        t "forged signature" forged_signature;
+        t "late step rejected" late_step_rejected;
+        t "reduction step rejected" reduction_step_rejected;
+        t "final threshold enforced" final_certificate_uses_final_threshold;
+      ] );
+  ]

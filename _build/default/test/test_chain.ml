@@ -1,0 +1,153 @@
+(* The chain store: tree structure, fork tracking, seeds, finality. *)
+
+open Algorand_crypto
+open Algorand_ledger
+
+let t name f = Alcotest.test_case name `Quick f
+
+let sig_scheme = Signature_scheme.sim
+let alice_signer, alice = sig_scheme.generate ~seed:"alice"
+let _, bob = sig_scheme.generate ~seed:"bob"
+
+let genesis () = Genesis.make [ (alice, 100); (bob, 100) ]
+
+(* A minimal non-empty block extending [parent]. *)
+let block_on (parent : Chain.entry) ?(txs = []) ?(stamp = 1.0) () : Block.t =
+  {
+    Block.header =
+      {
+        round = parent.height + 1;
+        prev_hash = parent.hash;
+        timestamp = parent.block.header.timestamp +. stamp;
+        seed = Sha256.digest ("seed" ^ string_of_int parent.height);
+        seed_proof = "";
+        proposer_pk = alice;
+        proposer_vrf_hash = Sha256.digest "vrf";
+        proposer_vrf_proof = "";
+      };
+    txs;
+    padding = 0;
+  }
+
+let linear_growth () =
+  let g = genesis () in
+  let chain = Chain.create g in
+  let e1 =
+    match Chain.add chain (block_on (Chain.tip chain) ()) with
+    | Ok e -> e
+    | Error err -> Alcotest.failf "add failed: %a" Chain.pp_add_error err
+  in
+  Chain.set_tip chain e1.hash;
+  Alcotest.(check int) "height" 1 e1.height;
+  Alcotest.(check int) "size" 2 (Chain.size chain);
+  let e2 =
+    match Chain.add chain (block_on e1 ()) with Ok e -> e | Error _ -> assert false
+  in
+  Chain.set_tip chain e2.hash;
+  Alcotest.(check int) "tip height" 2 (Chain.tip chain).height;
+  (* Ancestry is tip-first down to genesis. *)
+  let heights = List.map (fun (e : Chain.entry) -> e.height) (Chain.ancestry chain e2.hash) in
+  Alcotest.(check (list int)) "ancestry order" [ 2; 1; 0 ] heights;
+  Alcotest.(check bool) "descends from genesis" true
+    (Chain.descends_from chain ~hash:e2.hash ~ancestor:chain.genesis_hash)
+
+let transactions_update_balances () =
+  let g = genesis () in
+  let chain = Chain.create g in
+  let tx =
+    Transaction.make ~signer:alice_signer ~sender:alice ~recipient:bob ~amount:25 ~nonce:0
+  in
+  match Chain.add chain (block_on (Chain.tip chain) ~txs:[ tx ] ()) with
+  | Error e -> Alcotest.failf "add: %a" Chain.pp_add_error e
+  | Ok e1 ->
+    Alcotest.(check int) "alice" 75 (Balances.balance e1.balances_after alice);
+    Alcotest.(check int) "bob" 125 (Balances.balance e1.balances_after bob);
+    (* An invalid (replayed) tx must be rejected at add time. *)
+    (match Chain.add chain (block_on e1 ~txs:[ tx ] ()) with
+    | Error (`Invalid_tx _) -> ()
+    | _ -> Alcotest.fail "replayed tx in block accepted")
+
+let add_errors () =
+  let g = genesis () in
+  let chain = Chain.create g in
+  let orphan =
+    { (block_on (Chain.tip chain) ()) with
+      header = { (block_on (Chain.tip chain) ()).header with prev_hash = String.make 32 'z' } }
+  in
+  (match Chain.add chain orphan with
+  | Error `Unknown_parent -> ()
+  | _ -> Alcotest.fail "orphan accepted");
+  let wrong_round =
+    { (block_on (Chain.tip chain) ()) with
+      header = { (block_on (Chain.tip chain) ()).header with round = 7 } }
+  in
+  (match Chain.add chain wrong_round with
+  | Error (`Wrong_round (1, 7)) -> ()
+  | _ -> Alcotest.fail "wrong round accepted");
+  let b = block_on (Chain.tip chain) () in
+  (match Chain.add chain b with Ok _ -> () | Error _ -> Alcotest.fail "valid rejected");
+  match Chain.add chain b with
+  | Error `Duplicate -> ()
+  | _ -> Alcotest.fail "duplicate accepted"
+
+let forks_and_longest () =
+  let g = genesis () in
+  let chain = Chain.create g in
+  let tip0 = Chain.tip chain in
+  (* Two children of genesis: fork A (3 blocks), fork B (1 block). *)
+  let a1 = Result.get_ok (Chain.add chain (block_on tip0 ~stamp:1.0 ())) in
+  let b1 = Result.get_ok (Chain.add chain (block_on tip0 ~stamp:2.0 ())) in
+  let a2 = Result.get_ok (Chain.add chain (block_on a1 ())) in
+  let a3 = Result.get_ok (Chain.add chain (block_on a2 ())) in
+  Alcotest.(check int) "two leaves" 2 (List.length (Chain.leaves chain));
+  let longest = Chain.longest_leaf chain in
+  Alcotest.(check string) "longest is fork A" (Hex.of_string a3.hash)
+    (Hex.of_string longest.hash);
+  Alcotest.(check bool) "b1 not on a-path" false
+    (Chain.descends_from chain ~hash:a3.hash ~ancestor:b1.hash);
+  (* ancestor_at walks the right path. *)
+  (match Chain.ancestor_at chain ~hash:a3.hash ~height:1 with
+  | Some e -> Alcotest.(check string) "ancestor at 1" (Hex.of_string a1.hash) (Hex.of_string e.hash)
+  | None -> Alcotest.fail "ancestor_at failed");
+  Alcotest.(check bool) "ancestor above height" true
+    (Chain.ancestor_at chain ~hash:a1.hash ~height:3 = None)
+
+let finality_marking () =
+  let g = genesis () in
+  let chain = Chain.create g in
+  let e1 = Result.get_ok (Chain.add chain (block_on (Chain.tip chain) ())) in
+  Alcotest.(check bool) "not final by default" false e1.final;
+  Chain.mark_final chain e1.hash;
+  Alcotest.(check bool) "final after marking" true
+    (match Chain.find chain e1.hash with Some e -> e.final | None -> false);
+  Alcotest.check_raises "unknown hash" (Invalid_argument "Chain.mark_final: unknown block")
+    (fun () -> Chain.mark_final chain "nope")
+
+let seed_derivation () =
+  let g = genesis () in
+  let chain = Chain.create g in
+  Alcotest.(check string) "genesis establishes seed0" (Hex.of_string g.seed0)
+    (Hex.of_string (Chain.genesis_entry chain).seed);
+  (* A block with an explicit seed establishes it. *)
+  let b = block_on (Chain.tip chain) () in
+  let e1 = Result.get_ok (Chain.add chain b) in
+  Alcotest.(check string) "explicit seed" (Hex.of_string b.header.seed)
+    (Hex.of_string e1.seed);
+  (* An empty block derives H(parent_seed || round). *)
+  let empty = Block.empty ~round:2 ~prev_hash:e1.hash in
+  let e2 = Result.get_ok (Chain.add chain empty) in
+  Alcotest.(check bool) "empty-block seed is derived and fresh" true
+    (not (String.equal e2.seed e1.seed) && String.length e2.seed = 32)
+
+let suite =
+  [
+    ( "chain",
+      [
+        t "linear growth" linear_growth;
+        t "transactions update balances" transactions_update_balances;
+        t "add errors" add_errors;
+        t "forks and longest leaf" forks_and_longest;
+        t "finality marking" finality_marking;
+        t "seed derivation" seed_derivation;
+      ] );
+  ]

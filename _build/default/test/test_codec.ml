@@ -1,0 +1,167 @@
+(* Wire-codec roundtrips for every message type, with qcheck-generated
+   values where structure allows. *)
+
+open Algorand_crypto
+module Codec = Algorand_core.Codec
+module Message = Algorand_core.Message
+module Proposal = Algorand_core.Proposal
+module Certificate = Algorand_core.Certificate
+module Identity = Algorand_core.Identity
+module Block = Algorand_ledger.Block
+module Transaction = Algorand_ledger.Transaction
+module Vote = Algorand_ba.Vote
+
+let t name f = Alcotest.test_case name `Quick f
+let qt ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let sig_scheme = Signature_scheme.sim
+let signer, pk = sig_scheme.generate ~seed:"codec"
+let _, pk2 = sig_scheme.generate ~seed:"codec2"
+
+let h32 s = Sha256.digest s
+
+let sample_tx n =
+  Transaction.make ~signer ~sender:pk ~recipient:pk2 ~amount:(n * 3) ~nonce:n
+
+let sample_vote step : Vote.t =
+  {
+    round = 7;
+    step;
+    voter_pk = pk ^ pk2;
+    sorthash = h32 "sort";
+    sortproof = "proofbytes";
+    prev_hash = h32 "prev";
+    value = h32 "value";
+    signature = "sig";
+  }
+
+let sample_block ~txs ~padding : Block.t =
+  {
+    header =
+      {
+        round = 9;
+        prev_hash = h32 "p";
+        timestamp = 123.456;
+        seed = h32 "s";
+        seed_proof = "sp";
+        proposer_pk = pk ^ pk2;
+        proposer_vrf_hash = h32 "v";
+        proposer_vrf_proof = "vp";
+      };
+    txs;
+    padding;
+  }
+
+let roundtrip (m : Message.t) =
+  match Codec.decode (Codec.encode m) with
+  | Some m' -> Alcotest.(check string) "id stable" (Message.id m) (Message.id m')
+  | None -> Alcotest.fail "decode failed"
+
+let all_kinds () =
+  roundtrip (Message.Tx (sample_tx 1));
+  roundtrip
+    (Message.Priority
+       {
+         round = 3;
+         proposer_pk = pk ^ pk2;
+         prev_hash = h32 "p";
+         vrf_hash = h32 "v";
+         vrf_proof = "vp";
+         priority = h32 "pr";
+       });
+  roundtrip (Message.Block_gossip (sample_block ~txs:[ sample_tx 1; sample_tx 2 ] ~padding:77));
+  roundtrip (Message.Block_reply (sample_block ~txs:[] ~padding:0));
+  roundtrip (Message.Ba_vote (sample_vote (Vote.Bin 4)));
+  roundtrip (Message.Block_request { round = 5; block_hash = h32 "b"; requester = 12 });
+  roundtrip
+    (Message.Fork_proposal
+       {
+         attempt = 2;
+         proposer_pk = pk ^ pk2;
+         vrf_hash = h32 "v";
+         vrf_proof = "vp";
+         priority = h32 "pr";
+         suffix = [ sample_block ~txs:[ sample_tx 3 ] ~padding:5 ];
+         tip_hash = h32 "tip";
+       })
+
+let block_hash_survives () =
+  let b = sample_block ~txs:[ sample_tx 1; sample_tx 2; sample_tx 3 ] ~padding:123 in
+  match Codec.decode_block (Codec.encode_block b) with
+  | Some b' ->
+    Alcotest.(check string) "hash preserved" (Hex.of_string (Block.hash b))
+      (Hex.of_string (Block.hash b'))
+  | None -> Alcotest.fail "block decode failed"
+
+let vote_fields_survive () =
+  List.iter
+    (fun step ->
+      let v = sample_vote step in
+      match Codec.decode_vote (Codec.encode_vote v) with
+      | Some v' ->
+        Alcotest.(check bool) "equal" true (v = v');
+        Alcotest.(check bool) "step equal" true (Vote.equal_step v.step v'.step)
+      | None -> Alcotest.fail "vote decode failed")
+    [ Vote.Reduction_one; Vote.Reduction_two; Vote.Bin 1; Vote.Bin 150; Vote.Final ]
+
+let certificate_roundtrip () =
+  let votes = List.init 5 (fun i -> { (sample_vote (Vote.Bin 2)) with round = i }) in
+  let c = Certificate.make ~round:4 ~step:(Vote.Bin 2) ~block_hash:(h32 "b") ~votes in
+  match Codec.decode_certificate (Codec.encode_certificate c) with
+  | Some c' ->
+    Alcotest.(check int) "round" c.round c'.round;
+    Alcotest.(check int) "votes" (List.length c.votes) (List.length c'.votes);
+    Alcotest.(check string) "hash" (Hex.of_string c.block_hash) (Hex.of_string c'.block_hash)
+  | None -> Alcotest.fail "certificate decode failed"
+
+let garbage_rejected () =
+  Alcotest.(check bool) "empty" true (Codec.decode "" = None);
+  Alcotest.(check bool) "junk" true (Codec.decode "not a message" = None);
+  Alcotest.(check bool) "bad tag" true
+    (Codec.decode (Algorand_ledger.Wire.concat [ Algorand_ledger.Wire.u64 99; "x" ]) = None);
+  (* Truncations of a valid encoding must never decode to a value. *)
+  let enc = Codec.encode (Message.Ba_vote (sample_vote (Vote.Bin 1))) in
+  for cut = 1 to String.length enc - 1 do
+    match Codec.decode (String.sub enc 0 cut) with
+    | Some _ -> Alcotest.failf "truncation at %d decoded" cut
+    | None -> ()
+  done
+
+let wire_size_includes_padding () =
+  let b = sample_block ~txs:[] ~padding:10_000 in
+  let m = Message.Block_gossip b in
+  Alcotest.(check bool) "padding counted" true
+    (Codec.wire_size_bytes m > 10_000);
+  Alcotest.(check bool) "close to size estimate" true
+    (abs (Codec.wire_size_bytes m - Message.size_bytes m) < 600)
+
+let suite =
+  [
+    ( "codec",
+      [
+        t "all message kinds roundtrip" all_kinds;
+        t "block hash survives" block_hash_survives;
+        t "vote fields survive" vote_fields_survive;
+        t "certificate roundtrip" certificate_roundtrip;
+        t "garbage rejected" garbage_rejected;
+        t "wire size includes padding" wire_size_includes_padding;
+        qt "tx roundtrips" QCheck2.Gen.(pair (int_range 0 100000) (int_range 0 1000))
+          (fun (amount, nonce) ->
+            let tx = Transaction.make ~signer ~sender:pk ~recipient:pk2 ~amount ~nonce in
+            match Codec.decode (Codec.encode (Message.Tx tx)) with
+            | Some (Message.Tx tx') -> Transaction.id tx = Transaction.id tx'
+            | _ -> false);
+        qt "votes roundtrip"
+          QCheck2.Gen.(triple (int_range 0 10000) (int_range 1 200) string)
+          (fun (round, bin, value) ->
+            let v = { (sample_vote (Vote.Bin bin)) with round; value } in
+            Codec.decode_vote (Codec.encode_vote v) = Some v);
+        qt "blocks roundtrip" QCheck2.Gen.(pair (int_range 0 5) (int_range 0 100000))
+          (fun (ntx, padding) ->
+            let b = sample_block ~txs:(List.init ntx sample_tx) ~padding in
+            match Codec.decode_block (Codec.encode_block b) with
+            | Some b' -> Block.hash b = Block.hash b'
+            | None -> false);
+      ] );
+  ]

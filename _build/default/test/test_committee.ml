@@ -1,0 +1,67 @@
+(* The committee-size analysis behind Figure 3 and section 7.5. *)
+
+open Algorand_sortition
+
+let t name f = Alcotest.test_case name `Quick f
+let ts name f = Alcotest.test_case name `Slow f
+
+let violation_monotone_in_tau () =
+  (* More committee members -> lower violation probability. *)
+  let h = 0.8 in
+  let v tau = snd (Committee.best_threshold ~h ~tau) in
+  let v500 = v 500.0 and v1000 = v 1000.0 and v2000 = v 2000.0 in
+  Alcotest.(check bool) "500 > 1000" true (v500 > v1000);
+  Alcotest.(check bool) "1000 > 2000" true (v1000 > v2000)
+
+let liveness_vs_safety_tradeoff () =
+  (* Raising T hurts liveness and helps safety. *)
+  let h = 0.8 and tau = 1000.0 in
+  Alcotest.(check bool) "liveness worsens with T" true
+    (Committee.liveness_failure ~h ~tau ~t:0.75 > Committee.liveness_failure ~h ~tau ~t:0.65);
+  Alcotest.(check bool) "safety improves with T" true
+    (Committee.safety_failure ~h ~tau ~t:0.75 < Committee.safety_failure ~h ~tau ~t:0.65)
+
+let paper_point_h80 () =
+  (* Figure 4 / section 7.5: at h = 80%, tau_step = 2000 with
+     T = 0.685 keeps the violation probability at most ~5e-9. *)
+  let v = Committee.violation_probability ~h:0.8 ~tau:2000.0 ~t:0.685 in
+  Alcotest.(check bool)
+    (Printf.sprintf "violation %.3g <= 5e-9" v)
+    true (v <= 5e-9);
+  (* And the required committee size at h=0.8 is in the ballpark of
+     2000 (the paper marks the star there). *)
+  let tau, _ = Committee.required_committee_size ~h:0.8 () in
+  Alcotest.(check bool) (Printf.sprintf "required tau %d" tau) true (tau > 800 && tau <= 2200)
+
+let committee_grows_as_h_falls () =
+  (* The Figure 3 shape: smaller honest fraction -> larger committee. *)
+  let tau_at h = fst (Committee.required_committee_size ~h ()) in
+  let t80 = tau_at 0.80 and t84 = tau_at 0.84 and t90 = tau_at 0.90 in
+  Alcotest.(check bool)
+    (Printf.sprintf "tau(0.80)=%d > tau(0.84)=%d > tau(0.90)=%d" t80 t84 t90)
+    true
+    (t80 > t84 && t84 > t90)
+
+let rejects_h_below_two_thirds () =
+  Alcotest.check_raises "h <= 2/3 rejected" (Invalid_argument
+    "Committee.required_committee_size: need h > 2/3") (fun () ->
+      ignore (Committee.required_committee_size ~h:0.6 ()))
+
+let final_step_parameters () =
+  (* tau_final = 10000 / T_final = 0.74 keep the final-step *safety*
+     failure overwhelmingly small (section 7.5). *)
+  let v = Committee.final_step_violation ~h:0.8 ~tau:10_000.0 ~t:0.74 in
+  Alcotest.(check bool) (Printf.sprintf "final violation %.3g" v) true (v < 1e-12)
+
+let suite =
+  [
+    ( "committee",
+      [
+        t "violation monotone in tau" violation_monotone_in_tau;
+        t "liveness/safety tradeoff" liveness_vs_safety_tradeoff;
+        ts "paper point at h=80%" paper_point_h80;
+        ts "figure 3 shape" committee_grows_as_h_falls;
+        t "rejects h <= 2/3" rejects_h_below_two_thirds;
+        t "final step parameters" final_step_parameters;
+      ] );
+  ]

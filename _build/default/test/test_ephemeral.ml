@@ -1,0 +1,84 @@
+(* Forward-secure ephemeral keys (section 11 extension). *)
+
+open Algorand_crypto
+
+let t name f = Alcotest.test_case name `Quick f
+
+let scheme = Signature_scheme.sim
+
+let sign_verify_roundtrip () =
+  let keys, commitment = Ephemeral.create ~scheme ~seed:"alice" ~epochs:8 in
+  Alcotest.(check int) "epochs" 8 (Ephemeral.epochs keys);
+  Alcotest.(check string) "commitment accessor" (Hex.of_string commitment)
+    (Hex.of_string (Ephemeral.commitment keys));
+  match Ephemeral.sign keys ~epoch:3 "vote payload" with
+  | None -> Alcotest.fail "signing failed"
+  | Some s ->
+    Alcotest.(check int) "epoch recorded" 3 s.epoch;
+    Alcotest.(check bool) "verifies" true
+      (Ephemeral.verify ~scheme ~commitment ~msg:"vote payload" s);
+    Alcotest.(check bool) "wrong message" false
+      (Ephemeral.verify ~scheme ~commitment ~msg:"other" s);
+    Alcotest.(check bool) "wrong commitment" false
+      (Ephemeral.verify ~scheme ~commitment:(Sha256.digest "x") ~msg:"vote payload" s)
+
+let key_deleted_after_use () =
+  let keys, _ = Ephemeral.create ~scheme ~seed:"bob" ~epochs:4 in
+  Alcotest.(check bool) "first use works" true (Ephemeral.sign keys ~epoch:1 "m" <> None);
+  (* Forward security: the key is gone, even for its owner. *)
+  Alcotest.(check bool) "second use fails" true (Ephemeral.sign keys ~epoch:1 "m2" = None);
+  Alcotest.(check bool) "marked retired" true (Ephemeral.is_retired keys ~epoch:1);
+  (* Other epochs unaffected. *)
+  Alcotest.(check bool) "epoch 2 still live" true (Ephemeral.sign keys ~epoch:2 "m" <> None)
+
+let retirement () =
+  let keys, _ = Ephemeral.create ~scheme ~seed:"carol" ~epochs:6 in
+  Ephemeral.retire keys ~epoch:3;
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "epoch %d retired" e)
+        true
+        (Ephemeral.sign keys ~epoch:e "m" = None))
+    [ 0; 1; 2; 3 ];
+  Alcotest.(check bool) "epoch 4 alive" true (Ephemeral.sign keys ~epoch:4 "m" <> None)
+
+let out_of_range () =
+  let keys, _ = Ephemeral.create ~scheme ~seed:"dan" ~epochs:2 in
+  Alcotest.(check bool) "negative" true (Ephemeral.sign keys ~epoch:(-1) "m" = None);
+  Alcotest.(check bool) "too large" true (Ephemeral.sign keys ~epoch:2 "m" = None);
+  Alcotest.check_raises "zero epochs" (Invalid_argument
+    "Ephemeral.create: epochs must be positive") (fun () ->
+      ignore (Ephemeral.create ~scheme ~seed:"x" ~epochs:0))
+
+let cross_epoch_transplant_rejected () =
+  (* A signature from epoch 2 must not verify when presented as epoch
+     4's, even with the matching proof swapped in: the proof index is
+     bound to the claimed epoch. *)
+  let keys, commitment = Ephemeral.create ~scheme ~seed:"eve" ~epochs:8 in
+  let s2 = Option.get (Ephemeral.sign keys ~epoch:2 "m") in
+  let s4 = Option.get (Ephemeral.sign keys ~epoch:4 "m") in
+  let franken = { s2 with epoch = 4; proof = s4.proof } in
+  Alcotest.(check bool) "transplant rejected" false
+    (Ephemeral.verify ~scheme ~commitment ~msg:"m" franken);
+  let franken2 = { s2 with epoch = 4 } in
+  Alcotest.(check bool) "relabeled epoch rejected" false
+    (Ephemeral.verify ~scheme ~commitment ~msg:"m" franken2)
+
+let users_have_distinct_commitments () =
+  let _, c1 = Ephemeral.create ~scheme ~seed:"u1" ~epochs:4 in
+  let _, c2 = Ephemeral.create ~scheme ~seed:"u2" ~epochs:4 in
+  Alcotest.(check bool) "distinct" false (String.equal c1 c2)
+
+let suite =
+  [
+    ( "ephemeral",
+      [
+        t "sign/verify roundtrip" sign_verify_roundtrip;
+        t "key deleted after use" key_deleted_after_use;
+        t "retirement" retirement;
+        t "out of range" out_of_range;
+        t "cross-epoch transplant rejected" cross_epoch_transplant_rejected;
+        t "distinct commitments" users_have_distinct_commitments;
+      ] );
+  ]

@@ -1,0 +1,97 @@
+(* The fixed-limb field vs the generic Nat oracle: every operation is
+   cross-checked on random field elements. *)
+
+open Algorand_crypto
+
+let t name f = Alcotest.test_case name `Quick f
+let qt ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let p = Ed25519.Fp.p
+
+(* Random field elements via hashing an integer seed. *)
+let gen_fe : Nat.t QCheck2.Gen.t =
+  QCheck2.Gen.(
+    map
+      (fun (i, full) ->
+        let n = Nat.of_bytes_le (Sha256.digest (string_of_int i)) in
+        if full then Nat.rem n p
+        else Nat.of_int (abs i land 0xFFFF) (* small values hit carry edges *))
+      (pair int bool))
+
+let to_fe = Fe25519.of_nat
+let eq_nat msg a b = Alcotest.(check string) msg (Nat.to_decimal a) (Nat.to_decimal b)
+
+let roundtrip () =
+  List.iter
+    (fun n ->
+      let v = Nat.rem n p in
+      eq_nat "roundtrip" v (Fe25519.to_nat (to_fe v)))
+    [
+      Nat.zero;
+      Nat.one;
+      Nat.of_int 123456789;
+      Nat.sub p Nat.one;
+      Nat.sub p (Nat.of_int 19);
+      Nat.shift_left Nat.one 254;
+    ];
+  (* of_nat reduces mod p. *)
+  eq_nat "reduces" Nat.one (Fe25519.to_nat (to_fe (Nat.add p Nat.one)))
+
+let constants () =
+  eq_nat "zero" Nat.zero (Fe25519.to_nat (Fe25519.zero ()));
+  eq_nat "one" Nat.one (Fe25519.to_nat (Fe25519.one ()));
+  eq_nat "of_int" (Nat.of_int 121665) (Fe25519.to_nat (Fe25519.of_int 121665));
+  Alcotest.(check bool) "is_zero" true (Fe25519.is_zero (Fe25519.zero ()));
+  Alcotest.(check bool) "one not zero" false (Fe25519.is_zero (Fe25519.one ()))
+
+let edge_values () =
+  (* p-1 squared, (p-1) + 1 = 0, etc. *)
+  let pm1 = to_fe (Nat.sub p Nat.one) in
+  eq_nat "(p-1)+1 = 0" Nat.zero (Fe25519.to_nat (Fe25519.add pm1 (Fe25519.one ())));
+  eq_nat "(p-1)^2 = 1" Nat.one (Fe25519.to_nat (Fe25519.sqr pm1));
+  eq_nat "0 - 1 = p-1" (Nat.sub p Nat.one)
+    (Fe25519.to_nat (Fe25519.sub (Fe25519.zero ()) (Fe25519.one ())));
+  eq_nat "neg 0 = 0" Nat.zero (Fe25519.to_nat (Fe25519.neg (Fe25519.zero ())))
+
+let inversion_and_pow () =
+  let x = to_fe (Nat.of_int 987654321) in
+  eq_nat "x * x^-1 = 1" Nat.one (Fe25519.to_nat (Fe25519.mul x (Fe25519.inv x)));
+  (* Fermat via pow. *)
+  let y = to_fe (Nat.of_int 31337) in
+  eq_nat "y^(p-1) = 1" Nat.one (Fe25519.to_nat (Fe25519.pow y (Nat.sub p Nat.one)))
+
+let suite =
+  [
+    ( "fe25519",
+      [
+        t "nat roundtrip" roundtrip;
+        t "constants" constants;
+        t "edge values" edge_values;
+        t "inversion and pow" inversion_and_pow;
+        qt "add matches oracle" QCheck2.Gen.(pair gen_fe gen_fe) (fun (a, b) ->
+            Nat.equal
+              (Fe25519.to_nat (Fe25519.add (to_fe a) (to_fe b)))
+              (Ed25519.Fp.add a b));
+        qt "sub matches oracle" QCheck2.Gen.(pair gen_fe gen_fe) (fun (a, b) ->
+            Nat.equal
+              (Fe25519.to_nat (Fe25519.sub (to_fe a) (to_fe b)))
+              (Ed25519.Fp.sub (Nat.rem a p) (Nat.rem b p)));
+        qt "mul matches oracle" QCheck2.Gen.(pair gen_fe gen_fe) (fun (a, b) ->
+            Nat.equal
+              (Fe25519.to_nat (Fe25519.mul (to_fe a) (to_fe b)))
+              (Ed25519.Fp.mul a b));
+        qt "sqr matches mul" gen_fe (fun a ->
+            Fe25519.equal (Fe25519.sqr (to_fe a)) (Fe25519.mul (to_fe a) (to_fe a)));
+        qt "neg matches oracle" gen_fe (fun a ->
+            Nat.equal (Fe25519.to_nat (Fe25519.neg (to_fe a))) (Ed25519.Fp.neg (Nat.rem a p)));
+        qt "inv matches oracle" gen_fe (fun a ->
+            Nat.is_zero (Nat.rem a p)
+            || Nat.equal (Fe25519.to_nat (Fe25519.inv (to_fe a))) (Ed25519.Fp.inv a));
+        qt "distributivity" QCheck2.Gen.(triple gen_fe gen_fe gen_fe) (fun (a, b, c) ->
+            let a = to_fe a and b = to_fe b and c = to_fe c in
+            Fe25519.equal
+              (Fe25519.mul a (Fe25519.add b c))
+              (Fe25519.add (Fe25519.mul a b) (Fe25519.mul a c)));
+      ] );
+  ]

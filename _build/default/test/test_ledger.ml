@@ -1,0 +1,169 @@
+(* Ledger building blocks: wire format, transactions, balances,
+   transaction pool, blocks, genesis, storage sharding. *)
+
+open Algorand_crypto
+open Algorand_ledger
+
+let t name f = Alcotest.test_case name `Quick f
+let qt ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let sig_scheme = Signature_scheme.sim
+let signer_of seed = sig_scheme.generate ~seed
+let alice_signer, alice = signer_of "alice"
+let _bob_signer, bob = signer_of "bob"
+
+let wire_roundtrip () =
+  let fields = [ "a"; ""; String.make 1000 'x'; "\x00\xff" ] in
+  Alcotest.(check (list string)) "roundtrip" fields (Wire.split (Wire.concat fields));
+  Alcotest.(check int) "u64 read" 123456 (Wire.read_u64 (Wire.u64 123456) 0)
+
+let wire_rejects_truncation () =
+  let s = Wire.concat [ "hello" ] in
+  Alcotest.check_raises "truncated" (Invalid_argument "Wire.split: truncated field")
+    (fun () -> ignore (Wire.split (String.sub s 0 (String.length s - 1))))
+
+let tx_roundtrip () =
+  let tx =
+    Transaction.make ~signer:alice_signer ~sender:alice ~recipient:bob ~amount:42 ~nonce:0
+  in
+  (match Transaction.deserialize (Transaction.serialize tx) with
+  | Some tx' -> Alcotest.(check string) "id stable" (Transaction.id tx) (Transaction.id tx')
+  | None -> Alcotest.fail "deserialize failed");
+  Alcotest.(check bool) "signature valid" true
+    (Transaction.verify_signature ~scheme:sig_scheme tx);
+  let forged = { tx with amount = 43 } in
+  Alcotest.(check bool) "forgery rejected" false
+    (Transaction.verify_signature ~scheme:sig_scheme forged)
+
+let balances_flow () =
+  let b = Balances.credit Balances.empty alice 100 in
+  Alcotest.(check int) "credited" 100 (Balances.balance b alice);
+  Alcotest.(check int) "total" 100 (Balances.total b);
+  let tx =
+    Transaction.make ~signer:alice_signer ~sender:alice ~recipient:bob ~amount:30 ~nonce:0
+  in
+  match Balances.apply_tx b tx with
+  | Error _ -> Alcotest.fail "valid tx rejected"
+  | Ok b' ->
+    Alcotest.(check int) "alice debited" 70 (Balances.balance b' alice);
+    Alcotest.(check int) "bob credited" 30 (Balances.balance b' bob);
+    Alcotest.(check int) "total conserved" 100 (Balances.total b');
+    Alcotest.(check int) "nonce advanced" 1 (Balances.nonce b' alice);
+    (* Replay: same nonce again must fail. *)
+    (match Balances.apply_tx b' tx with
+    | Error (`Bad_nonce _) -> ()
+    | _ -> Alcotest.fail "replay accepted");
+    (* Overdraft. *)
+    let big =
+      Transaction.make ~signer:alice_signer ~sender:alice ~recipient:bob ~amount:500
+        ~nonce:1
+    in
+    (match Balances.apply_tx b' big with
+    | Error (`Insufficient_balance _) -> ()
+    | _ -> Alcotest.fail "overdraft accepted")
+
+let double_spend_rejected () =
+  (* The core double-spending scenario: two transactions spending the
+     same balance; only the first applies. *)
+  let b = Balances.credit Balances.empty alice 10 in
+  let spend1 =
+    Transaction.make ~signer:alice_signer ~sender:alice ~recipient:bob ~amount:10 ~nonce:0
+  in
+  let spend2 =
+    Transaction.make ~signer:alice_signer ~sender:alice ~recipient:alice ~amount:10
+      ~nonce:0
+  in
+  match Balances.apply_all b [ spend1; spend2 ] with
+  | Ok _ -> Alcotest.fail "double spend accepted"
+  | Error (`Bad_nonce _) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %a" Balances.pp_tx_error e
+
+let txpool_dedup_and_take () =
+  let pool = Txpool.create () in
+  let tx n =
+    Transaction.make ~signer:alice_signer ~sender:alice ~recipient:bob ~amount:1 ~nonce:n
+  in
+  Alcotest.(check bool) "first add" true (Txpool.add pool (tx 0));
+  Alcotest.(check bool) "duplicate" false (Txpool.add pool (tx 0));
+  ignore (Txpool.add pool (tx 1));
+  ignore (Txpool.add pool (tx 2));
+  Alcotest.(check int) "size" 3 (Txpool.size pool);
+  let one_tx_bytes = Transaction.size_bytes (tx 0) in
+  let taken = Txpool.take pool ~max_bytes:(2 * one_tx_bytes) in
+  Alcotest.(check int) "took two (byte limit)" 2 (List.length taken);
+  Alcotest.(check int) "one left" 1 (Txpool.size pool);
+  (* FIFO order. *)
+  Alcotest.(check (list int)) "fifo" [ 0; 1 ]
+    (List.map (fun (x : Transaction.t) -> x.nonce) taken);
+  Txpool.remove_committed pool [ tx 2 ];
+  Alcotest.(check int) "committed removed" 0 (Txpool.size pool)
+
+let block_hash_sensitivity () =
+  let e = Block.empty ~round:3 ~prev_hash:(String.make 32 'p') in
+  Alcotest.(check bool) "is_empty" true (Block.is_empty e);
+  let e' = Block.empty ~round:4 ~prev_hash:(String.make 32 'p') in
+  Alcotest.(check bool) "round changes hash" false
+    (String.equal (Block.hash e) (Block.hash e'));
+  let padded = { e with padding = 100 } in
+  Alcotest.(check bool) "padding changes hash" false
+    (String.equal (Block.hash e) (Block.hash padded));
+  Alcotest.(check int) "padding counts in size" (Block.size_bytes e + 100)
+    (Block.size_bytes padded);
+  (* Empty blocks are deterministic: everyone computes the same hash. *)
+  Alcotest.(check string) "deterministic empty"
+    (Block.hash (Block.empty ~round:3 ~prev_hash:(String.make 32 'p')))
+    (Block.hash e)
+
+let genesis_checks () =
+  let g = Genesis.make [ (alice, 60); (bob, 40) ] in
+  Alcotest.(check int) "total" 100 (Balances.total g.balances);
+  Alcotest.(check int) "alice stake" 60 (Balances.balance g.balances alice);
+  Alcotest.(check int) "round 0" 0 (Block.round g.block);
+  Alcotest.(check bool) "seed nonempty" true (String.length g.seed0 = 32);
+  (* Deterministic given the same participants. *)
+  let g' = Genesis.make [ (alice, 60); (bob, 40) ] in
+  Alcotest.(check string) "deterministic" (Genesis.hash g) (Genesis.hash g');
+  Alcotest.check_raises "empty allocations" (Invalid_argument
+    "Genesis.make: no initial accounts") (fun () -> ignore (Genesis.make []));
+  Alcotest.check_raises "zero stake" (Invalid_argument
+    "Genesis.make: non-positive stake") (fun () -> ignore (Genesis.make [ (alice, 0) ]))
+
+let storage_sharding () =
+  Alcotest.(check bool) "single shard stores all" true
+    (Storage.stores ~shards:1 ~pk:alice ~round:17);
+  (* Across 10 shards each key stores ~1/10 of rounds. *)
+  let stored = ref 0 in
+  for round = 0 to 999 do
+    if Storage.stores ~shards:10 ~pk:alice ~round then incr stored
+  done;
+  Alcotest.(check int) "exactly a tenth" 100 !stored;
+  Alcotest.(check (float 0.01)) "cost" 130_000.0
+    (Storage.per_block_cost_bytes ~shards:10 ~block_bytes:1_000_000
+       ~certificate_bytes:300_000)
+
+let suite =
+  [
+    ( "ledger",
+      [
+        t "wire roundtrip" wire_roundtrip;
+        t "wire rejects truncation" wire_rejects_truncation;
+        t "tx roundtrip + signatures" tx_roundtrip;
+        t "balances flow" balances_flow;
+        t "double spend rejected" double_spend_rejected;
+        t "txpool dedup/take" txpool_dedup_and_take;
+        t "block hash sensitivity" block_hash_sensitivity;
+        t "genesis" genesis_checks;
+        t "storage sharding" storage_sharding;
+        qt "tx serialize roundtrips"
+          QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 0 1000))
+          (fun (amount, nonce) ->
+            let tx =
+              Transaction.make ~signer:alice_signer ~sender:alice ~recipient:bob ~amount
+                ~nonce
+            in
+            match Transaction.deserialize (Transaction.serialize tx) with
+            | Some tx' -> Transaction.id tx = Transaction.id tx'
+            | None -> false);
+      ] );
+  ]

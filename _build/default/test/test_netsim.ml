@@ -1,0 +1,262 @@
+(* Network simulator: topology latencies, bandwidth serialization,
+   adversaries, and gossip dissemination/dedup. *)
+
+open Algorand_sim
+open Algorand_netsim
+
+let t name f = Alcotest.test_case name `Quick f
+
+let topology_properties () =
+  let rng = Rng.create 1 in
+  let topo = Topology.create ~nodes:30 rng in
+  Alcotest.(check int) "nodes" 30 (Topology.nodes topo);
+  for _ = 1 to 100 do
+    let src = Rng.int rng 30 and dst = Rng.int rng 30 in
+    if src <> dst then begin
+      let l = Topology.latency topo ~src ~dst in
+      (* Positive, below a second even across the planet. *)
+      if l <= 0.0 || l > 0.5 then Alcotest.failf "implausible latency %f" l
+    end
+  done;
+  (* Same city -> small; antipodal cities -> large. Find two nodes in
+     the same city if any. *)
+  let name0 = Topology.city_of topo 0 in
+  Alcotest.(check bool) "city name nonempty" true (String.length name0 > 0)
+
+let bandwidth_serialization () =
+  (* Two 1 MB messages from the same sender must serialize: the second
+     arrives ~0.4s after the first at 20 Mbit/s. *)
+  let engine = Engine.create () in
+  let topo = Topology.create ~jitter_frac:0.0 ~nodes:2 (Rng.create 2) in
+  let net = Network.create ~bandwidth_bps:20e6 ~engine ~topology:topo () in
+  let arrivals = ref [] in
+  Network.set_handler net 1 (fun ~src:_ ~bytes:_ tag ->
+      arrivals := (tag, Engine.now engine) :: !arrivals);
+  Network.send net ~src:0 ~dst:1 ~bytes:1_000_000 "first";
+  Network.send net ~src:0 ~dst:1 ~bytes:1_000_000 "second";
+  ignore (Engine.run engine ());
+  match List.rev !arrivals with
+  | [ ("first", t1); ("second", t2) ] ->
+    let gap = t2 -. t1 in
+    Alcotest.(check bool) (Printf.sprintf "gap %.3f ~ 0.4s" gap) true
+      (gap > 0.35 && gap < 0.45);
+    Alcotest.(check bool) "first took at least tx time" true (t1 >= 0.4)
+  | _ -> Alcotest.fail "expected two arrivals in order"
+
+let self_send_dropped () =
+  let engine = Engine.create () in
+  let topo = Topology.create ~nodes:2 (Rng.create 3) in
+  let net = Network.create ~engine ~topology:topo () in
+  let got = ref 0 in
+  Network.set_handler net 0 (fun ~src:_ ~bytes:_ () -> incr got);
+  Network.send net ~src:0 ~dst:0 ~bytes:10 ();
+  ignore (Engine.run engine ());
+  Alcotest.(check int) "no self delivery" 0 !got
+
+let adversary_partition () =
+  let engine = Engine.create () in
+  let topo = Topology.create ~nodes:4 (Rng.create 4) in
+  let net = Network.create ~engine ~topology:topo () in
+  let received = Array.make 4 0 in
+  for i = 0 to 3 do
+    Network.set_handler net i (fun ~src:_ ~bytes:_ () -> received.(i) <- received.(i) + 1)
+  done;
+  (* Partition {0,1} vs {2,3} until t=100. *)
+  Network.set_adversary net
+    (Adversary.partition ~group_of:(fun i -> i / 2) ~until:100.0);
+  Network.send net ~src:0 ~dst:1 ~bytes:10 ();
+  Network.send net ~src:0 ~dst:2 ~bytes:10 ();
+  ignore (Engine.run engine ());
+  Alcotest.(check int) "same side delivered" 1 received.(1);
+  Alcotest.(check int) "cross side dropped" 0 received.(2)
+
+let adversary_hold_until () =
+  let engine = Engine.create () in
+  let topo = Topology.create ~nodes:2 (Rng.create 5) in
+  let net = Network.create ~engine ~topology:topo () in
+  let at = ref 0.0 in
+  Network.set_handler net 1 (fun ~src:_ ~bytes:_ () -> at := Engine.now engine);
+  Network.set_adversary net (Adversary.hold_until ~release:50.0);
+  Network.send net ~src:0 ~dst:1 ~bytes:10 ();
+  ignore (Engine.run engine ());
+  Alcotest.(check bool) "held until release" true (!at >= 50.0)
+
+let gossip_reaches_everyone () =
+  let n = 40 in
+  let engine = Engine.create () in
+  let topo = Topology.create ~nodes:n (Rng.create 6) in
+  let net = Network.create ~engine ~topology:topo () in
+  let got = Array.make n false in
+  let config : string Gossip.config =
+    {
+      msg_id = (fun m -> m);
+      validate = (fun _ _ -> true);
+      deliver = (fun node ~src:_ _ -> got.(node) <- true);
+      fanout = 4;
+    }
+  in
+  let g =
+    Gossip.create ~net ~rng:(Rng.create 7) ~weights:(Array.make n 1.0) config
+  in
+  Gossip.broadcast g ~node:0 ~bytes:100 "hello";
+  ignore (Engine.run engine ());
+  let reached = Array.fold_left (fun a b -> if b then a + 1 else a) 0 got in
+  (* Random 4-regular-out graphs on 40 nodes are connected with
+     overwhelming probability. *)
+  Alcotest.(check bool) (Printf.sprintf "reached %d/40" reached) true (reached >= 38);
+  (* Dedup: relays dropped duplicates rather than looping forever. *)
+  Alcotest.(check bool) "duplicates dropped" true (Gossip.duplicates_dropped g > 0)
+
+let gossip_invalid_not_relayed () =
+  let n = 20 in
+  let engine = Engine.create () in
+  let topo = Topology.create ~nodes:n (Rng.create 8) in
+  let net = Network.create ~engine ~topology:topo () in
+  let got = Array.make n false in
+  let config : string Gossip.config =
+    {
+      msg_id = (fun m -> m);
+      (* Node 0's direct peers refuse to relay the "bad" message. *)
+      validate = (fun _ m -> m <> "bad");
+      deliver = (fun node ~src:_ _ -> got.(node) <- true);
+      fanout = 4;
+    }
+  in
+  let g = Gossip.create ~net ~rng:(Rng.create 9) ~weights:(Array.make n 1.0) config in
+  Gossip.broadcast g ~node:0 ~bytes:50 "bad";
+  ignore (Engine.run engine ());
+  let reached = Array.fold_left (fun a b -> if b then a + 1 else a) 0 got in
+  Alcotest.(check int) "no one accepted it" 0 reached;
+  Alcotest.(check bool) "invalid counted" true (Gossip.invalid_dropped g > 0)
+
+let gossip_direct_send () =
+  let engine = Engine.create () in
+  let topo = Topology.create ~nodes:3 (Rng.create 10) in
+  let net = Network.create ~engine ~topology:topo () in
+  let got = ref "" in
+  let config : string Gossip.config =
+    {
+      msg_id = (fun m -> m);
+      validate = (fun _ _ -> true);
+      deliver = (fun node ~src:_ m -> if node = 2 then got := m);
+      fanout = 2;
+    }
+  in
+  let g = Gossip.create ~net ~rng:(Rng.create 11) ~weights:(Array.make 3 1.0) config in
+  Gossip.send_to g ~src:0 ~dst:2 ~bytes:10 "direct";
+  ignore (Engine.run engine ());
+  Alcotest.(check string) "delivered" "direct" !got
+
+let adversary_compose () =
+  let engine = Engine.create () in
+  let topo = Topology.create ~nodes:3 (Rng.create 12) in
+  let net = Network.create ~engine ~topology:topo () in
+  let got = Array.make 3 0 in
+  for i = 0 to 2 do
+    Network.set_handler net i (fun ~src:_ ~bytes:_ () -> got.(i) <- got.(i) + 1)
+  done;
+  (* Compose: partition {0} vs {1,2} forever, plus extra delay. The
+     partition verdict must win on cross-group links. *)
+  Network.set_adversary net
+    (Adversary.compose
+       [
+         Adversary.partition ~group_of:(fun i -> if i = 0 then 0 else 1) ~until:1e9;
+         Adversary.uniform_delay ~extra:1.0;
+       ]);
+  Network.send net ~src:0 ~dst:1 ~bytes:8 ();
+  Network.send net ~src:1 ~dst:2 ~bytes:8 ();
+  ignore (Engine.run engine ());
+  Alcotest.(check int) "cross-group dropped" 0 got.(1);
+  Alcotest.(check int) "same-group delayed but delivered" 1 got.(2);
+  Alcotest.(check bool) "delay applied" true (Engine.now engine >= 1.0)
+
+let adversary_uniform_loss () =
+  let engine = Engine.create () in
+  let topo = Topology.create ~nodes:2 (Rng.create 13) in
+  let net = Network.create ~engine ~topology:topo () in
+  let got = ref 0 in
+  Network.set_handler net 1 (fun ~src:_ ~bytes:_ () -> incr got);
+  Network.set_adversary net (Adversary.uniform_loss ~rng:(Rng.create 14) ~p:0.5);
+  for _ = 1 to 400 do
+    Network.send net ~src:0 ~dst:1 ~bytes:8 ()
+  done;
+  ignore (Engine.run engine ());
+  Alcotest.(check bool) (Printf.sprintf "about half delivered (%d/400)" !got) true
+    (!got > 140 && !got < 260)
+
+let gossip_redraw_keeps_connectivity () =
+  let n = 30 in
+  let engine = Engine.create () in
+  let topo = Topology.create ~nodes:n (Rng.create 15) in
+  let net = Network.create ~engine ~topology:topo () in
+  let got = Array.make n false in
+  let config : string Gossip.config =
+    {
+      msg_id = (fun m -> m);
+      validate = (fun _ _ -> true);
+      deliver = (fun node ~src:_ _ -> got.(node) <- true);
+      fanout = 4;
+    }
+  in
+  let weights = Array.make n 1.0 in
+  let g = Gossip.create ~net ~rng:(Rng.create 16) ~weights config in
+  Gossip.redraw g ~weights;
+  Gossip.redraw g ~weights;
+  Gossip.broadcast g ~node:3 ~bytes:32 "after-redraw";
+  ignore (Engine.run engine ());
+  let reached = Array.fold_left (fun a b -> if b then a + 1 else a) 0 got in
+  Alcotest.(check bool) (Printf.sprintf "still connected (%d/30)" reached) true
+    (reached >= 28)
+
+let gossip_bidirectional_degree () =
+  (* Symmetrized links: mean degree ~ 2 * fanout, minimum >= fanout. *)
+  let n = 40 in
+  let engine = Engine.create () in
+  let topo = Topology.create ~nodes:n (Rng.create 17) in
+  let net = Network.create ~engine ~topology:topo () in
+  let config : string Gossip.config =
+    {
+      msg_id = (fun m -> m);
+      validate = (fun _ _ -> true);
+      deliver = (fun _ ~src:_ _ -> ());
+      fanout = 4;
+    }
+  in
+  let g = Gossip.create ~net ~rng:(Rng.create 18) ~weights:(Array.make n 1.0) config in
+  let degrees = List.init n (fun i -> List.length (Gossip.peers g i)) in
+  let total = List.fold_left ( + ) 0 degrees in
+  List.iteri
+    (fun i d ->
+      Alcotest.(check bool) (Printf.sprintf "node %d degree %d >= 4" i d) true (d >= 4))
+    degrees;
+  let mean = float_of_int total /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "mean degree %.1f near 8" mean) true
+    (mean > 6.0 && mean < 10.0)
+
+let topology_jitter_varies () =
+  let rng = Rng.create 19 in
+  let topo = Topology.create ~nodes:4 rng in
+  let a = Topology.latency topo ~src:0 ~dst:1 in
+  let b = Topology.latency topo ~src:0 ~dst:1 in
+  (* Jitter makes successive samples differ (with overwhelming prob). *)
+  Alcotest.(check bool) "samples differ" true (a <> b)
+
+let suite =
+  [
+    ( "netsim",
+      [
+        t "adversary compose" adversary_compose;
+        t "adversary uniform loss" adversary_uniform_loss;
+        t "gossip redraw keeps connectivity" gossip_redraw_keeps_connectivity;
+        t "gossip bidirectional degree" gossip_bidirectional_degree;
+        t "topology jitter varies" topology_jitter_varies;
+        t "topology properties" topology_properties;
+        t "bandwidth serialization" bandwidth_serialization;
+        t "self send dropped" self_send_dropped;
+        t "adversary partition" adversary_partition;
+        t "adversary hold_until" adversary_hold_until;
+        t "gossip reaches everyone" gossip_reaches_everyone;
+        t "gossip invalid not relayed" gossip_invalid_not_relayed;
+        t "gossip direct send" gossip_direct_send;
+      ] );
+  ]

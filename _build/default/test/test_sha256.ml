@@ -1,0 +1,84 @@
+(* SHA-256 against FIPS/NIST known-answer vectors; since the constants
+   are derived at runtime, these vectors transitively pin the whole
+   constant-derivation path. *)
+
+open Algorand_crypto
+
+let t name f = Alcotest.test_case name `Quick f
+let qt ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let vector msg expected () = Alcotest.(check string) "digest" expected (Sha256.digest_hex msg)
+
+let nist_vectors =
+  [
+    ("empty", "", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    ("abc", "abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    ( "two-block",
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+  ]
+
+let million_a () =
+  (* The classic 1,000,000 x 'a' vector. *)
+  Alcotest.(check string) "digest"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.digest_hex (String.make 1_000_000 'a'))
+
+let padding_boundaries () =
+  (* Lengths around the 55/56/64-byte padding boundaries must not crash
+     and must be distinct. *)
+  let lengths = [ 0; 1; 54; 55; 56; 57; 63; 64; 65; 119; 120; 127; 128; 129 ] in
+  let digests = List.map (fun n -> Sha256.digest (String.make n 'x')) lengths in
+  let distinct = List.sort_uniq compare digests in
+  Alcotest.(check int) "all distinct" (List.length lengths) (List.length distinct)
+
+let length_is_32 () =
+  Alcotest.(check int) "digest length" 32 (String.length (Sha256.digest "anything"))
+
+let hex_roundtrip () =
+  let d = Sha256.digest "x" in
+  Alcotest.(check string) "roundtrip" d (Hex.to_string (Hex.of_string d))
+
+let hmac_self_consistency () =
+  (* HMAC distinguishes keys and messages; same inputs agree. *)
+  let t1 = Hmac.sha256 ~key:"k1" "msg" in
+  Alcotest.(check string) "deterministic" t1 (Hmac.sha256 ~key:"k1" "msg");
+  Alcotest.(check bool) "key matters" false (String.equal t1 (Hmac.sha256 ~key:"k2" "msg"));
+  Alcotest.(check bool) "msg matters" false (String.equal t1 (Hmac.sha256 ~key:"k1" "msh"));
+  (* Long keys are hashed down to block size first. *)
+  let long_key = String.make 200 'k' in
+  Alcotest.(check string) "long key = hashed key"
+    (Hmac.sha256 ~key:long_key "m")
+    (Hmac.sha256 ~key:(Sha256.digest long_key) "m")
+
+let drbg_deterministic () =
+  let d1 = Drbg.create ~seed:"s" and d2 = Drbg.create ~seed:"s" in
+  Alcotest.(check string) "same stream" (Drbg.random_bytes d1 100) (Drbg.random_bytes d2 100);
+  let d3 = Drbg.create ~seed:"other" in
+  Alcotest.(check bool) "different seed differs" false
+    (String.equal (Drbg.random_bytes (Drbg.create ~seed:"s") 100) (Drbg.random_bytes d3 100))
+
+let drbg_int_bounds () =
+  let d = Drbg.create ~seed:"bounds" in
+  for _ = 1 to 1000 do
+    let v = Drbg.random_int d 7 in
+    if v < 0 || v >= 7 then Alcotest.fail "out of range"
+  done
+
+let suite =
+  [
+    ( "sha256",
+      List.map (fun (name, msg, expected) -> t name (vector msg expected)) nist_vectors
+      @ [
+          t "million 'a'" million_a;
+          t "padding boundaries" padding_boundaries;
+          t "digest length" length_is_32;
+          t "hex roundtrip" hex_roundtrip;
+          t "hmac self-consistency" hmac_self_consistency;
+          t "drbg deterministic" drbg_deterministic;
+          t "drbg int bounds" drbg_int_bounds;
+          qt "incremental vs concat" QCheck2.Gen.(pair string string) (fun (a, b) ->
+              String.equal (Sha256.digest_concat [ a; b ]) (Sha256.digest (a ^ b)));
+        ] );
+  ]

@@ -1,0 +1,135 @@
+(* Cryptographic sortition (Algorithms 1-2): prove/verify roundtrips,
+   forgery rejection, the Sybil-splitting invariance of section 5.1,
+   and proposer priorities (section 6). *)
+
+open Algorand_crypto
+open Algorand_sortition
+
+let t name f = Alcotest.test_case name `Quick f
+
+let scheme = Vrf.sim
+
+let mk_user seed = scheme.generate ~seed
+
+let select ~seed_str ~tau ~w ~total (prover : Vrf.prover) =
+  Sortition.select ~prover ~seed:seed_str ~tau ~role:"role" ~w ~total_weight:total
+
+let roundtrip () =
+  let prover, pk = mk_user "u1" in
+  let sel = select ~seed_str:"seed" ~tau:10.0 ~w:500 ~total:1000 prover in
+  let j =
+    Sortition.verify ~scheme ~pk ~vrf_hash:sel.vrf_hash ~vrf_proof:sel.vrf_proof
+      ~seed:"seed" ~tau:10.0 ~role:"role" ~w:500 ~total_weight:1000
+  in
+  Alcotest.(check int) "verify returns same j" sel.j j;
+  (* Half the stake at tau=10 should yield about 5 selections. *)
+  Alcotest.(check bool) "selected a plausible number" true (sel.j >= 0 && sel.j <= 20)
+
+let verify_rejects_wrong_context () =
+  let prover, pk = mk_user "u1" in
+  let _, pk2 = mk_user "u2" in
+  let sel = select ~seed_str:"seed" ~tau:10.0 ~w:500 ~total:1000 prover in
+  let verify ?(pk = pk) ?(seed = "seed") ?(role = "role") ?(hash = sel.vrf_hash) () =
+    Sortition.verify ~scheme ~pk ~vrf_hash:hash ~vrf_proof:sel.vrf_proof ~seed ~tau:10.0
+      ~role ~w:500 ~total_weight:1000
+  in
+  Alcotest.(check bool) "accepts valid" true (verify () > 0 || sel.j = 0);
+  Alcotest.(check int) "wrong pk" 0 (verify ~pk:pk2 ());
+  Alcotest.(check int) "wrong seed" 0 (verify ~seed:"other" ());
+  Alcotest.(check int) "wrong role" 0 (verify ~role:"other" ());
+  Alcotest.(check int) "forged hash" 0 (verify ~hash:(Sha256.digest "forged") ())
+
+let weight_zero_never_selected () =
+  for i = 0 to 20 do
+    let prover, _ = mk_user (Printf.sprintf "u%d" i) in
+    let sel = select ~seed_str:"s" ~tau:100.0 ~w:0 ~total:1000 prover in
+    Alcotest.(check int) "never selected" 0 sel.j
+  done
+
+let expected_committee_size () =
+  (* Sum of j over all users should be near tau. *)
+  let users = 200 and w = 50 and tau = 30.0 in
+  let total = users * w in
+  let sum = ref 0 in
+  for i = 0 to users - 1 do
+    let prover, _ = mk_user (Printf.sprintf "c%d" i) in
+    let sel = select ~seed_str:"round-seed" ~tau ~w ~total prover in
+    sum := !sum + sel.j
+  done;
+  (* tau = 30, sigma ~ 5.5; accept +-4 sigma. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "committee size %d near tau" !sum)
+    true
+    (!sum > 8 && !sum < 52)
+
+let sybil_splitting_distribution () =
+  (* Section 5.1: splitting weight among pseudonyms does not change the
+     *distribution* of selected sub-users. Compare empirical means of
+     one w=100 user vs 10 w=10 Sybils across many seeds. *)
+  let tau = 20.0 and total = 1000 in
+  let seeds = 300 in
+  let single = ref 0 and split = ref 0 in
+  let whole_prover, _ = mk_user "whale" in
+  let sybils = List.init 10 (fun i -> fst (mk_user (Printf.sprintf "sybil%d" i))) in
+  for s = 0 to seeds - 1 do
+    let seed_str = Printf.sprintf "seed%d" s in
+    single := !single + (select ~seed_str ~tau ~w:100 ~total whole_prover).j;
+    List.iter
+      (fun p -> split := !split + (select ~seed_str ~tau ~w:10 ~total p).j)
+      sybils
+  done;
+  let m1 = float_of_int !single /. float_of_int seeds in
+  let m2 = float_of_int !split /. float_of_int seeds in
+  (* Both means should approximate w * tau / W = 2.0. *)
+  Alcotest.(check bool) (Printf.sprintf "single mean %.2f" m1) true (Float.abs (m1 -. 2.0) < 0.4);
+  Alcotest.(check bool) (Printf.sprintf "split mean %.2f" m2) true (Float.abs (m2 -. 2.0) < 0.4)
+
+let selection_proportional_to_weight () =
+  (* A user with 4x the stake should be selected ~4x as often. *)
+  let tau = 10.0 and total = 10_000 in
+  let seeds = 400 in
+  let small = ref 0 and big = ref 0 in
+  let p_small, _ = mk_user "small" and p_big, _ = mk_user "big" in
+  for s = 0 to seeds - 1 do
+    let seed_str = Printf.sprintf "w%d" s in
+    small := !small + (select ~seed_str ~tau ~w:250 ~total p_small).j;
+    big := !big + (select ~seed_str ~tau ~w:1000 ~total p_big).j
+  done;
+  let ratio = float_of_int !big /. float_of_int (max 1 !small) in
+  Alcotest.(check bool) (Printf.sprintf "ratio %.2f near 4" ratio) true
+    (ratio > 2.5 && ratio < 6.0)
+
+let hash_fraction_range () =
+  let d = Drbg.create ~seed:"hf" in
+  for _ = 1 to 200 do
+    let f = Sortition.hash_fraction (Drbg.random_bytes d 32) in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "fraction out of range"
+  done;
+  Alcotest.(check (float 0.0)) "all-zero hash" 0.0
+    (Sortition.hash_fraction (String.make 32 '\000'))
+
+let priorities () =
+  let vrf_hash = Sha256.digest "some-sortition-hash" in
+  Alcotest.(check (option string)) "j=0 has no priority" None
+    (Sortition.best_priority ~vrf_hash ~j:0);
+  let p1 = Option.get (Sortition.best_priority ~vrf_hash ~j:1) in
+  let p5 = Option.get (Sortition.best_priority ~vrf_hash ~j:5) in
+  (* More sub-users can only raise the best priority. *)
+  Alcotest.(check bool) "monotone in j" true (String.compare p5 p1 >= 0);
+  Alcotest.(check string) "deterministic" p5
+    (Option.get (Sortition.best_priority ~vrf_hash ~j:5))
+
+let suite =
+  [
+    ( "sortition",
+      [
+        t "select/verify roundtrip" roundtrip;
+        t "verify rejects wrong context" verify_rejects_wrong_context;
+        t "zero weight never selected" weight_zero_never_selected;
+        t "expected committee size" expected_committee_size;
+        t "sybil splitting invariance" sybil_splitting_distribution;
+        t "selection proportional to weight" selection_proportional_to_weight;
+        t "hash fraction in [0,1)" hash_fraction_range;
+        t "proposer priorities" priorities;
+      ] );
+  ]

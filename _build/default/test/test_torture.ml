@@ -1,0 +1,185 @@
+(* Randomized asynchronous torture test for BA*'s core safety theorem:
+
+     if any user reaches FINAL consensus on a value in a round, no
+     other user reaches consensus (final or tentative) on a different
+     value in that round - regardless of message scheduling.
+
+   The fuzzer runs clusters of BA* machines under a fully adversarial
+   scheduler: at each step it either delivers some pending vote (in
+   arbitrary order, to one recipient at a time, possibly dropping it)
+   or fires some machine's pending timer. Across hundreds of seeds,
+   with and without double-voting byzantine machines, the invariant
+   must hold. Tentative-tentative disagreement is allowed (that is the
+   fork case the recovery protocol exists for); final-anything
+   disagreement is a safety bug. *)
+
+open Algorand_crypto
+open Algorand_ba
+module Identity = Algorand_core.Identity
+module Rng = Algorand_sim.Rng
+
+let base_params =
+  { Params.paper with tau_step = 40.0; tau_final = 60.0; max_steps = 15 }
+
+type pending =
+  | Deliver of int * Vote.t  (** destination machine, vote *)
+  | Timer of int * int  (** machine, token *)
+
+type cluster = {
+  machines : Ba_star.t array;
+  decided : (string * bool) option array;
+  mutable queue : pending list;
+  rng : Rng.t;
+}
+
+let build ~(params : Params.t) ~(n : int) ~(byzantine : int) ~(seed : int) : cluster =
+  let sig_scheme = Signature_scheme.sim and vrf_scheme = Vrf.sim in
+  let users =
+    Array.init n (fun i ->
+        Identity.generate ~sig_scheme ~vrf_scheme
+          ~seed:(Printf.sprintf "torture-%d-%d" seed i))
+  in
+  let weight = 100 in
+  let total_weight = weight * n in
+  let prev_hash = String.make 32 'T' in
+  let vseed = Printf.sprintf "torture-seed-%d" seed in
+  let vctx : Vote.validation_ctx =
+    {
+      sig_scheme;
+      vrf_scheme;
+      sig_pk_of = Identity.sig_pk;
+      vrf_pk_of = Identity.vrf_pk;
+      seed = vseed;
+      total_weight;
+      weight_of = (fun _ -> weight);
+      last_block_hash = prev_hash;
+      tau_of_step = (function Vote.Final -> params.tau_final | _ -> params.tau_step);
+    }
+  in
+  let empty_hash = Sha256.digest "torture-empty" in
+  let block_a = Sha256.digest "torture-block-a" in
+  let mk_vote i ~step ~value =
+    Vote.make ~signer:users.(i).signer ~prover:users.(i).prover ~pk:users.(i).pk
+      ~seed:vseed
+      ~tau:(match step with Vote.Final -> params.tau_final | _ -> params.tau_step)
+      ~w:weight ~total_weight ~round:1 ~step ~prev_hash ~value
+  in
+  let machine i =
+    let ctx : Ba_star.ctx =
+      {
+        params;
+        round = 1;
+        empty_hash;
+        my_votes =
+          (fun ~step ~value ->
+            let primary = mk_vote i ~step ~value in
+            let extra =
+              (* Byzantine machines double-vote: they also sign the
+                 opposite candidate. *)
+              if i < byzantine then
+                let alt = if String.equal value block_a then empty_hash else block_a in
+                mk_vote i ~step ~value:alt
+              else None
+            in
+            List.filter_map (fun x -> x) [ primary; extra ]);
+        validate = (fun v -> Vote.validate vctx v);
+      }
+    in
+    Ba_star.create ctx
+  in
+  {
+    machines = Array.init n machine;
+    decided = Array.make n None;
+    queue = [];
+    rng = Rng.create (seed * 7919);
+  }
+
+let enqueue (c : cluster) (origin : int) (actions : Ba_star.action list) : unit =
+  List.iter
+    (fun action ->
+      match action with
+      | Ba_star.Broadcast v ->
+        (* One pending delivery per recipient, scheduled independently
+           (the adversary may reorder or drop each). Count our own vote
+           immediately, as nodes do. *)
+        Array.iteri
+          (fun dst _ ->
+            if dst <> origin then c.queue <- Deliver (dst, v) :: c.queue)
+          c.machines;
+        c.queue <- Deliver (origin, v) :: c.queue
+      | Ba_star.Set_timer { token; delay = _ } -> c.queue <- Timer (origin, token) :: c.queue
+      | Ba_star.Bin_decided _ -> ()
+      | Ba_star.Decided { value; final; _ } -> c.decided.(origin) <- Some (value, final)
+      | Ba_star.Hang -> ())
+    actions
+
+let run_one ?(params = base_params) ~(n : int) ~(byzantine : int) ~(seed : int)
+    ~(drop_prob : float) () : unit =
+  let c = build ~params ~n ~byzantine ~seed in
+  let block_a = Sha256.digest "torture-block-a" in
+  let empty_hash = Sha256.digest "torture-empty" in
+  (* Adversarial start: part of the cluster saw block A, the rest only
+     the empty block. *)
+  Array.iteri
+    (fun i m ->
+      let input = if Rng.bool c.rng then block_a else empty_hash in
+      enqueue c i (Ba_star.handle m (Ba_star.Start input)))
+    c.machines;
+  (* Adversarial scheduler. *)
+  let budget = ref 30_000 in
+  while c.queue <> [] && !budget > 0 do
+    decr budget;
+    let items = Array.of_list c.queue in
+    let pick = Rng.int c.rng (Array.length items) in
+    let chosen = items.(pick) in
+    c.queue <- List.filteri (fun i _ -> i <> pick) c.queue;
+    match chosen with
+    | Deliver (dst, v) ->
+      if Rng.float c.rng 1.0 >= drop_prob then
+        enqueue c dst (Ba_star.handle c.machines.(dst) (Ba_star.Deliver v))
+    | Timer (m, token) -> enqueue c m (Ba_star.handle c.machines.(m) (Ba_star.Timer token))
+  done;
+  (* The safety invariant. *)
+  let finals =
+    Array.to_list c.decided
+    |> List.filter_map (function Some (v, true) -> Some v | _ -> None)
+  in
+  match finals with
+  | [] -> ()
+  | fv :: _ ->
+    Array.iteri
+      (fun i d ->
+        match d with
+        | Some (v, _) when not (String.equal v fv) ->
+          Alcotest.failf
+            "seed %d: machine %d decided %s but another machine decided FINAL %s" seed i
+            (Hex.of_string (String.sub v 0 4))
+            (Hex.of_string (String.sub fv 0 4))
+        | _ -> ())
+      c.decided
+
+let fuzz ?(params = base_params) ~(name : string) ~(n : int) ~(byzantine : int)
+    ~(drop_prob : float) ~(seeds : int) () =
+  for seed = 1 to seeds do
+    run_one ~params ~n ~byzantine ~seed ~drop_prob ()
+  done;
+  ignore name
+
+let suite =
+  [
+    ( "torture",
+      [
+        Alcotest.test_case "honest, lossless async" `Slow
+          (fuzz ~name:"honest" ~n:8 ~byzantine:0 ~drop_prob:0.0 ~seeds:60);
+        Alcotest.test_case "honest, 20% loss" `Slow
+          (fuzz ~name:"lossy" ~n:8 ~byzantine:0 ~drop_prob:0.2 ~seeds:60);
+        Alcotest.test_case "2/8 byzantine double-voters" `Slow
+          (fuzz ~name:"byzantine" ~n:8 ~byzantine:2 ~drop_prob:0.1 ~seeds:60);
+        Alcotest.test_case "heavy loss (50%)" `Slow
+          (fuzz ~name:"heavy" ~n:6 ~byzantine:1 ~drop_prob:0.5 ~seeds:40);
+        Alcotest.test_case "look-back variant under loss + byzantine" `Slow
+          (fuzz
+             ~params:{ base_params with ba_variant = Params.Look_back }
+             ~name:"lookback" ~n:8 ~byzantine:2 ~drop_prob:0.2 ~seeds:60);
+      ] );
+  ]

@@ -1,0 +1,193 @@
+(* algorand-check: schedule-exploring model checker for BA*.
+
+   The simulator exercises one delivery schedule per seed; this tool
+   drives small BA* clusters through systematically (DFS with
+   partial-order reduction) or randomly (seeded walks) explored
+   delivery schedules, audits the paper's invariants after every
+   transition, and shrinks any violation to a minimal replayable trace.
+
+     algorand-check --mode dfs  --nodes 3 --depth 300
+     algorand-check --mode fuzz --nodes 4 --seeds 50
+     algorand-check --mode fuzz --scenario split --t-step 0.3   # negative control
+     algorand-check --mode sim  --seeds 10   # whole-harness schedule fuzz *)
+
+open Cmdliner
+module World = Algorand_check.World
+module Schedule = Algorand_check.Schedule
+module Shrink = Algorand_check.Shrink
+module Params = Algorand_ba.Params
+module Rng = Algorand_sim.Rng
+module Harness = Algorand_core.Harness
+module Engine = Algorand_sim.Engine
+module Adversary = Algorand_netsim.Adversary
+
+let row label value = Printf.printf "  %-18s %s\n" label value
+let rowi label value = row label (string_of_int value)
+
+let print_stats (s : Schedule.stats) =
+  rowi "states explored" s.states;
+  rowi "transitions" s.transitions;
+  rowi "schedules run" s.schedules;
+  rowi "deduped" s.deduped;
+  rowi "truncated" s.truncated
+
+let print_violations ~(config : World.config) ~(shrink : bool)
+    (violations : Schedule.report list) : unit =
+  rowi "violations" (List.length violations);
+  List.iter
+    (fun (r : Schedule.report) ->
+      print_newline ();
+      if shrink then begin
+        let minimal =
+          Shrink.minimize ~config ~invariant:r.violation.invariant r.trace
+        in
+        Printf.printf "%s\n" (Shrink.render ~invariant:r.violation minimal)
+      end
+      else Printf.printf "%s\n" (Shrink.render ~invariant:r.violation r.trace))
+    violations
+
+(* ------------------------- world modes ---------------------------- *)
+
+let run_world_mode ~mode ~nodes ~seeds ~depth ~max_states ~scenario ~t_step ~t_final
+    ~shrink =
+  let params =
+    {
+      World.default_config.params with
+      t_step = Option.value t_step ~default:World.default_config.params.t_step;
+      t_final = Option.value t_final ~default:World.default_config.params.t_final;
+    }
+  in
+  let config = { World.default_config with nodes; scenario; params } in
+  let fresh () =
+    let w = World.create config in
+    World.start w;
+    w
+  in
+  Printf.printf "algorand-check mode=%s nodes=%d scenario=%s t_step=%.3f t_final=%.3f\n"
+    (match mode with `Dfs -> "dfs" | `Fuzz -> "fuzz" | `Fifo -> "fifo")
+    nodes
+    (match scenario with World.Agree -> "agree" | World.Split -> "split")
+    params.t_step params.t_final;
+  let outcome =
+    match mode with
+    | `Dfs ->
+      let o = Schedule.explore_dfs ~max_depth:depth ~max_states (fresh ()) in
+      row "space exhausted" (if o.complete then "yes" else "no");
+      o
+    | `Fifo -> Schedule.run_fifo ~max_depth:depth (fresh ())
+    | `Fuzz ->
+      let base = Rng.create 0x5eed in
+      let stats = Schedule.fresh_stats () in
+      let violations = ref [] in
+      for k = 1 to seeds do
+        if !violations = [] then begin
+          let rng = Rng.split base (Printf.sprintf "walk-%d" k) in
+          let o = Schedule.run_fuzz ~max_depth:depth ~rng (fresh ()) in
+          stats.transitions <- stats.transitions + o.stats.transitions;
+          stats.states <- stats.states + o.stats.states;
+          stats.schedules <- stats.schedules + o.stats.schedules;
+          stats.truncated <- stats.truncated + o.stats.truncated;
+          violations := !violations @ o.violations
+        end
+      done;
+      { Schedule.stats; violations = !violations; complete = false }
+  in
+  print_stats outcome.stats;
+  print_violations ~config ~shrink outcome.violations;
+  if outcome.violations <> [] then exit 1
+
+(* ------------------------- harness mode --------------------------- *)
+
+(* Whole-simulator schedule fuzz: run the full deployment (gossip, WAN,
+   blocks) per seed with (a) the engine's tie-break hook shuffling
+   simultaneous events and (b) a lossless reordering adversary jittering
+   every message, then audit cross-node safety. *)
+let run_sim_mode ~nodes ~seeds =
+  Printf.printf "algorand-check mode=sim users=%d seeds=%d\n" nodes seeds;
+  let bad = ref 0 in
+  for k = 1 to seeds do
+    let config =
+      {
+        Harness.default with
+        users = nodes;
+        rounds = 1;
+        block_bytes = 20_000;
+        tx_rate_per_s = 0.0;
+        rng_seed = k;
+        max_sim_time = 600.0;
+      }
+    in
+    let h = Harness.build config in
+    let rng = Rng.split (Rng.create k) "engine-shuffle" in
+    Engine.set_reorder_hook h.engine
+      (Some
+         (fun batch ->
+           Rng.shuffle rng batch;
+           batch));
+    Algorand_netsim.Network.set_adversary h.network
+      (Adversary.reorder ~rng:(Rng.split (Rng.create k) "net-jitter")
+         ~window:(config.params.lambda_step /. 4.0));
+    Harness.install_workload h;
+    Array.iter Algorand_core.Node.start h.nodes;
+    ignore (Engine.run h.engine ~until:config.max_sim_time ());
+    let safety = Harness.audit_safety h in
+    if safety.double_final <> [] then begin
+      incr bad;
+      Printf.printf "  seed %d: DOUBLE FINAL in rounds %s\n" k
+        (String.concat "," (List.map string_of_int safety.double_final))
+    end
+  done;
+  rowi "seeds run" seeds;
+  rowi "double finals" !bad;
+  if !bad > 0 then exit 1
+
+(* ----------------------------- CLI -------------------------------- *)
+
+let cmd =
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("dfs", `Dfs); ("fuzz", `Fuzz); ("fifo", `Fifo); ("sim", `Sim) ]) `Fuzz
+      & info [ "mode" ] ~doc:"Exploration mode: dfs, fuzz, fifo or sim.")
+  in
+  let nodes = Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"Cluster size.") in
+  let seeds =
+    Arg.(value & opt int 20 & info [ "seeds" ] ~doc:"Random walks (fuzz) or harness runs (sim).")
+  in
+  let depth =
+    Arg.(value & opt int 400 & info [ "depth" ] ~doc:"Max transitions per schedule.")
+  in
+  let max_states =
+    Arg.(value & opt int 200_000 & info [ "max-states" ] ~doc:"DFS state budget.")
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt (enum [ ("agree", World.Agree); ("split", World.Split) ]) World.Agree
+      & info [ "scenario" ]
+          ~doc:"Inputs: agree (one proposed block) or split (equivocating proposer).")
+  in
+  let t_step =
+    Arg.(value & opt (some float) None & info [ "t-step" ] ~doc:"Override the step vote threshold fraction T (negative control: set below 0.5).")
+  in
+  let t_final =
+    Arg.(value & opt (some float) None & info [ "t-final" ] ~doc:"Override the final-step threshold fraction.")
+  in
+  let no_shrink =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report raw violation traces without shrinking.")
+  in
+  let go mode nodes seeds depth max_states scenario t_step t_final no_shrink =
+    match mode with
+    | `Sim -> run_sim_mode ~nodes ~seeds
+    | (`Dfs | `Fuzz | `Fifo) as mode ->
+      run_world_mode ~mode ~nodes ~seeds ~depth ~max_states ~scenario ~t_step ~t_final
+        ~shrink:(not no_shrink)
+  in
+  Cmd.v
+    (Cmd.info "algorand-check"
+       ~doc:"Schedule-exploring model checker for BA* with invariant audits")
+    Term.(
+      const go $ mode $ nodes $ seeds $ depth $ max_states $ scenario $ t_step
+      $ t_final $ no_shrink)
+
+let () = exit (Cmd.eval cmd)

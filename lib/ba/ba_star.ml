@@ -303,6 +303,82 @@ let handle (t : t) (event : event) : action list =
 let phase (t : t) : phase = t.phase
 let bin_steps (t : t) : int = t.bin_steps
 
+(* -------------------- exploration support -------------------- *)
+
+(* Fork the machine for state-space exploration. The ctx closures are
+   shared (they are pure given the same inputs: sortition and signing
+   are deterministic), but every mutable table is copied so branches
+   evolve independently. *)
+let clone (t : t) : t =
+  let counters = Hashtbl.create (Hashtbl.length t.counters) in
+  Hashtbl.iter (fun step c -> Hashtbl.replace counters step (Vote_counter.copy c)) t.counters;
+  let votes_log = Hashtbl.create (Hashtbl.length t.votes_log) in
+  Hashtbl.iter (fun step l -> Hashtbl.replace votes_log step (ref !l)) t.votes_log;
+  {
+    ctx = t.ctx;
+    phase = t.phase;
+    timer_token = t.timer_token;
+    initial_hash = t.initial_hash;
+    bin_input = t.bin_input;
+    bin_result = t.bin_result;
+    bin_steps = t.bin_steps;
+    counters;
+    votes_log;
+  }
+
+let phase_tag = function
+  | Idle -> "I"
+  | Reduction_one_wait -> "R1"
+  | Reduction_two_wait -> "R2"
+  | Bin_wait s -> "B" ^ string_of_int s
+  | Final_wait -> "F"
+  | Finished -> "D"
+  | Hung -> "H"
+
+(* Cheap canonical digest of everything that determines future
+   behavior: phase, BinaryBA* bookkeeping, and each step counter's
+   value tallies and voter set (sorted, so delivery order of an
+   equivalent vote set yields an identical digest - the property the
+   checker's visited-state dedup relies on). *)
+let digest (t : t) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (phase_tag t.phase);
+  Buffer.add_char buf '|';
+  Buffer.add_string buf (string_of_int t.timer_token);
+  Buffer.add_char buf '|';
+  Buffer.add_string buf t.initial_hash;
+  Buffer.add_string buf t.bin_input;
+  Buffer.add_string buf t.bin_result;
+  Buffer.add_string buf (string_of_int t.bin_steps);
+  let steps =
+    Hashtbl.fold (fun step _ acc -> step :: acc) t.counters []
+    |> List.sort Vote.compare_step
+  in
+  List.iter
+    (fun step ->
+      let c = Hashtbl.find t.counters step in
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (Vote.step_to_string step);
+      List.iter
+        (fun (value, votes) ->
+          Buffer.add_char buf ';';
+          Buffer.add_string buf value;
+          Buffer.add_char buf '=';
+          Buffer.add_string buf (string_of_int votes))
+        (Vote_counter.snapshot c);
+      List.iter
+        (fun pk ->
+          Buffer.add_char buf ',';
+          Buffer.add_string buf pk)
+        (Vote_counter.voters c);
+      match Vote_counter.reached c with
+      | Some v ->
+        Buffer.add_char buf '!';
+        Buffer.add_string buf v
+      | None -> ())
+    steps;
+  Algorand_crypto.Sha256.digest (Buffer.contents buf)
+
 (* Votes usable as a certificate for the decided value: the last
    BinaryBA* step's votes for it (section 8.3). *)
 let certificate_votes (t : t) : Vote.t list =

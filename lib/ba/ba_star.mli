@@ -52,6 +52,15 @@ val handle : t -> event -> action list
 val phase : t -> phase
 val bin_steps : t -> int
 
+val clone : t -> t
+(** Fork the machine for state-space exploration: ctx closures are
+    shared (pure), all mutable state is copied. *)
+
+val digest : t -> string
+(** Canonical digest of the behavior-determining state (phase, BinaryBA*
+    bookkeeping, counter tallies and voter sets). Two machines that
+    received the same vote *set* in different orders digest equal. *)
+
 val logged_votes : t -> Vote.step -> Vote.t list
 (** All valid votes received (or sent) for a step this round. *)
 

@@ -44,6 +44,28 @@ let add (t : t) ~(pk : string) ~(votes : int) ~(value : string) ~(sorthash : str
     else `Counted
   end
 
+(* Independent copy for state-space exploration: the model checker
+   forks a machine per schedule branch, so the accumulators must not
+   share mutable tables. *)
+let copy (t : t) : t =
+  {
+    threshold = t.threshold;
+    counts = Hashtbl.copy t.counts;
+    voters = Hashtbl.copy t.voters;
+    messages = t.messages;
+    reached = t.reached;
+    total_votes = t.total_votes;
+  }
+
+(* Canonical (value, votes) listing, sorted by value - order-independent
+   input for state digests. *)
+let snapshot (t : t) : (string * int) list =
+  Hashtbl.fold (fun value votes acc -> (value, votes) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let voters (t : t) : string list =
+  Hashtbl.fold (fun pk () acc -> pk :: acc) t.voters [] |> List.sort String.compare
+
 let reached (t : t) : string option = t.reached
 let votes_for (t : t) (value : string) : int =
   match Hashtbl.find_opt t.counts value with Some c -> c | None -> 0

@@ -16,6 +16,15 @@ val add :
 (** Feed one validated vote. [`Reached v] fires exactly once, when [v]
     first exceeds the threshold (strictly). *)
 
+val copy : t -> t
+(** Independent copy (exploration forks must not share tables). *)
+
+val snapshot : t -> (string * int) list
+(** Canonical (value, votes) pairs sorted by value, for state digests. *)
+
+val voters : t -> string list
+(** Counted voter keys, sorted. *)
+
 val reached : t -> string option
 val votes_for : t -> string -> int
 val total_votes : t -> int

@@ -1,0 +1,20 @@
+(** Counterexample shrinking: greedy delta debugging of a violating
+    schedule against a replay oracle, to a 1-minimal deterministic
+    reproducer. *)
+
+val reproduces :
+  config:World.config -> invariant:string -> World.trace_event list -> bool
+(** Replay the trace against a fresh world; true iff the named
+    invariant fires again. *)
+
+val minimize :
+  ?max_passes:int ->
+  config:World.config ->
+  invariant:string ->
+  World.trace_event list ->
+  World.trace_event list
+(** Repeated single-event deletion passes until no deletion preserves
+    the violation (1-minimal). Returns the input unchanged if it does
+    not reproduce in the first place. *)
+
+val render : invariant:Invariant.violation -> World.trace_event list -> string

@@ -1,0 +1,309 @@
+(* The model checker's world: N BA* machines for one round, a multiset
+   of in-flight vote deliveries, and one armed timer per machine. The
+   simulator runs this same protocol through a WAN model that yields
+   exactly one delivery order per seed; here delivery order is the
+   *choice point* a scheduler (lib/check/schedule.ml) explores.
+
+   The world is the sans-IO cluster of test/test_ba_star.ml made
+   forkable: [clone] and [digest] (built on Ba_star.clone/digest) let a
+   DFS branch on every delivery choice and dedup states reached by
+   equivalent vote sets delivered in different orders. Timers fire only
+   at quiescence (no deliverable message left), the classic
+   "synchronous timeout" abstraction: the adversary may reorder and
+   interleave arbitrarily but not starve a step forever, matching the
+   paper's weak-synchrony window rather than full asynchrony. *)
+
+open Algorand_crypto
+module Vote = Algorand_ba.Vote
+module Ba_star = Algorand_ba.Ba_star
+module Params = Algorand_ba.Params
+module Identity = Algorand_core.Identity
+
+type scenario = Agree | Split
+
+(* Fixed block hashes the scenarios vote over. *)
+let block_a = Sha256.digest "check-block-a"
+let block_b = Sha256.digest "check-block-b"
+let empty_hash = Sha256.digest "check-empty-block"
+
+type config = {
+  nodes : int;
+  round : int;
+  params : Params.t;
+  scenario : scenario;
+  seed : string;  (** sortition seed: vary to vary committee draws *)
+}
+
+let default_config =
+  {
+    nodes = 4;
+    round = 1;
+    params = { Params.paper with tau_step = 40.0; tau_final = 60.0; max_steps = 12 };
+    scenario = Agree;
+    seed = "check-seed";
+  }
+
+type pending = { seq : int; src : int; dst : int; vote : Vote.t }
+
+type trace_event =
+  | Deliver of { seq : int; src : int; dst : int; step : Vote.step; value : string }
+  | Timer_round
+
+type t = {
+  config : config;
+  machines : Ba_star.t array;
+  vctx : Vote.validation_ctx;
+  mutable pending : pending list;  (** oldest (lowest seq) first *)
+  mutable next_seq : int;
+  timers : int option array;  (** latest armed timer token per machine *)
+  decided : (string * bool) option array;
+  hung : bool array;
+  mutable trace_rev : trace_event list;
+  mutable timer_rounds : int;
+}
+
+let input_of (c : config) (i : int) : string =
+  match c.scenario with Agree -> block_a | Split -> if i mod 2 = 0 then block_a else block_b
+
+let create (config : config) : t =
+  let sig_scheme = Signature_scheme.sim and vrf_scheme = Vrf.sim in
+  let users =
+    Array.init config.nodes (fun i ->
+        Identity.generate ~sig_scheme ~vrf_scheme ~seed:(Printf.sprintf "check%d" i))
+  in
+  let weight = 100 in
+  let total_weight = weight * config.nodes in
+  let prev_hash = String.make 32 'P' in
+  let params = config.params in
+  let vctx : Vote.validation_ctx =
+    {
+      sig_scheme;
+      vrf_scheme;
+      sig_pk_of = Identity.sig_pk;
+      vrf_pk_of = Identity.vrf_pk;
+      seed = config.seed;
+      total_weight;
+      weight_of = (fun _ -> weight);
+      last_block_hash = prev_hash;
+      tau_of_step = (function Vote.Final -> params.tau_final | _ -> params.tau_step);
+    }
+  in
+  let machine i =
+    let ctx : Ba_star.ctx =
+      {
+        params;
+        round = config.round;
+        empty_hash;
+        my_votes =
+          (fun ~step ~value ->
+            match
+              Vote.make ~signer:users.(i).signer ~prover:users.(i).prover
+                ~pk:users.(i).pk ~seed:config.seed
+                ~tau:
+                  (match step with
+                  | Vote.Final -> params.tau_final
+                  | _ -> params.tau_step)
+                ~w:weight ~total_weight ~round:config.round ~step ~prev_hash ~value
+            with
+            | Some v -> [ v ]
+            | None -> []);
+        validate = (fun v -> Vote.validate vctx v);
+      }
+    in
+    Ba_star.create ctx
+  in
+  {
+    config;
+    machines = Array.init config.nodes machine;
+    vctx;
+    pending = [];
+    next_seq = 0;
+    timers = Array.make config.nodes None;
+    decided = Array.make config.nodes None;
+    hung = Array.make config.nodes false;
+    trace_rev = [];
+    timer_rounds = 0;
+  }
+
+let config (t : t) : config = t.config
+let validation_ctx (t : t) : Vote.validation_ctx = t.vctx
+let machines (t : t) : Ba_star.t array = t.machines
+let decisions (t : t) : (string * bool) option array = t.decided
+let hung (t : t) : bool array = t.hung
+let pending (t : t) : pending list = t.pending
+let timer_rounds (t : t) : int = t.timer_rounds
+let trace (t : t) : trace_event list = List.rev t.trace_rev
+let timers_armed (t : t) : bool = Array.exists Option.is_some t.timers
+let all_done (t : t) : bool =
+  let ok = ref true in
+  Array.iteri (fun i d -> if d = None && not t.hung.(i) then ok := false) t.decided;
+  !ok
+
+(* Apply the actions one machine returned from a single event. The
+   broadcasts become pending deliveries to *every* node (including the
+   sender: a node hears its own gossip), so the scheduler owns each
+   copy's fate independently. *)
+let apply_actions (t : t) (origin : int) (actions : Ba_star.action list) : unit =
+  List.iter
+    (fun (a : Ba_star.action) ->
+      match a with
+      | Ba_star.Broadcast v ->
+        for dst = 0 to t.config.nodes - 1 do
+          t.pending <- t.pending @ [ { seq = t.next_seq; src = origin; dst; vote = v } ];
+          t.next_seq <- t.next_seq + 1
+        done
+      | Ba_star.Set_timer { token; delay = _ } -> t.timers.(origin) <- Some token
+      | Ba_star.Bin_decided _ -> ()
+      | Ba_star.Decided { value; final; _ } -> t.decided.(origin) <- Some (value, final)
+      | Ba_star.Hang -> t.hung.(origin) <- true)
+    actions
+
+let start (t : t) : unit =
+  Array.iteri
+    (fun i m ->
+      apply_actions t i (Ba_star.handle m (Ba_star.Start (input_of t.config i))))
+    t.machines
+
+let deliver (t : t) (p : pending) : unit =
+  t.pending <- List.filter (fun q -> q.seq <> p.seq) t.pending;
+  t.trace_rev <-
+    Deliver { seq = p.seq; src = p.src; dst = p.dst; step = p.vote.step; value = p.vote.value }
+    :: t.trace_rev;
+  apply_actions t p.dst (Ba_star.handle t.machines.(p.dst) (Ba_star.Deliver p.vote))
+
+let deliver_seq (t : t) (seq : int) : bool =
+  match List.find_opt (fun q -> q.seq = seq) t.pending with
+  | Some p ->
+    deliver t p;
+    true
+  | None -> false
+
+(* Content-addressed delivery, for replaying (possibly shrunk) traces
+   whose seq numbers no longer line up: the first pending message with
+   the same src/dst/step/value is the same protocol message. *)
+let deliver_matching (t : t) ~(src : int) ~(dst : int) ~(step : Vote.step)
+    ~(value : string) : bool =
+  match
+    List.find_opt
+      (fun q ->
+        q.src = src && q.dst = dst
+        && Vote.equal_step q.vote.step step
+        && String.equal q.vote.value value)
+      t.pending
+  with
+  | Some p ->
+    deliver t p;
+    true
+  | None -> false
+
+(* Fire every armed timer, in node order - one lockstep timeout round.
+   Only schedulers call this, and only at quiescence (fuzz/DFS) so the
+   timeout abstraction stays honest. *)
+let fire_timers (t : t) : unit =
+  t.trace_rev <- Timer_round :: t.trace_rev;
+  t.timer_rounds <- t.timer_rounds + 1;
+  Array.iteri
+    (fun i m ->
+      match t.timers.(i) with
+      | Some token ->
+        t.timers.(i) <- None;
+        apply_actions t i (Ba_star.handle m (Ba_star.Timer token))
+      | None -> ())
+    t.machines
+
+(* The canonical frontier the DFS branches over: all pending messages
+   in the least (step, dst) class. Messages to different nodes (or for
+   different steps) are kept in a fixed canonical order - the
+   partial-order reduction: only the relative order of messages racing
+   into the *same* counter can change which value crosses a threshold
+   first. *)
+let frontier (t : t) : pending list =
+  match t.pending with
+  | [] -> []
+  | first :: rest ->
+    let key (p : pending) = (p.vote.step, p.dst) in
+    let least =
+      List.fold_left
+        (fun acc p ->
+          let (s, d) = key p and (s', d') = acc in
+          let c = Vote.compare_step s s' in
+          if c < 0 || (c = 0 && d < d') then key p else acc)
+        (key first) rest
+    in
+    List.filter (fun p -> key p = least) t.pending
+
+let clone (t : t) : t =
+  {
+    config = t.config;
+    machines = Array.map Ba_star.clone t.machines;
+    vctx = t.vctx;
+    pending = t.pending;
+    next_seq = t.next_seq;
+    timers = Array.copy t.timers;
+    decided = Array.copy t.decided;
+    hung = Array.copy t.hung;
+    trace_rev = t.trace_rev;
+    timer_rounds = t.timer_rounds;
+  }
+
+(* Canonical digest of the whole world: machine digests plus the
+   canonical multiset of in-flight messages and per-node verdicts.
+   Two schedules that delivered the same vote sets (in any order) and
+   left the same messages in flight collide here, which is what makes
+   bounded DFS tractable. *)
+let digest (t : t) : string =
+  let buf = Buffer.create 512 in
+  Array.iter
+    (fun m ->
+      Buffer.add_string buf (Ba_star.digest m);
+      Buffer.add_char buf '|')
+    t.machines;
+  let canon =
+    List.map
+      (fun (p : pending) ->
+        Printf.sprintf "%d>%d:%s:%s:%s" p.src p.dst
+          (Vote.step_to_string p.vote.step)
+          p.vote.voter_pk p.vote.value)
+      t.pending
+    |> List.sort String.compare
+  in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf s;
+      Buffer.add_char buf ';')
+    canon;
+  Array.iter
+    (fun d ->
+      match d with
+      | Some (v, f) ->
+        Buffer.add_string buf v;
+        Buffer.add_string buf (if f then "F" else "T")
+      | None -> Buffer.add_char buf '.')
+    t.decided;
+  Array.iter (fun h -> Buffer.add_char buf (if h then 'H' else '.')) t.hung;
+  Array.iter
+    (fun tok ->
+      match tok with
+      | Some k -> Buffer.add_string buf (string_of_int k)
+      | None -> Buffer.add_char buf '_')
+    t.timers;
+  Sha256.digest (Buffer.contents buf)
+
+(* ------------------------- trace rendering ------------------------- *)
+
+let value_tag (v : string) : string =
+  if String.equal v block_a then "A"
+  else if String.equal v block_b then "B"
+  else if String.equal v empty_hash then "empty"
+  else String.sub (Hex.of_string v) 0 8
+
+let pp_trace_event (fmt : Format.formatter) (e : trace_event) : unit =
+  match e with
+  | Deliver { seq; src; dst; step; value } ->
+    Format.fprintf fmt "deliver #%d %s n%d->n%d value=%s" seq
+      (Vote.step_to_string step) src dst (value_tag value)
+  | Timer_round -> Format.fprintf fmt "timeout-round"
+
+let render_trace (events : trace_event list) : string =
+  String.concat "\n"
+    (List.map (fun e -> Format.asprintf "%a" pp_trace_event e) events)

@@ -1,0 +1,77 @@
+(** The model checker's world: N BA* machines for one round, the
+    multiset of in-flight vote deliveries, and one armed timer per
+    machine. Delivery order is the choice point schedulers explore;
+    [clone]/[digest] make the world forkable and dedupable for DFS.
+    Timers fire only at quiescence (weak synchrony: the adversary
+    reorders freely but cannot starve a step forever). *)
+
+module Vote = Algorand_ba.Vote
+module Ba_star = Algorand_ba.Ba_star
+module Params = Algorand_ba.Params
+
+type scenario =
+  | Agree  (** every node starts BA* with the same proposed block *)
+  | Split  (** a dishonest proposer equivocated: half see A, half B *)
+
+val block_a : string
+val block_b : string
+val empty_hash : string
+
+type config = {
+  nodes : int;
+  round : int;
+  params : Params.t;
+  scenario : scenario;
+  seed : string;
+}
+
+val default_config : config
+(** 4 nodes, paper params with small committees ([tau_step]=40,
+    [tau_final]=60, [max_steps]=12), [Agree]. *)
+
+type pending = { seq : int; src : int; dst : int; vote : Vote.t }
+
+type trace_event =
+  | Deliver of { seq : int; src : int; dst : int; step : Vote.step; value : string }
+  | Timer_round  (** every armed timer fired, in node order *)
+
+type t
+
+val create : config -> t
+val start : t -> unit
+(** Feed [Start] to every machine; their first votes become pending. *)
+
+val config : t -> config
+val machines : t -> Ba_star.t array
+val validation_ctx : t -> Vote.validation_ctx
+val decisions : t -> (string * bool) option array
+val hung : t -> bool array
+val pending : t -> pending list
+val timers_armed : t -> bool
+val all_done : t -> bool
+val timer_rounds : t -> int
+val trace : t -> trace_event list
+
+val deliver : t -> pending -> unit
+val deliver_seq : t -> int -> bool
+val deliver_matching :
+  t -> src:int -> dst:int -> step:Vote.step -> value:string -> bool
+(** Content-addressed delivery for replaying shrunk traces whose seq
+    numbers no longer line up. False if no such message is in flight. *)
+
+val fire_timers : t -> unit
+(** One lockstep timeout round. Call only at quiescence. *)
+
+val frontier : t -> pending list
+(** The pending messages in the least (step, dst) class - the only
+    messages the DFS branches over (partial-order reduction: only the
+    relative order of messages racing into the same counter matters). *)
+
+val clone : t -> t
+val digest : t -> string
+
+val value_tag : string -> string
+(** "A" / "B" / "empty" / hex prefix - for rendering traces. *)
+
+val pp_trace_event : Format.formatter -> trace_event -> unit
+val render_trace : trace_event list -> string

@@ -34,6 +34,16 @@ let hold_until ~(release : float) : 'msg Network.adversary =
  fun ~now ~src:_ ~dst:_ _ ->
   if now < release then Network.Delay (release -. now) else Network.Deliver
 
+(* Adversarial reordering: delay each message by an independent uniform
+   draw from [0, window). Messages are never lost, but any two messages
+   in flight within the window may swap - the bounded-asynchrony
+   schedule perturbation the model checker's harness fuzz mode layers
+   under the engine's tie-break hook. *)
+let reorder ~(rng : Algorand_sim.Rng.t) ~(window : float) : 'msg Network.adversary =
+ fun ~now:_ ~src:_ ~dst:_ _ ->
+  if window <= 0.0 then Network.Deliver
+  else Network.Delay (Algorand_sim.Rng.float rng window)
+
 (* Chain adversaries: the first non-Deliver verdict wins. *)
 let compose (advs : 'msg Network.adversary list) : 'msg Network.adversary =
  fun ~now ~src ~dst msg ->

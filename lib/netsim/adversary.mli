@@ -16,5 +16,10 @@ val hold_until : release:float -> 'msg Network.adversary
 (** Full adversarial scheduling: delay (not drop) everything until
     [release] - the asynchronous period of weak synchrony. *)
 
+val reorder : rng:Algorand_sim.Rng.t -> window:float -> 'msg Network.adversary
+(** Delay every message by an independent uniform draw from
+    [\[0, window)]: lossless adversarial reordering within a bounded
+    horizon (the checker's harness-level schedule perturbation). *)
+
 val compose : 'msg Network.adversary list -> 'msg Network.adversary
 (** First non-Deliver verdict wins. *)

@@ -6,9 +6,11 @@ type t = {
   queue : (unit -> unit) Event_queue.t;
   mutable now : float;
   mutable events_processed : int;
+  mutable reorder_hook : ((unit -> unit) array -> (unit -> unit) array) option;
 }
 
-let create () : t = { queue = Event_queue.create (); now = 0.0; events_processed = 0 }
+let create () : t =
+  { queue = Event_queue.create (); now = 0.0; events_processed = 0; reorder_hook = None }
 
 let now (t : t) : float = t.now
 
@@ -19,8 +21,28 @@ let schedule (t : t) ~(delay : float) (f : unit -> unit) : unit =
 let at (t : t) ~(time : float) (f : unit -> unit) : unit =
   Event_queue.push t.queue ~time:(max time t.now) f
 
+let set_reorder_hook (t : t) hook = t.reorder_hook <- hook
+
+(* Pop every event sharing the minimal timestamp - a "batch" of
+   simultaneous events whose FIFO order is an artifact of insertion
+   order, not causality. Events the batch itself schedules at the same
+   time form a *later* batch (they are causally downstream). *)
+let pop_batch (t : t) ~(time : float) : (unit -> unit) array =
+  let rec collect acc =
+    match Event_queue.peek_time t.queue with
+    | Some time' when time' = time -> (
+      match Event_queue.pop t.queue with
+      | Some (_, f) -> collect (f :: acc)
+      | None -> acc)
+    | _ -> acc
+  in
+  Array.of_list (List.rev (collect []))
+
 (* Run until the queue drains or the clock passes [until]. Returns the
-   number of events processed. *)
+   number of events processed. With a reorder hook installed, events
+   sharing a timestamp are popped as a batch, passed through the hook
+   (which returns them in the order to run), and executed; [max_events]
+   is then only checked between batches. *)
 let run (t : t) ?(until = infinity) ?(max_events = max_int) () : int =
   let processed_before = t.events_processed in
   let continue = ref true in
@@ -28,15 +50,26 @@ let run (t : t) ?(until = infinity) ?(max_events = max_int) () : int =
     match Event_queue.peek_time t.queue with
     | None -> continue := false
     | Some time when time > until -> continue := false
-    | Some _ ->
+    | Some time ->
       if t.events_processed - processed_before >= max_events then continue := false
       else begin
-        match Event_queue.pop t.queue with
-        | None -> continue := false
-        | Some (time, f) ->
+        match t.reorder_hook with
+        | Some hook ->
+          let batch = pop_batch t ~time in
+          let batch = hook batch in
           t.now <- time;
-          t.events_processed <- t.events_processed + 1;
-          f ()
+          Array.iter
+            (fun f ->
+              t.events_processed <- t.events_processed + 1;
+              f ())
+            batch
+        | None -> (
+          match Event_queue.pop t.queue with
+          | None -> continue := false
+          | Some (time, f) ->
+            t.now <- time;
+            t.events_processed <- t.events_processed + 1;
+            f ())
       end
   done;
   t.events_processed - processed_before

@@ -16,4 +16,13 @@ val run : t -> ?until:float -> ?max_events:int -> unit -> int
 (** Process events until the queue drains, the clock passes [until], or
     [max_events] have run. Returns the number processed. *)
 
+val set_reorder_hook : t -> ((unit -> unit) array -> (unit -> unit) array) option -> unit
+(** Scheduler hook for the model checker: events sharing a timestamp
+    are popped as a batch and the hook returns them in the order to
+    execute, letting a checker permute FIFO tie-breaking (the one
+    ordering freedom a discrete-event run has). Events a batch
+    schedules at the same time form a later batch; [max_events] is
+    checked between batches while a hook is installed. [None] restores
+    deterministic FIFO. *)
+
 val pending : t -> int

@@ -105,6 +105,32 @@ let deterministic_runs () =
   Alcotest.(check bool) "different seed differs" true
     (r3.events <> r1.events || r3.sim_time <> r1.sim_time)
 
+let deterministic_bit_identical () =
+  (* The model checker's replay traces (lib/check) assume the whole
+     deployment is a pure function of rng_seed: same seed must yield
+     bit-identical chain hashes on every node and identical byte
+     counters, not merely matching aggregates. *)
+  let run () = Harness.run { base_config with rounds = 2; rng_seed = 11 } in
+  let r1 = run () and r2 = run () in
+  let chain_hashes (r : Harness.result) =
+    Array.to_list r.harness.nodes
+    |> List.concat_map (fun n ->
+           let chain = Node.chain n in
+           List.map
+             (fun (e : Chain.entry) -> Printf.sprintf "%d:%s:%b" e.height e.hash e.final)
+             (Chain.ancestry chain (Chain.tip chain).hash))
+  in
+  Alcotest.(check (list string)) "bit-identical chains" (chain_hashes r1)
+    (chain_hashes r2);
+  Alcotest.(check (list (float 0.0))) "bit-identical bytes sent"
+    (Array.to_list r1.harness.metrics.bytes_sent)
+    (Array.to_list r2.harness.metrics.bytes_sent);
+  Alcotest.(check (list (float 0.0))) "bit-identical bytes received"
+    (Array.to_list r1.harness.metrics.bytes_received)
+    (Array.to_list r2.harness.metrics.bytes_received);
+  Alcotest.(check int) "same event count" r1.events r2.events;
+  Alcotest.(check (float 0.0)) "same sim time" r1.sim_time r2.sim_time
+
 let all_chains_converge () =
   let r = Harness.run { base_config with rounds = 3; rng_seed = 5 } in
   check_safety r;
@@ -344,6 +370,7 @@ let suite =
         ts "equivocation attack preserves safety" equivocation_attack_safe;
         ts "targeted DoS preserves safety" targeted_dos_safe;
         ts "deterministic runs" deterministic_runs;
+        ts "deterministic runs are bit-identical" deterministic_bit_identical;
         ts "all chains converge + certificates" all_chains_converge;
         ts "bandwidth accounted" bandwidth_accounted;
       ] );

@@ -170,6 +170,54 @@ let adversary_compose () =
   Alcotest.(check int) "same-group delayed but delivered" 1 got.(2);
   Alcotest.(check bool) "delay applied" true (Engine.now engine >= 1.0)
 
+let adversary_compose_ordering () =
+  (* compose's contract is positional: the FIRST non-Deliver verdict
+     wins, later adversaries are never consulted once one objects. *)
+  let deliver : unit Network.adversary = fun ~now:_ ~src:_ ~dst:_ _ -> Network.Deliver in
+  let drop : unit Network.adversary = fun ~now:_ ~src:_ ~dst:_ _ -> Network.Drop in
+  let delay d : unit Network.adversary = fun ~now:_ ~src:_ ~dst:_ _ -> Network.Delay d in
+  let verdict advs = Adversary.compose advs ~now:0.0 ~src:0 ~dst:1 () in
+  let check_verdict name expected got =
+    Alcotest.(check bool) name true (got = expected)
+  in
+  check_verdict "empty list delivers" Network.Deliver (verdict []);
+  check_verdict "all-deliver delivers" Network.Deliver (verdict [ deliver; deliver ]);
+  check_verdict "drop before delay wins" Network.Drop (verdict [ drop; delay 1.0 ]);
+  check_verdict "delay before drop wins" (Network.Delay 1.0) (verdict [ delay 1.0; drop ]);
+  check_verdict "deliver passes through to drop" Network.Drop
+    (verdict [ deliver; drop; delay 2.0 ]);
+  check_verdict "first delay wins over second" (Network.Delay 1.0)
+    (verdict [ deliver; delay 1.0; delay 2.0 ]);
+  (* A later adversary must not even be consulted after a verdict. *)
+  let consulted = ref false in
+  let spy : unit Network.adversary =
+   fun ~now:_ ~src:_ ~dst:_ _ ->
+    consulted := true;
+    Network.Deliver
+  in
+  check_verdict "verdict short-circuits" Network.Drop (verdict [ drop; spy ]);
+  Alcotest.(check bool) "later adversary not consulted" false !consulted
+
+let adversary_reorder_bounded () =
+  (* reorder: every verdict is a Delay drawn from [0, window) - lossless
+     and bounded, and deterministic given the rng stream. *)
+  let sample seed =
+    let adv = Adversary.reorder ~rng:(Rng.create seed) ~window:2.0 in
+    List.init 50 (fun i ->
+        match adv ~now:0.0 ~src:0 ~dst:1 i with
+        | Network.Delay d -> d
+        | Network.Deliver | Network.Drop -> Alcotest.fail "reorder must only delay")
+  in
+  let ds = sample 21 in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) (Printf.sprintf "delay %f within window" d) true
+        (d >= 0.0 && d < 2.0))
+    ds;
+  Alcotest.(check bool) "delays vary" true
+    (List.sort_uniq compare ds |> List.length > 10);
+  Alcotest.(check (list (float 1e-12))) "deterministic per seed" ds (sample 21)
+
 let adversary_uniform_loss () =
   let engine = Engine.create () in
   let topo = Topology.create ~nodes:2 (Rng.create 13) in
@@ -246,6 +294,8 @@ let suite =
     ( "netsim",
       [
         t "adversary compose" adversary_compose;
+        t "adversary compose ordering semantics" adversary_compose_ordering;
+        t "adversary reorder bounded + deterministic" adversary_reorder_bounded;
         t "adversary uniform loss" adversary_uniform_loss;
         t "gossip redraw keeps connectivity" gossip_redraw_keeps_connectivity;
         t "gossip bidirectional degree" gossip_bidirectional_degree;

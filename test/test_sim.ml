@@ -150,6 +150,44 @@ let engine_negative_delay () =
   Alcotest.check_raises "negative" (Invalid_argument "Engine.schedule: negative delay")
     (fun () -> Engine.schedule e ~delay:(-1.0) (fun () -> ()))
 
+let engine_reorder_hook () =
+  (* Without a hook, simultaneous events run FIFO; with one, the batch
+     is handed over for permutation, and causally later same-time
+     events form a separate batch. *)
+  let run hook =
+    let e = Engine.create () in
+    let log = ref [] in
+    let ev tag () = log := tag :: !log in
+    Engine.schedule e ~delay:1.0 (ev "a");
+    Engine.schedule e ~delay:1.0 (ev "b");
+    Engine.schedule e ~delay:1.0 (ev "c");
+    Engine.schedule e ~delay:2.0 (ev "later");
+    Engine.set_reorder_hook e hook;
+    ignore (Engine.run e ());
+    List.rev !log
+  in
+  Alcotest.(check (list string)) "no hook: FIFO" [ "a"; "b"; "c"; "later" ] (run None);
+  Alcotest.(check (list string)) "identity hook: FIFO" [ "a"; "b"; "c"; "later" ]
+    (run (Some (fun batch -> batch)));
+  let reverse batch =
+    let n = Array.length batch in
+    Array.init n (fun i -> batch.(n - 1 - i))
+  in
+  Alcotest.(check (list string)) "reversing hook" [ "c"; "b"; "a"; "later" ]
+    (run (Some reverse));
+  (* Events scheduled at the same time *by the batch* run afterwards
+     (they are causally downstream, not tie-broken). *)
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.set_reorder_hook e (Some reverse);
+  Engine.schedule e ~delay:1.0 (fun () ->
+      log := "first" :: !log;
+      Engine.schedule e ~delay:0.0 (fun () -> log := "child" :: !log));
+  Engine.schedule e ~delay:1.0 (fun () -> log := "second" :: !log);
+  ignore (Engine.run e ());
+  Alcotest.(check (list string)) "children form a later batch"
+    [ "second"; "first"; "child" ] (List.rev !log)
+
 let metrics_bandwidth () =
   let m = Metrics.create ~users:3 in
   Metrics.record_bytes_sent m ~user:1 500;
@@ -172,6 +210,7 @@ let suite =
         t "engine at clamps past times" engine_at_clamps_past;
         t "engine max_events" engine_max_events;
         t "engine rejects negative delay" engine_negative_delay;
+        t "engine reorder hook permutes tie batches" engine_reorder_hook;
         t "metrics bandwidth counters" metrics_bandwidth;
         t "percentile interpolation" stats_percentiles_interpolate;
         t "queue orders by time" queue_orders_by_time;

@@ -7,9 +7,14 @@
      dune exec bench/main.exe -- fig5 fig7    # selected experiments
      SCALE=2 dune exec bench/main.exe -- fig5 # 2x the simulated users
 
-   Experiments: micro fig3 fig4 fig5 fig6 fig7 fig8 throughput
-                related-work costs timeouts analysis
+   Experiments: micro micro-check fig3 fig4 fig5 fig6 fig7 fig8
+                throughput related-work costs timeouts analysis
                 ablation-committee ablation-pipeline ablation-fanout
+
+   `micro` re-measures the crypto primitives and refreshes
+   results/BENCH_crypto.json; `micro-check` is the CI smoke gate that
+   fails (exit 1) when ed25519/verify regresses >2x vs the committed
+   snapshot.
 
    The x-axes are scaled down from the paper's 1,000-VM deployment (see
    DESIGN.md section 2 and EXPERIMENTS.md): committee parameters stay at
@@ -56,13 +61,145 @@ let check_safety name (r : Harness.result) =
       (String.concat "," (List.map string_of_int r.safety.double_final))
 
 (* ------------------------------------------------------------------ *)
-(* Microbenchmarks (Bechamel).                                         *)
+(* Microbenchmarks (Bechamel + manual loops for the heavy composites). *)
+(* Emits results/BENCH_crypto.json; `micro-check` is the smoke-mode    *)
+(* regression gate CI runs against the committed snapshot.             *)
 (* ------------------------------------------------------------------ *)
+
+(* Bechamel OLS estimate (ns/op) for one closure. *)
+let bechamel_ns (name : string) (f : unit -> 'a) : float =
+  let open Bechamel in
+  let open Toolkit in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let test = Test.make ~name (Staged.stage f) in
+  let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+  let analyzed = Analyze.all ols instance results in
+  let out = ref Float.nan in
+  Hashtbl.iter
+    (fun _ r -> match Analyze.OLS.estimates r with Some [ ns ] -> out := ns | _ -> ())
+    analyzed;
+  !out
+
+(* Wall-clock ns/op for operations too slow to hand to Bechamel. *)
+let manual_ns ?(warmup = 2) ~iters (f : unit -> 'a) : float =
+  for _ = 1 to warmup do
+    ignore (f ())
+  done;
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore (f ())
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e9
+
+(* A batch of distinct-key signatures for verify_batch benchmarks. *)
+let signature_batch n =
+  List.init n (fun i ->
+      let sk = Ed25519.generate ~seed:(Printf.sprintf "batch-bench-%d" i) in
+      let msg = Printf.sprintf "batch msg %d" i in
+      (Ed25519.public_key sk, msg, Ed25519.sign sk msg))
+
+(* A certificate of ~2000 real votes (ed25519 + ECVRF sortition) plus
+   the context to validate it: the committee-scale workload that batch
+   verification exists for. Expected weighted votes = tau; user count
+   and weights are chosen so ~2000 distinct voters win a seat. *)
+let certificate_workload () =
+  let sig_scheme = Signature_scheme.ed25519 and vrf_scheme = Vrf.ecvrf in
+  let n_users = 2500 and w = 20 in
+  let tau = 3800.0 in
+  let total_weight = n_users * w in
+  let seed = "bench-cert-seed" in
+  let prev_hash = String.make 32 'p' in
+  let block_hash = String.make 32 'b' in
+  let params = { Params.paper with tau_step = tau } in
+  let votes =
+    List.filter_map
+      (fun i ->
+        let id =
+          Algorand_core.Identity.generate ~sig_scheme ~vrf_scheme
+            ~seed:(Printf.sprintf "cert-bench-%d" i)
+        in
+        Algorand_ba.Vote.make ~signer:id.signer ~prover:id.prover ~pk:id.pk ~seed ~tau
+          ~w ~total_weight ~round:1 ~step:(Algorand_ba.Vote.Bin 1) ~prev_hash
+          ~value:block_hash)
+      (List.init n_users Fun.id)
+  in
+  let cert =
+    Certificate.make ~round:1 ~step:(Algorand_ba.Vote.Bin 1) ~block_hash ~votes
+  in
+  let ctx : Algorand_ba.Vote.validation_ctx =
+    {
+      sig_scheme;
+      vrf_scheme;
+      sig_pk_of = Algorand_core.Identity.sig_pk;
+      vrf_pk_of = Algorand_core.Identity.vrf_pk;
+      seed;
+      total_weight;
+      weight_of = (fun _ -> w);
+      last_block_hash = prev_hash;
+      tau_of_step = (fun _ -> tau);
+    }
+  in
+  (params, ctx, cert)
+
+let bench_json = Filename.concat csv_dir "BENCH_crypto.json"
+
+let write_bench_json (rows : (string * float) list) : unit =
+  (try if not (Sys.file_exists csv_dir) then Sys.mkdir csv_dir 0o755 with Sys_error _ -> ());
+  let oc = open_out bench_json in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "  %S: %.0f%s\n" k v
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "}\n";
+  close_out oc
+
+(* Pull one numeric field out of the committed JSON snapshot; the
+   format is the flat object written above, so a string scan does. *)
+let read_bench_field (key : string) : float option =
+  try
+    let ic = open_in bench_json in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    let needle = Printf.sprintf "%S:" key in
+    let rec find i =
+      if i + String.length needle > String.length s then None
+      else if String.sub s i (String.length needle) = needle then begin
+        let j = ref (i + String.length needle) in
+        while !j < String.length s && not (String.contains "0123456789.-" s.[!j]) do
+          incr j
+        done;
+        let k = ref !j in
+        while !k < String.length s && String.contains "0123456789.-eE+" s.[!k] do
+          incr k
+        done;
+        float_of_string_opt (String.sub s !j (!k - !j))
+      end
+      else find (i + 1)
+    in
+    find 0
+  with Sys_error _ | End_of_file -> None
+
+(* Pre-engine numbers, measured on this codebase at the seed commit
+   (naive double-and-add everywhere, one-by-one certificate
+   verification). Kept in the snapshot so the speedup is always
+   visible next to the current numbers; DESIGN.md section "Fast-path
+   elliptic-curve engine" shows the same table. *)
+let pre_engine_baselines =
+  [
+    ("baseline_ed25519_sign_ns", 1_156_050.0);
+    ("baseline_ed25519_verify_ns", 2_998_969.0);
+    ("baseline_ecvrf_prove_ns", 4_568_727.0);
+    ("baseline_ecvrf_verify_ns", 5_071_770.0);
+    ("baseline_certificate_validate_per_vote_ns", 7_840_000.0);
+  ]
 
 let micro () =
   header "Microbenchmarks: crypto + sortition primitives";
-  let open Bechamel in
-  let open Toolkit in
   let kb = String.make 1024 'x' in
   let ed = Ed25519.generate ~seed:"bench" in
   let ed_pk = Ed25519.public_key ed in
@@ -72,37 +209,87 @@ let micro () =
   let sim_prover, _ = Vrf.sim.generate ~seed:"bench" in
   let counter = ref 0 in
   let fresh () = incr counter; string_of_int !counter in
-  let tests =
-    [
-      Test.make ~name:"sha256/1KiB" (Staged.stage (fun () -> Sha256.digest kb));
-      Test.make ~name:"ed25519/sign" (Staged.stage (fun () -> Ed25519.sign ed (fresh ())));
-      Test.make ~name:"ed25519/verify"
-        (Staged.stage (fun () -> Ed25519.verify ~public:ed_pk ~msg:kb ~signature:ed_sig));
-      Test.make ~name:"ecvrf/prove" (Staged.stage (fun () -> ecvrf_prover.prove (fresh ())));
-      Test.make ~name:"ecvrf/verify"
-        (Staged.stage (fun () -> Vrf.ecvrf.verify ~pk:ecvrf_pk ~input:"input" ~proof:ecvrf_proof));
-      Test.make ~name:"simvrf/prove" (Staged.stage (fun () -> sim_prover.prove (fresh ())));
-      Test.make ~name:"sortition/select_j"
-        (Staged.stage (fun () ->
-             Algorand_sortition.Binomial.select_j ~frac:0.37 ~w:1000 ~p:0.125));
-    ]
+  let rows = ref [] in
+  let record key ns =
+    rows := (key, ns) :: !rows;
+    Printf.printf "  %-40s %12.0f ns/op\n%!" key ns
   in
-  let instance = Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  record "sha256_1kib_ns" (bechamel_ns "sha256/1KiB" (fun () -> Sha256.digest kb));
+  record "ed25519_sign_ns" (bechamel_ns "ed25519/sign" (fun () -> Ed25519.sign ed (fresh ())));
+  record "ed25519_verify_ns"
+    (bechamel_ns "ed25519/verify" (fun () ->
+         Ed25519.verify ~public:ed_pk ~msg:kb ~signature:ed_sig));
+  let batch = signature_batch 64 in
+  record "ed25519_verify_batch_per_sig_ns"
+    (manual_ns ~iters:10 (fun () ->
+         if not (Ed25519.verify_batch batch) then failwith "batch must verify")
+    /. 64.0);
+  record "ecvrf_prove_ns" (bechamel_ns "ecvrf/prove" (fun () -> ecvrf_prover.prove (fresh ())));
+  record "ecvrf_verify_ns"
+    (bechamel_ns "ecvrf/verify" (fun () ->
+         Vrf.ecvrf.verify ~pk:ecvrf_pk ~input:"input" ~proof:ecvrf_proof));
+  record "simvrf_prove_ns"
+    (bechamel_ns "simvrf/prove" (fun () -> sim_prover.prove (fresh ())));
+  record "sortition_select_j_ns"
+    (bechamel_ns "sortition/select_j" (fun () ->
+         Algorand_sortition.Binomial.select_j ~frac:0.37 ~w:1000 ~p:0.125));
+  (* Composite consensus-path costs: one vote, then a whole certificate
+     (where the per-vote signature cost collapses into the batch). *)
+  Printf.printf "  building ~2000-vote certificate workload...\n%!";
+  let params, ctx, cert = certificate_workload () in
+  let n_votes = List.length cert.votes in
+  (match cert.votes with
+  | v :: _ ->
+    record "vote_validate_ns"
+      (manual_ns ~iters:20 (fun () ->
+           if Algorand_ba.Vote.validate ctx v = 0 then failwith "vote must validate"))
+  | [] -> failwith "empty certificate workload");
+  record "certificate_votes" (float_of_int n_votes);
+  record "certificate_validate_per_vote_ns"
+    (manual_ns ~warmup:1 ~iters:2 (fun () ->
+         match Certificate.validate ~params ~ctx cert with
+         | Ok () -> ()
+         | Error e -> Format.kasprintf failwith "certificate invalid: %a" Certificate.pp_error e)
+    /. float_of_int n_votes);
+  let rows = List.rev !rows @ pre_engine_baselines in
+  write_bench_json rows;
+  Printf.printf "  -> %s\n" bench_json;
+  let ratio num den =
+    match (List.assoc_opt num rows, List.assoc_opt den rows) with
+    | Some a, Some b when a > 0.0 -> Printf.sprintf "%.1fx" (b /. a)
+    | _ -> "?"
   in
-  List.iter
-    (fun test ->
-      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
-      let analyzed = Analyze.all ols instance results in
-      Hashtbl.iter
-        (fun name ols_result ->
-          match Analyze.OLS.estimates ols_result with
-          | Some [ ns ] -> Printf.printf "  %-24s %12.0f ns/op\n%!" name ns
-          | _ -> Printf.printf "  %-24s (no estimate)\n%!" name)
-        analyzed)
-    tests
+  Printf.printf "  speedup vs pre-engine baseline: verify %s, certificate/vote %s\n"
+    (ratio "ed25519_verify_ns" "baseline_ed25519_verify_ns")
+    (ratio "certificate_validate_per_vote_ns" "baseline_certificate_validate_per_vote_ns")
+
+(* Smoke-mode regression gate (CI): re-measure single-signature
+   verification with a short manual loop and fail when it has
+   regressed more than 2x against the committed snapshot. Short
+   enough for CI; the full `micro` refreshes the snapshot. *)
+let micro_check () =
+  header "Microbenchmark smoke check: ed25519/verify vs committed snapshot";
+  match read_bench_field "ed25519_verify_ns" with
+  | None ->
+    Printf.printf "  no committed %s; run `bench/main.exe -- micro` first\n" bench_json;
+    exit 1
+  | Some committed ->
+    let ed = Ed25519.generate ~seed:"bench" in
+    let ed_pk = Ed25519.public_key ed in
+    let msg = String.make 1024 'x' in
+    let ed_sig = Ed25519.sign ed msg in
+    let measured =
+      manual_ns ~warmup:5 ~iters:50 (fun () ->
+          if not (Ed25519.verify ~public:ed_pk ~msg ~signature:ed_sig) then
+            failwith "verify must accept")
+    in
+    Printf.printf "  committed %12.0f ns/op\n  measured  %12.0f ns/op (%.2fx)\n%!"
+      committed measured (measured /. committed);
+    if measured > 2.0 *. committed then begin
+      Printf.printf "  FAIL: ed25519/verify regressed more than 2x\n";
+      exit 1
+    end
+    else Printf.printf "  OK\n"
 
 (* ------------------------------------------------------------------ *)
 (* Figure 3: committee size vs honest fraction.                        *)
@@ -495,6 +682,7 @@ let ablation_fanout () =
 let experiments =
   [
     ("micro", micro);
+    ("micro-check", micro_check);
     ("fig3", fig3);
     ("fig4", fig4);
     ("fig5", fig5);

@@ -102,19 +102,25 @@ type validation_ctx = {
   tau_of_step : step -> float;
 }
 
-(* Algorithm 6: returns the number of weighted votes the message
-   carries, or 0 if it is invalid or off-fork. *)
-let validate (ctx : validation_ctx) (v : t) : int =
+(* The signature check as a (pk, msg, signature) triple, so certificate
+   validation can defer it into one batched verification. *)
+let signature_triple (ctx : validation_ctx) (v : t) : string * string * string =
+  (ctx.sig_pk_of v.voter_pk, signed_body { v with signature = "" }, v.signature)
+
+(* Everything in Algorithm 6 except the signature: fork binding plus
+   the sortition credential. Returns the weighted vote count, or 0. *)
+let validate_credential (ctx : validation_ctx) (v : t) : int =
   if not (String.equal v.prev_hash ctx.last_block_hash) then 0
-  else if
-    not
-      (ctx.sig_scheme.verify ~pk:(ctx.sig_pk_of v.voter_pk)
-         ~msg:(signed_body { v with signature = "" })
-         ~signature:v.signature)
-  then 0
   else
     Sortition.verify ~scheme:ctx.vrf_scheme ~pk:(ctx.vrf_pk_of v.voter_pk)
       ~vrf_hash:v.sorthash ~vrf_proof:v.sortproof ~seed:ctx.seed
       ~tau:(ctx.tau_of_step v.step)
       ~role:(committee_role ~round:v.round ~step:v.step) ~w:(ctx.weight_of v.voter_pk)
       ~total_weight:ctx.total_weight
+
+(* Algorithm 6: returns the number of weighted votes the message
+   carries, or 0 if it is invalid or off-fork. *)
+let validate (ctx : validation_ctx) (v : t) : int =
+  let pk, msg, signature = signature_triple ctx v in
+  if not (ctx.sig_scheme.verify ~pk ~msg ~signature) then 0
+  else validate_credential ctx v

@@ -68,3 +68,12 @@ type validation_ctx = {
 val validate : validation_ctx -> t -> int
 (** Algorithm 6 (ProcessMsg): the weighted vote count the message
     carries, or 0 if invalid or off-fork. *)
+
+val validate_credential : validation_ctx -> t -> int
+(** [validate] minus the signature check (fork binding + sortition
+    credential only). Callers that batch signatures — certificate
+    validation — pair this with [signature_triple]. *)
+
+val signature_triple : validation_ctx -> t -> string * string * string
+(** The [(pk, msg, signature)] triple [validate] would check, for
+    feeding [Signature_scheme.verify_batch]. *)

@@ -30,6 +30,10 @@ let pp_error fmt = function
   | `Certificate e -> Format.fprintf fmt "certificate: %a" Certificate.pp_error e
   | `Not_included -> Format.fprintf fmt "Merkle proof does not tie the payment to the block"
 
+(* Certificate validation dominates (even batched, it is thousands of
+   curve operations); the Merkle walk is a handful of hashes. So the
+   plural form below validates the certificate once and amortizes it
+   over every payment in the same block. *)
 let verify_payment ~(params : Params.t) ~(ctx : Vote.validation_ctx)
     ~(summary : Block.summary) ~(certificate : Certificate.t) ~(tx_id : string)
     ~(proof : Merkle.proof) : (verified_payment, error) result =
@@ -43,6 +47,26 @@ let verify_payment ~(params : Params.t) ~(ctx : Vote.validation_ctx)
       if Block.summary_contains summary ~tx_id proof then
         Ok { round = certificate.round; block_hash; tx_id }
       else Error `Not_included
+  end
+
+let verify_payments ~(params : Params.t) ~(ctx : Vote.validation_ctx)
+    ~(summary : Block.summary) ~(certificate : Certificate.t)
+    (payments : (string * Merkle.proof) list) :
+    ((verified_payment, error) result list, error) result =
+  let block_hash = Block.hash_of_summary summary in
+  if not (String.equal certificate.block_hash block_hash) then
+    Error `Summary_hash_mismatch
+  else begin
+    match Certificate.validate ~params ~ctx certificate with
+    | Error e -> Error (`Certificate e)
+    | Ok () ->
+      Ok
+        (List.map
+           (fun (tx_id, proof) ->
+             if Block.summary_contains summary ~tx_id proof then
+               Ok { round = certificate.round; block_hash; tx_id }
+             else Error `Not_included)
+           payments)
   end
 
 (* What the light client stores per block, in bytes. *)

@@ -23,7 +23,20 @@ val verify_payment :
   proof:Merkle.proof ->
   (verified_payment, error) result
 (** Check the certificate quorum against H(summary), then the Merkle
-    proof against the summary's transaction root. *)
+    proof against the summary's transaction root. The certificate's
+    vote signatures are checked with one batched equation. *)
+
+val verify_payments :
+  params:Params.t ->
+  ctx:Vote.validation_ctx ->
+  summary:Block.summary ->
+  certificate:Certificate.t ->
+  (string * Merkle.proof) list ->
+  ((verified_payment, error) result list, error) result
+(** Many payments against one block: the certificate (the expensive
+    part) is validated once, then each [(tx_id, proof)] pair gets its
+    own inclusion verdict. The outer [Error] is a summary/certificate
+    failure. *)
 
 val summary_size_bytes : int
 (** Per-block storage for a light client. *)

@@ -1,0 +1,48 @@
+(* Addition chains for the two exponents the curve arithmetic needs in
+   GF(p), p = 2^255 - 19:
+
+     p - 2       = 2^255 - 21   (Fermat inversion)
+     (p - 5) / 8 = 2^252 - 3    (the square-root / sqrt-ratio exponent)
+
+   Both share the classic ref10/libsodium ladder built from the values
+   z^(2^k - 1): 254 squarings + 11 multiplications for the inverse,
+   against ~255 squarings + ~127 multiplications for the generic
+   bit-scan exponentiation they replace. The chain is written once,
+   parametrized over the field's [mul]/[sqr], so the fixed-limb field
+   (Fe25519) and the arbitrary-precision oracle field (Ed25519.Fp) run
+   the identical sequence and cross-check each other in the tests. *)
+
+(* z^(2^n) by n squarings. *)
+let sqr_n ~sqr z n =
+  let r = ref z in
+  for _ = 1 to n do
+    r := sqr !r
+  done;
+  !r
+
+(* The shared ladder: returns (z^11, z^(2^250 - 1)). *)
+let ladder ~mul ~sqr z =
+  let z2 = sqr z in
+  let z8 = sqr_n ~sqr z2 2 in
+  let z9 = mul z z8 in
+  let z11 = mul z2 z9 in
+  let z22 = sqr z11 in
+  let z_5_0 = mul z9 z22 (* z^(2^5 - 1) *) in
+  let z_10_0 = mul (sqr_n ~sqr z_5_0 5) z_5_0 (* z^(2^10 - 1) *) in
+  let z_20_0 = mul (sqr_n ~sqr z_10_0 10) z_10_0 in
+  let z_40_0 = mul (sqr_n ~sqr z_20_0 20) z_20_0 in
+  let z_50_0 = mul (sqr_n ~sqr z_40_0 10) z_10_0 in
+  let z_100_0 = mul (sqr_n ~sqr z_50_0 50) z_50_0 in
+  let z_200_0 = mul (sqr_n ~sqr z_100_0 100) z_100_0 in
+  let z_250_0 = mul (sqr_n ~sqr z_200_0 50) z_50_0 in
+  (z11, z_250_0)
+
+(* z^(p - 2) = z^(2^255 - 21) = (z^(2^250 - 1))^(2^5) * z^11. *)
+let pow_p_minus_2 ~mul ~sqr z =
+  let z11, z_250_0 = ladder ~mul ~sqr z in
+  mul (sqr_n ~sqr z_250_0 5) z11
+
+(* z^((p - 5) / 8) = z^(2^252 - 3) = (z^(2^250 - 1))^(2^2) * z. *)
+let pow_2_252_minus_3 ~mul ~sqr z =
+  let _, z_250_0 = ladder ~mul ~sqr z in
+  mul (sqr_n ~sqr z_250_0 2) z

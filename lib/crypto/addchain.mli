@@ -1,0 +1,10 @@
+(** Addition chains for exponentiation in GF(2{^255} - 19), shared by
+    the fixed-limb field ([Fe25519]) and the arbitrary-precision oracle
+    field ([Ed25519.Fp]): 254 squarings + 11 multiplications instead of
+    the generic square-and-multiply's ~127 multiplications. *)
+
+val pow_p_minus_2 : mul:('a -> 'a -> 'a) -> sqr:('a -> 'a) -> 'a -> 'a
+(** [z{^p-2}] — the Fermat inverse exponent [2{^255} - 21]. *)
+
+val pow_2_252_minus_3 : mul:('a -> 'a -> 'a) -> sqr:('a -> 'a) -> 'a -> 'a
+(** [z{^(p-5)/8}] [= z{^2{^252} - 3}] — the square-root exponent. *)

@@ -21,6 +21,9 @@ let random_bytes (t : t) (n : int) : string =
   done;
   Buffer.sub buf 0 n
 
+let random_nat (t : t) ~(bytes : int) : Nat.t =
+  Nat.of_bytes_le (random_bytes t bytes)
+
 let random_int (t : t) (bound : int) : int =
   if bound <= 0 then invalid_arg "Drbg.random_int";
   (* Rejection-sample to avoid modulo bias. *)

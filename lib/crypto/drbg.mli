@@ -10,3 +10,8 @@ val random_bytes : t -> int -> string
 
 val random_int : t -> int -> int
 (** [random_int t bound] is uniform in [\[0, bound)], rejection-sampled. *)
+
+val random_nat : t -> bytes:int -> Nat.t
+(** [random_nat t ~bytes] is a uniform natural below [2{^8*bytes}]
+    (little-endian interpretation of [bytes] generator bytes); used for
+    the batch-verification coefficients. *)

@@ -35,24 +35,30 @@ module Fp = struct
   let sqr a = mul a a
   let neg a = if Nat.is_zero a then a else Nat.sub p a
 
+  (* Generic square-and-multiply; the exponent's bits are extracted to
+     an int array once rather than re-querying the arbitrary-precision
+     layer per bit. *)
   let pow (base : Nat.t) (e : Nat.t) : Nat.t =
+    let bits = Nat.bits e in
     let result = ref one in
     let b = ref (reduce base) in
-    let bits = Nat.bit_length e in
-    for i = 0 to bits - 1 do
-      if Nat.testbit e i then result := mul !result !b;
-      if i < bits - 1 then b := sqr !b
+    let n = Array.length bits in
+    for i = 0 to n - 1 do
+      if bits.(i) = 1 then result := mul !result !b;
+      if i < n - 1 then b := sqr !b
     done;
     !result
 
-  let inv a = pow a (Nat.sub p Nat.two)
+  let inv a = Addchain.pow_p_minus_2 ~mul ~sqr a
 
-  (* sqrt(-1) = 2^((p-1)/4) mod p *)
-  let sqrt_m1 = pow Nat.two (Nat.shift_right (Nat.sub p Nat.one) 2)
+  (* sqrt(-1) = 2^((p-1)/4); (p-1)/4 = 2*(2^252 - 3) + 1. *)
+  let sqrt_m1 = mul (sqr (Addchain.pow_2_252_minus_3 ~mul ~sqr Nat.two)) Nat.two
 
-  (* Square root via the (p+3)/8 exponent trick. *)
+  (* Square root via the (p+3)/8 exponent trick, with the exponent
+     (p+3)/8 = (p-5)/8 + 1 run as an addition chain. *)
   let sqrt (u : Nat.t) : Nat.t option =
-    let cand = pow u (Nat.shift_right (Nat.add p (Nat.of_int 3)) 3) in
+    let u = reduce u in
+    let cand = mul u (Addchain.pow_2_252_minus_3 ~mul ~sqr u) in
     let c2 = sqr cand in
     if Nat.equal c2 u then Some cand
     else begin
@@ -88,12 +94,9 @@ module Fe = Fe25519
 type point = { x : Fe.t; y : Fe.t; z : Fe.t; t : Fe.t }
 
 let two_d_fe = Fe.of_nat two_d
+let d_fe = Fe.of_nat d
 
 let identity = { x = Fe.zero (); y = Fe.one (); z = Fe.one (); t = Fe.zero () }
-
-let of_affine ~x ~y =
-  let fx = Fe.of_nat x and fy = Fe.of_nat y in
-  { x = fx; y = fy; z = Fe.one (); t = Fe.mul fx fy }
 
 let to_affine (p : point) : Nat.t * Nat.t =
   let zi = Fe.inv p.z in
@@ -121,12 +124,32 @@ let add (p : point) (q : point) : point =
 let double (p : point) : point =
   let a = Fe.sqr p.x in
   let b = Fe.sqr p.y in
-  let c = Fe.add (Fe.sqr p.z) (Fe.sqr p.z) in
+  let z2 = Fe.sqr p.z in
+  let c = Fe.add z2 z2 in
   let h = Fe.add a b in
   let e = Fe.sub h (Fe.sqr (Fe.add p.x p.y)) in
   let g = Fe.sub a b in
   let f = Fe.add c g in
   { x = Fe.mul e f; y = Fe.mul g h; t = Fe.mul e h; z = Fe.mul f g }
+
+(* Doubling never reads [p.t], and the [t] it produces is only consumed
+   by a following addition. At w-NAF chain positions whose digits are
+   all zero the next operation is another doubling, so the [t = e*h]
+   multiplication is pure waste; this variant skips it (its output [t]
+   is garbage and must be consumed only by [double]/[double_nt]). The
+   chain loops below fall back to the full [double] at positions with a
+   nonzero digit and at position 0, so every point that escapes a chain
+   carries a valid extended coordinate. *)
+let double_nt (p : point) : point =
+  let a = Fe.sqr p.x in
+  let b = Fe.sqr p.y in
+  let z2 = Fe.sqr p.z in
+  let c = Fe.add z2 z2 in
+  let h = Fe.add a b in
+  let e = Fe.sub h (Fe.sqr (Fe.add p.x p.y)) in
+  let g = Fe.sub a b in
+  let f = Fe.add c g in
+  { x = Fe.mul e f; y = Fe.mul g h; t = Fe.zero (); z = Fe.mul f g }
 
 let neg (p : point) : point = { p with x = Fe.neg p.x; t = Fe.neg p.t }
 
@@ -144,6 +167,152 @@ let equal_points (p : point) (q : point) : bool =
   && Fe.equal (Fe.mul p.y q.z) (Fe.mul q.y p.z)
 
 (* ------------------------------------------------------------------ *)
+(* The fast scalar-multiplication engine.                              *)
+(*                                                                     *)
+(* Building blocks: batched affine conversion (one shared inversion),  *)
+(* precomputed affine points with mixed addition (7M instead of 9M),   *)
+(* and signed sliding-window (w-NAF) scalar recoding. On top of these  *)
+(* sit a fixed-base comb table for B (sign, keygen, VRF nonces), w-NAF *)
+(* variable-base multiplication, Strauss-Shamir interleaved            *)
+(* double-scalar multiplication (verification), and an n-way           *)
+(* multi-scalar accumulator (batch verification). The naive            *)
+(* [scalar_mult] above stays as the randomized-test oracle.            *)
+(* ------------------------------------------------------------------ *)
+
+(* Normalize many points to z = 1 with a single field inversion
+   (Montgomery's trick); used to build precomputed tables cheaply. *)
+let normalize_many (ps : point array) : point array =
+  let zinvs = Fe.inv_many (Array.map (fun p -> p.z) ps) in
+  Array.mapi
+    (fun i p ->
+      let x = Fe.mul p.x zinvs.(i) and y = Fe.mul p.y zinvs.(i) in
+      { x; y; z = Fe.one (); t = Fe.mul x y })
+    ps
+
+let to_affine_many (ps : point array) : (Nat.t * Nat.t) array =
+  Array.map (fun p -> (Fe.to_nat p.x, Fe.to_nat p.y)) (normalize_many ps)
+
+(* Precomputed affine form (y+x, y-x, 2d*x*y), z = 1 implicit. *)
+type precomp = { yplusx : Fe.t; yminusx : Fe.t; xy2d : Fe.t }
+
+(* Requires p.z = 1 (see [normalize_many]). *)
+let precomp_of_affine (p : point) : precomp =
+  {
+    yplusx = Fe.add p.y p.x;
+    yminusx = Fe.sub p.y p.x;
+    xy2d = Fe.mul (Fe.mul p.x p.y) two_d_fe;
+  }
+
+(* Mixed addition p + q with q precomputed affine: the general addition
+   with Z2 = 1 folded in, 7 multiplications instead of 9. *)
+let madd (p : point) (q : precomp) : point =
+  let a = Fe.mul (Fe.sub p.y p.x) q.yminusx in
+  let b = Fe.mul (Fe.add p.y p.x) q.yplusx in
+  let c = Fe.mul q.xy2d p.t in
+  let dd = Fe.add p.z p.z in
+  let e = Fe.sub b a in
+  let f = Fe.sub dd c in
+  let g = Fe.add dd c in
+  let h = Fe.add b a in
+  { x = Fe.mul e f; y = Fe.mul g h; t = Fe.mul e h; z = Fe.mul f g }
+
+(* p - q: negating an affine point swaps (y+x, y-x) and negates xy2d,
+   which folds into swapped factors and swapped F/G terms. *)
+let msub (p : point) (q : precomp) : point =
+  let a = Fe.mul (Fe.sub p.y p.x) q.yplusx in
+  let b = Fe.mul (Fe.add p.y p.x) q.yminusx in
+  let c = Fe.mul q.xy2d p.t in
+  let dd = Fe.add p.z p.z in
+  let e = Fe.sub b a in
+  let f = Fe.add dd c in
+  let g = Fe.sub dd c in
+  let h = Fe.add b a in
+  { x = Fe.mul e f; y = Fe.mul g h; t = Fe.mul e h; z = Fe.mul f g }
+
+(* Signed sliding-window recoding: digits are odd with |d| < 2^(w-1),
+   and any w consecutive positions hold at most one nonzero digit, so
+   a 253-bit scalar costs ~253/(w+1) additions. *)
+let wnaf_digits (k : Nat.t) ~(w : int) : int array =
+  let kbits = Nat.bits k in
+  let n = Array.length kbits in
+  let len = n + (2 * w) + 2 in
+  let bits = Array.make len 0 in
+  Array.blit kbits 0 bits 0 n;
+  let naf = Array.make len 0 in
+  let i = ref 0 in
+  while !i < len do
+    if bits.(!i) = 0 then incr i
+    else begin
+      (* Odd here: take w bits as a signed digit. *)
+      let u = ref 0 in
+      for j = w - 1 downto 0 do
+        u := (!u lsl 1) lor (if !i + j < len then bits.(!i + j) else 0)
+      done;
+      let d = if !u land (1 lsl (w - 1)) <> 0 then !u - (1 lsl w) else !u in
+      naf.(!i) <- d;
+      for j = 0 to w - 1 do
+        if !i + j < len then bits.(!i + j) <- 0
+      done;
+      (* A negative digit borrows 2^w: propagate the carry upward. *)
+      if d < 0 then begin
+        let j = ref (!i + w) in
+        while !j < len && bits.(!j) = 1 do
+          bits.(!j) <- 0;
+          incr j
+        done;
+        if !j < len then bits.(!j) <- 1
+      end;
+      i := !i + w
+    end
+  done;
+  naf
+
+let top_nonzero (naf : int array) : int =
+  let i = ref (Array.length naf - 1) in
+  while !i >= 0 && naf.(!i) = 0 do
+    decr i
+  done;
+  !i
+
+(* [p; 3p; 5p; ...; (2*size - 1)p] in extended coordinates. *)
+let odd_multiples (p : point) ~(size : int) : point array =
+  let p2 = double p in
+  let tbl = Array.make size p in
+  for i = 1 to size - 1 do
+    tbl.(i) <- add tbl.(i - 1) p2
+  done;
+  tbl
+
+(* Add digit * P into acc, where tbl holds odd multiples of P. *)
+let apply_digit (acc : point) (tbl : point array) (d : int) : point =
+  if d > 0 then add acc tbl.((d - 1) / 2)
+  else if d < 0 then add acc (neg tbl.((-d - 1) / 2))
+  else acc
+
+let apply_digit_pre (acc : point) (tbl : precomp array) (d : int) : point =
+  if d > 0 then madd acc tbl.((d - 1) / 2)
+  else if d < 0 then msub acc tbl.((-d - 1) / 2)
+  else acc
+
+(* Variable-base w-NAF scalar multiplication. The scalar is NOT reduced
+   mod L, so this is exact on the whole group (including mixed-order
+   points), matching the naive oracle. *)
+let scalar_mult_fast (k : Nat.t) (p : point) : point =
+  let naf = wnaf_digits k ~w:5 in
+  let top = top_nonzero naf in
+  if top < 0 then identity
+  else begin
+    let tbl = odd_multiples p ~size:8 in
+    let acc = ref (apply_digit identity tbl naf.(top)) in
+    for i = top - 1 downto 0 do
+      let d = naf.(i) in
+      acc := (if d <> 0 || i = 0 then double !acc else double_nt !acc);
+      if d <> 0 then acc := apply_digit !acc tbl d
+    done;
+    !acc
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Point compression: 32 bytes, little-endian y with x parity on top.  *)
 (* ------------------------------------------------------------------ *)
 
@@ -153,6 +322,24 @@ let encode (p : point) : string =
   if Nat.testbit x 0 then Bytes.set b 31 (Char.chr (Char.code (Bytes.get b 31) lor 0x80));
   Bytes.unsafe_to_string b
 
+(* Encode a whole array with one shared inversion; each [encode] above
+   costs a full field inversion, so callers that need several encodings
+   at once (the VRF's proof and verification points) batch them. *)
+let encode_many (ps : point array) : string array =
+  Array.map
+    (fun p ->
+      (* z = 1 after normalization, so x and y are affine. *)
+      let b = Bytes.of_string (Nat.to_bytes_le (Fe.to_nat p.y) ~len:32) in
+      if Fe.parity p.x = 1 then
+        Bytes.set b 31 (Char.chr (Char.code (Bytes.get b 31) lor 0x80));
+      Bytes.unsafe_to_string b)
+    (normalize_many ps)
+
+(* Decompression runs entirely in the fast field: x is recovered with
+   the combined sqrt-ratio trick (one addition chain, no inversion),
+   several times cheaper than the old Nat-based sqrt + invert path.
+   Non-canonical encodings (y >= p, or x = 0 with the sign bit set) are
+   rejected as before. *)
 let decode (s : string) : point option =
   if String.length s <> 32 then None
   else begin
@@ -162,19 +349,20 @@ let decode (s : string) : point option =
       Bytes.set b 31 (Char.chr (Char.code (Bytes.get b 31) land 0x7f));
       Bytes.unsafe_to_string b
     in
-    let y = Nat.of_bytes_le y_bytes in
-    if Nat.compare y Fp.p >= 0 then None
+    let y_nat = Nat.of_bytes_le y_bytes in
+    if Nat.compare y_nat Fp.p >= 0 then None
     else begin
-      let y2 = Fp.sqr y in
-      let u = Fp.sub y2 Fp.one in
-      let v = Fp.add (Fp.mul d y2) Fp.one in
-      match Fp.sqrt (Fp.mul u (Fp.inv v)) with
+      let y = Fe.of_nat y_nat in
+      let y2 = Fe.sqr y in
+      let u = Fe.sub y2 (Fe.one ()) in
+      let v = Fe.add (Fe.mul d_fe y2) (Fe.one ()) in
+      match Fe.sqrt_ratio ~u ~v with
       | None -> None
       | Some x ->
-        if Nat.is_zero x && sign = 1 then None
+        if Fe.is_zero x && sign = 1 then None
         else begin
-          let x = if (if Nat.testbit x 0 then 1 else 0) <> sign then Fp.neg x else x in
-          Some (of_affine ~x ~y)
+          let x = if Fe.parity x <> sign then Fe.neg x else x in
+          Some { x; y; z = Fe.one (); t = Fe.mul x y }
         end
     end
   end
@@ -193,6 +381,164 @@ let () =
   assert (equal_points (scalar_mult order base) identity)
 
 (* ------------------------------------------------------------------ *)
+(* Precomputed tables for the base point.                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixed-base comb: radix-16 digits of the (mod-L-reduced) scalar, one
+   precomputed row per digit position, so k*P costs ~64 mixed additions
+   and zero doublings. comb.(i).(j-1) = j * 16^i * P. Built for the
+   base point below, and on demand for any other heavily-reused point
+   (sortition's per-step hash-to-curve point). *)
+let comb_positions = 64
+let comb_row = 15
+
+type comb = precomp array array
+
+(* ~1000 point operations plus one shared inversion: only worth
+   building for a point that will be multiplied many times. [p] must
+   lie in the prime-order subgroup, because [scalar_mult_comb] reduces
+   scalars mod L before taking digits. *)
+let comb_of_point (p : point) : comb =
+  let buf = Array.make (comb_positions * comb_row) identity in
+  let pos = ref p (* 16^i * P *) in
+  for i = 0 to comb_positions - 1 do
+    let acc = ref !pos in
+    for j = 1 to comb_row do
+      buf.((i * comb_row) + (j - 1)) <- !acc;
+      acc := add !acc !pos
+    done;
+    for _ = 1 to 4 do
+      pos := double !pos
+    done
+  done;
+  let affine = normalize_many buf in
+  Array.init comb_positions (fun i ->
+      Array.init comb_row (fun j -> precomp_of_affine affine.((i * comb_row) + j)))
+
+let comb_table : comb = comb_of_point base
+
+(* Odd multiples B, 3B, ..., 63B for the w=7 w-NAF base-point side of
+   Strauss-Shamir and batch accumulation. *)
+let base_wnaf_table : precomp array =
+  Array.map precomp_of_affine (normalize_many (odd_multiples base ~size:32))
+
+(* k*P off a comb table. P has order L, so reducing k mod L first is
+   exact and bounds the digit count. *)
+let scalar_mult_comb (c : comb) (k : Nat.t) : point =
+  let k = Nat.rem k order in
+  let bytes = Nat.to_bytes_le k ~len:32 in
+  let acc = ref identity in
+  for i = 0 to comb_positions - 1 do
+    let byte = Char.code bytes.[i / 2] in
+    let digit = if i land 1 = 0 then byte land 0xf else byte lsr 4 in
+    if digit <> 0 then acc := madd !acc c.(i).(digit - 1)
+  done;
+  !acc
+
+let scalar_mult_base (k : Nat.t) : point = scalar_mult_comb comb_table k
+
+(* Strauss-Shamir interleaving: a*B + b*Q in one shared doubling chain,
+   the base-point digits off the precomputed w=7 table. b is used
+   unreduced so the result is exact for Q of any order. *)
+let double_scalar_mult_base (a : Nat.t) (b : Nat.t) (q : point) : point =
+  let anaf = wnaf_digits (Nat.rem a order) ~w:7 in
+  let bnaf = wnaf_digits b ~w:5 in
+  let qtbl = odd_multiples q ~size:8 in
+  let top = max (top_nonzero anaf) (top_nonzero bnaf) in
+  let acc = ref identity in
+  for i = top downto 0 do
+    let da = if i < Array.length anaf then anaf.(i) else 0 in
+    let db = if i < Array.length bnaf then bnaf.(i) else 0 in
+    acc := (if da <> 0 || db <> 0 || i = 0 then double !acc else double_nt !acc);
+    if da <> 0 then acc := apply_digit_pre !acc base_wnaf_table da;
+    if db <> 0 then acc := apply_digit !acc qtbl db
+  done;
+  !acc
+
+(* a*P + b*Q for two variable points, one shared doubling chain. *)
+let double_scalar_mult (a : Nat.t) (p : point) (b : Nat.t) (q : point) : point =
+  let anaf = wnaf_digits a ~w:5 in
+  let bnaf = wnaf_digits b ~w:5 in
+  let ptbl = odd_multiples p ~size:8 in
+  let qtbl = odd_multiples q ~size:8 in
+  let top = max (top_nonzero anaf) (top_nonzero bnaf) in
+  let acc = ref identity in
+  for i = top downto 0 do
+    let da = if i < Array.length anaf then anaf.(i) else 0 in
+    let db = if i < Array.length bnaf then bnaf.(i) else 0 in
+    acc := (if da <> 0 || db <> 0 || i = 0 then double !acc else double_nt !acc);
+    if da <> 0 then acc := apply_digit !acc ptbl da;
+    if db <> 0 then acc := apply_digit !acc qtbl db
+  done;
+  !acc
+
+(* kb*B + sum_i k_i*P_i: the n-way interleaved accumulator behind batch
+   verification. One doubling chain total; each point pays only its own
+   w-NAF additions and an 8-entry odd-multiples table. *)
+let multi_scalar_mult_base ~(base_scalar : Nat.t) (pairs : (Nat.t * point) list) : point =
+  let bnaf = wnaf_digits (Nat.rem base_scalar order) ~w:7 in
+  let items =
+    List.map (fun (k, p) -> (wnaf_digits k ~w:5, odd_multiples p ~size:8)) pairs
+  in
+  let top =
+    List.fold_left (fun m (naf, _) -> max m (top_nonzero naf)) (top_nonzero bnaf) items
+  in
+  let acc = ref identity in
+  for i = top downto 0 do
+    let db = if i < Array.length bnaf then bnaf.(i) else 0 in
+    let live =
+      db <> 0 || i = 0
+      || List.exists (fun (naf, _) -> i < Array.length naf && naf.(i) <> 0) items
+    in
+    acc := (if live then double !acc else double_nt !acc);
+    if db <> 0 then acc := apply_digit_pre !acc base_wnaf_table db;
+    List.iter
+      (fun (naf, tbl) ->
+        if i < Array.length naf then acc := apply_digit !acc tbl naf.(i))
+      items
+  done;
+  !acc
+
+(* Membership in the prime-order subgroup: [L]P = O. Curve points have
+   order dividing 8L, so this rejects any small-order component. *)
+let in_prime_subgroup (p : point) : bool =
+  equal_points (scalar_mult_fast order p) identity
+
+(* Decode a key that must lie in the prime subgroup, memoized: the
+   subgroup check is a full scalar multiplication, and verification
+   keys repeat heavily (every committee vote, every round), so the
+   steady-state cost is one hash lookup. Bounded; reset on overflow. *)
+let checked_cache : (string, point option) Hashtbl.t = Hashtbl.create 1024
+let checked_cache_limit = 16_384
+
+let decode_checked (s : string) : point option =
+  match Hashtbl.find_opt checked_cache s with
+  | Some r -> r
+  | None ->
+    let r =
+      match decode s with
+      | Some p when in_prime_subgroup p -> Some p
+      | _ -> None
+    in
+    if Hashtbl.length checked_cache >= checked_cache_limit then
+      Hashtbl.reset checked_cache;
+    Hashtbl.add checked_cache s r;
+    r
+
+let () =
+  (* Cross-check every table-driven path against the naive oracle once
+     at startup, so a table-construction bug cannot go unnoticed. *)
+  let k = Nat.rem (Nat.of_bytes_le (Sha256.digest "ed25519-selfcheck")) order in
+  let expect = scalar_mult k base in
+  assert (equal_points (scalar_mult_base k) expect);
+  assert (equal_points (scalar_mult_fast k base) expect);
+  assert (
+    equal_points
+      (double_scalar_mult_base k k (double base))
+      (scalar_mult_base (Nat.mul k (Nat.of_int 3))));
+  assert (in_prime_subgroup base)
+
+(* ------------------------------------------------------------------ *)
 (* Schnorr signatures.                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -207,7 +553,7 @@ let derive_scalar ~seed = scalar_of_hash (Sha256.digest_concat [ "ed25519-scalar
 
 let generate ~(seed : string) : secret =
   let scalar = derive_scalar ~seed in
-  let public = encode (scalar_mult scalar base) in
+  let public = encode (scalar_mult_base scalar) in
   { seed; scalar; public }
 
 let public_key (sk : secret) : public = sk.public
@@ -221,12 +567,39 @@ let challenge ~r_enc ~public ~msg =
 
 let sign (sk : secret) (msg : string) : string =
   let k = scalar_of_hash (Sha256.digest_concat [ "ed25519-nonce"; sk.seed; msg ]) in
-  let r_enc = encode (scalar_mult k base) in
+  let r_enc = encode (scalar_mult_base k) in
   let e = challenge ~r_enc ~public:sk.public ~msg in
   let s = Nat.rem (Nat.add k (Nat.mul e sk.scalar)) order in
   r_enc ^ Nat.to_bytes_le s ~len:32
 
+(* Verification checks s*B - e*A = R with one Strauss-Shamir chain.
+
+   The public key must decode into the prime subgroup ([decode_checked]):
+   a key A' = A + D with D of small order would otherwise validate
+   signatures made for A whenever e*D = O (the classic small-order
+   forgery). R needs no separate check: with A and B in the prime
+   subgroup, s*B - e*A is too, and the *exact* (non-cofactored) point
+   equality then forces R to match it exactly - an R with a small-order
+   component can never satisfy the equation. *)
 let verify ~(public : public) ~(msg : string) ~(signature : string) : bool =
+  String.length signature = signature_length
+  &&
+  let r_enc = String.sub signature 0 32 in
+  let s = Nat.of_bytes_le (String.sub signature 32 32) in
+  Nat.compare s order < 0
+  &&
+  match (decode r_enc, decode_checked public) with
+  | Some r, Some a ->
+    let e = challenge ~r_enc ~public ~msg in
+    (* s*B - e*A = R *)
+    equal_points (double_scalar_mult_base s e (neg a)) r
+  | _ -> false
+
+(* The pre-engine verifier, kept verbatim as the randomized-test
+   oracle (naive double-and-add, no subgroup check - the tests use the
+   missing check to demonstrate the small-order forgery this module now
+   rejects). *)
+let verify_ref ~(public : public) ~(msg : string) ~(signature : string) : bool =
   String.length signature = signature_length
   &&
   let r_enc = String.sub signature 0 32 in
@@ -239,3 +612,90 @@ let verify ~(public : public) ~(msg : string) ~(signature : string) : bool =
     (* s*B = R + e*A *)
     equal_points (scalar_mult s base) (add r (scalar_mult e a))
   | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Batch verification.                                                 *)
+(*                                                                     *)
+(* A random linear combination folds n verification equations into one *)
+(* multi-scalar accumulation sharing a single doubling chain:          *)
+(*                                                                     *)
+(*   (sum z_i s_i mod L) * B - sum z_i R_i - sum (z_i e_i mod L) A_i   *)
+(*     = sum z_i (s_i B - e_i A_i - R_i)  =  O                         *)
+(*                                                                     *)
+(* with 128-bit coefficients z_i drawn from the deterministic Drbg     *)
+(* seeded by a hash of the whole batch (Fiat-Shamir style: the batch   *)
+(* content is fixed before the coefficients exist). If some signature  *)
+(* i fails s_i B - e_i A_i = R_i, the combination vanishes for at most *)
+(* a 2^-128 fraction of coefficient vectors. Public keys go through    *)
+(* the same prime-subgroup check as single verification; see DESIGN.md *)
+(* for the soundness discussion.                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Bounding the chunk size bounds the w-NAF table memory. *)
+let batch_chunk = 256
+
+let verify_batch (items : (public * string * string) list) : bool =
+  let check_chunk chunk =
+    let parsed =
+      List.map
+        (fun (pk, msg, signature) ->
+          if String.length signature <> signature_length then None
+          else begin
+            let r_enc = String.sub signature 0 32 in
+            let s = Nat.of_bytes_le (String.sub signature 32 32) in
+            if Nat.compare s order >= 0 then None
+            else begin
+              match (decode r_enc, decode_checked pk) with
+              | Some r, Some a ->
+                let e = challenge ~r_enc ~public:pk ~msg in
+                Some (pk, r_enc, signature, s, e, r, a)
+              | _ -> None
+            end
+          end)
+        chunk
+    in
+    List.for_all Option.is_some parsed
+    &&
+    let parsed = List.filter_map Fun.id parsed in
+    let seed =
+      Sha256.digest_concat
+        ("ed25519-batch"
+        :: List.concat_map
+             (fun (pk, _, signature, _, _, _, _) -> [ pk; signature ])
+             parsed)
+    in
+    let drbg = Drbg.create ~seed in
+    let terms =
+      List.map
+        (fun (_, _, _, s, e, r, a) -> (Drbg.random_nat drbg ~bytes:16, s, e, r, a))
+        parsed
+    in
+    (* The scalars stay unreduced: w-NAF is exact on scalars of any
+       length, and Nat's bit-by-bit division is expensive enough that
+       two mod-L reductions per signature would rival the curve work.
+       The z_i*e_i products are ~381 bits, which only lengthens the
+       shared doubling chain by ~128 doubles per chunk - amortized
+       noise. One reduction of the summed base scalar happens inside
+       [multi_scalar_mult_base]. *)
+    let combined_s =
+      List.fold_left (fun acc (z, s, _, _, _) -> Nat.add acc (Nat.mul z s)) Nat.zero terms
+    in
+    let pairs =
+      List.concat_map
+        (fun (z, _, e, r, a) -> [ (z, neg r); (Nat.mul z e, neg a) ])
+        terms
+    in
+    equal_points (multi_scalar_mult_base ~base_scalar:combined_s pairs) identity
+  in
+  let rec chunks = function
+    | [] -> true
+    | items ->
+      let rec split n acc = function
+        | rest when n = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: rest -> split (n - 1) (x :: acc) rest
+      in
+      let chunk, rest = split batch_chunk [] items in
+      check_chunk chunk && chunks rest
+  in
+  chunks items

@@ -31,14 +31,74 @@ val add : point -> point -> point
 val double : point -> point
 val neg : point -> point
 val scalar_mult : Nat.t -> point -> point
+(** Naive double-and-add. Kept as the randomized-test oracle for the
+    fast paths below; production code uses the engine. *)
+
 val equal_points : point -> point -> bool
 val on_curve : point -> bool
 val to_affine : point -> Nat.t * Nat.t
 
+val to_affine_many : point array -> (Nat.t * Nat.t) array
+(** Affine coordinates for a whole array with a single field inversion
+    (Montgomery-batched); identity maps to [(0, 1)]. *)
+
 val encode : point -> string
 (** 32-byte compressed encoding (little-endian y, x parity in the top bit). *)
 
+val encode_many : point array -> string array
+(** [encode] for a whole array with one shared field inversion. *)
+
 val decode : string -> point option
+
+(** {1 Fast scalar-multiplication engine}
+
+    All fast paths are cross-checked against the naive [scalar_mult]
+    oracle: once at module initialization, and on thousands of random
+    scalars in the test suite. *)
+
+val scalar_mult_base : Nat.t -> point
+(** [k*B] off the precomputed radix-16 comb table for the base point
+    (64 positions x 15 odd multiples): ~64 mixed additions, no
+    doublings. The scalar is reduced mod [order]. *)
+
+type comb
+(** A radix-16 comb table for an arbitrary fixed point. *)
+
+val comb_of_point : point -> comb
+(** Build the 64x15 comb for [p]. Costs ~1000 point operations, so it
+    only pays off for a point multiplied many times — e.g. sortition's
+    hash-to-curve point, shared by every proof of a committee step.
+    [p] must lie in the prime-order subgroup ([scalar_mult_comb]
+    reduces scalars mod [order]). *)
+
+val scalar_mult_comb : comb -> Nat.t -> point
+(** [k*P] off a prebuilt comb: ~64 mixed additions, no doublings. *)
+
+val scalar_mult_fast : Nat.t -> point -> point
+(** Variable-base width-5 w-NAF with an 8-entry odd-multiples table.
+    The scalar is {e not} reduced mod [order], so the result is exact
+    on the whole curve group including small-order and mixed-order
+    points (this is what makes it usable as the subgroup test). *)
+
+val double_scalar_mult_base : Nat.t -> Nat.t -> point -> point
+(** [double_scalar_mult_base a b Q = a*B + b*Q] with one shared
+    doubling chain (Strauss-Shamir); [a] runs width-7 off the base
+    w-NAF table, [b] width-5 off a per-call table. *)
+
+val double_scalar_mult : Nat.t -> point -> Nat.t -> point -> point
+(** [double_scalar_mult a P b Q = a*P + b*Q], both variable-base. *)
+
+val multi_scalar_mult_base : base_scalar:Nat.t -> (Nat.t * point) list -> point
+(** [base_scalar*B + sum k_i*P_i] in a single interleaved chain; the
+    workhorse of batch verification. *)
+
+val in_prime_subgroup : point -> bool
+(** [L]P = O — membership in the prime-order subgroup. *)
+
+val decode_checked : string -> point option
+(** [decode] restricted to canonical encodings of prime-subgroup
+    points. Memoized in a bounded cache: committee public keys repeat
+    across votes, so the subgroup check amortizes to a hash lookup. *)
 
 (** {1 Schnorr signatures} *)
 
@@ -58,4 +118,21 @@ val secret_seed : secret -> string
 
 val signature_length : int
 val sign : secret -> string -> string
+
 val verify : public:public -> msg:string -> signature:string -> bool
+(** Checks [s*B - e*A = R] with one Strauss-Shamir chain. Rejects
+    public keys outside the prime subgroup (small-order-component
+    forgeries) and non-canonical encodings. *)
+
+val verify_ref : public:public -> msg:string -> signature:string -> bool
+(** The pre-engine naive verifier, kept as a behavioral oracle for the
+    tests. No subgroup check — the small-order forgery test relies on
+    this to demonstrate the attack [verify] now rejects. *)
+
+val verify_batch : (public * string * string) list -> bool
+(** [verify_batch \[(pk, msg, signature); ...\]] checks all signatures
+    at once via a random linear combination with 128-bit coefficients
+    drawn from a deterministic DRBG seeded by the batch contents; a
+    batch with any invalid signature is rejected except with
+    probability ~2{^-128}. Several times cheaper per signature than
+    [verify]. The empty batch is valid. *)

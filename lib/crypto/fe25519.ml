@@ -116,19 +116,11 @@ let sub (a : t) (b : t) : t =
 
 let neg (a : t) : t = sub (zero ()) a
 
-let mul (a : t) (b : t) : t =
-  let prod = Array.make (2 * limbs) 0 in
-  for i = 0 to limbs - 1 do
-    let ai = a.(i) in
-    if ai <> 0 then
-      for j = 0 to limbs - 1 do
-        prod.(i + j) <- prod.(i + j) + (ai * b.(j))
-      done
-  done;
-  (* Carry-normalize the double-width product first (limbs are up to
-     ~2^57; multiplying those by 608 directly would overflow), then
-     fold: limb (10+k) is worth 608 * 2^26k. The product is below
-     p^2 < 2^510 < 2^520, so no carry escapes limb 19. *)
+(* Carry-normalize a double-width product first (limbs are up to ~2^57;
+   multiplying those by 608 directly would overflow), then fold: limb
+   (10+k) is worth 608 * 2^26k. The product is below p^2 < 2^510 <
+   2^520, so no carry escapes limb 19. *)
+let reduce_product (prod : int array) : t =
   let carry = ref 0 in
   for i = 0 to (2 * limbs) - 1 do
     let v = prod.(i) + !carry in
@@ -138,7 +130,35 @@ let mul (a : t) (b : t) : t =
   let folded = Array.init limbs (fun k -> prod.(k) + (prod.(k + limbs) * 608)) in
   canonicalize folded
 
-let sqr (a : t) : t = mul a a
+let mul (a : t) (b : t) : t =
+  let prod = Array.make (2 * limbs) 0 in
+  for i = 0 to limbs - 1 do
+    let ai = a.(i) in
+    if ai <> 0 then
+      for j = 0 to limbs - 1 do
+        prod.(i + j) <- prod.(i + j) + (ai * b.(j))
+      done
+  done;
+  reduce_product prod
+
+(* Dedicated squaring: the symmetric half of the schoolbook product is
+   computed once and doubled (55 limb products instead of 100). The
+   curve's double-and-add chains are squaring-heavy, so this is worth
+   ~25% of a scalar multiplication. Bound: a product limb accumulates
+   at most 10 terms of 2 * 2^26 * 2^26 < 2^53, so < 2^57. *)
+let sqr (a : t) : t =
+  let prod = Array.make (2 * limbs) 0 in
+  for i = 0 to limbs - 1 do
+    let ai = a.(i) in
+    if ai <> 0 then begin
+      prod.(2 * i) <- prod.(2 * i) + (ai * ai);
+      let ai2 = 2 * ai in
+      for j = i + 1 to limbs - 1 do
+        prod.(i + j) <- prod.(i + j) + (ai2 * a.(j))
+      done
+    end
+  done;
+  reduce_product prod
 
 (* ------------------------------------------------------------------ *)
 (* Conversions and derived operations.                                 *)
@@ -160,19 +180,73 @@ let to_nat (a : t) : Nat.t =
 
 let of_int (x : int) : t = canonicalize (Array.init limbs (fun i -> if i = 0 then x else 0))
 
-(* Square-and-multiply over the fast field. *)
+(* Square-and-multiply over the fast field. The exponent's bits are
+   extracted into an int array up front, so the hot loop never goes
+   back through the arbitrary-precision layer. *)
 let pow (base : t) (e : Nat.t) : t =
+  let bits = Nat.bits e in
   let result = ref (one ()) in
   let b = ref base in
-  let bits = Nat.bit_length e in
-  for i = 0 to bits - 1 do
-    if Nat.testbit e i then result := mul !result !b;
-    if i < bits - 1 then b := sqr !b
+  let n = Array.length bits in
+  for i = 0 to n - 1 do
+    if bits.(i) = 1 then result := mul !result !b;
+    if i < n - 1 then b := sqr !b
   done;
   !result
 
-let inv (a : t) : t = pow a (Nat.sub Ed25519_p.p Nat.two)
+(* Fermat inversion by addition chain: 254 squarings + 11 multiplies,
+   ~2.5x fewer multiplications than the generic [pow] above (which
+   remains as the oracle the tests compare against). *)
+let inv (a : t) : t = Addchain.pow_p_minus_2 ~mul ~sqr a
 
 let is_zero (a : t) : bool = Array.for_all (fun l -> l = 0) a
 
 let copy : t -> t = Array.copy
+
+let parity (a : t) : int = a.(0) land 1
+
+(* ------------------------------------------------------------------ *)
+(* Square roots and batched inversion.                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* sqrt(-1) = 2^((p-1)/4); (p-1)/4 = 2^253 - 5 = 2*(2^252 - 3) + 1,
+   so it falls out of the shared chain: (2^(2^252-3))^2 * 2. *)
+let sqrt_m1 : t =
+  let two = of_int 2 in
+  mul (sqr (Addchain.pow_2_252_minus_3 ~mul ~sqr two)) two
+
+(* x with v * x^2 = u, if one exists: the combined Ed25519 decompression
+   trick x = u * v^3 * (u * v^7)^((p-5)/8), patched by sqrt(-1) when the
+   candidate squares to -u/v. One addition chain, no inversion. *)
+let sqrt_ratio ~(u : t) ~(v : t) : t option =
+  let v3 = mul (sqr v) v in
+  let v7 = mul (sqr v3) v in
+  let x = mul (mul u v3) (Addchain.pow_2_252_minus_3 ~mul ~sqr (mul u v7)) in
+  let check = mul v (sqr x) in
+  if equal check u then Some x
+  else if equal check (neg u) then Some (mul x sqrt_m1)
+  else None
+
+(* All inverses with a single field inversion (Montgomery's trick):
+   prefix products, one [inv], then walk back. Zero entries are mapped
+   to zero (matching [neg]'s treatment of the non-invertible element). *)
+let inv_many (xs : t array) : t array =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let scratch = Array.make n (one ()) in
+    let acc = ref (one ()) in
+    for i = 0 to n - 1 do
+      scratch.(i) <- !acc;
+      if not (is_zero xs.(i)) then acc := mul !acc xs.(i)
+    done;
+    let inv_acc = ref (inv !acc) in
+    let out = Array.make n (zero ()) in
+    for i = n - 1 downto 0 do
+      if not (is_zero xs.(i)) then begin
+        out.(i) <- mul !inv_acc scratch.(i);
+        inv_acc := mul !inv_acc xs.(i)
+      end
+    done;
+    out
+  end

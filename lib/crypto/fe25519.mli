@@ -22,9 +22,26 @@ val mul : t -> t -> t
 val sqr : t -> t
 
 val pow : t -> Nat.t -> t
-(** Square-and-multiply exponentiation. *)
+(** Square-and-multiply exponentiation (the generic oracle path; the
+    exponent's bits are precomputed into an int array once). *)
 
 val inv : t -> t
-(** Multiplicative inverse (Fermat). *)
+(** Multiplicative inverse: Fermat by addition chain (254 squarings +
+    11 multiplies). *)
+
+val inv_many : t array -> t array
+(** All inverses with one field inversion (Montgomery's trick). Zero
+    entries map to zero. *)
+
+val parity : t -> int
+(** The low bit of the canonical representative. *)
+
+val sqrt_m1 : t
+(** A square root of -1 (derived, not transcribed). *)
+
+val sqrt_ratio : u:t -> v:t -> t option
+(** [sqrt_ratio ~u ~v] is some [x] with [v * x^2 = u], if one exists:
+    the combined decompression trick, one addition chain and no
+    inversion. *)
 
 val copy : t -> t

@@ -138,6 +138,21 @@ let testbit (a : t) (i : int) : bool =
   let limb = i / limb_bits and off = i mod limb_bits in
   limb < Array.length a && (a.(limb) lsr off) land 1 = 1
 
+(* All bits at once, least significant first. Reads the limbs directly,
+   so exponentiation loops can scan an int array instead of paying the
+   per-bit [testbit] indexing arithmetic. *)
+let bits (a : t) : int array =
+  let n = bit_length a in
+  let r = Array.make n 0 in
+  for i = 0 to Array.length a - 1 do
+    let limb = a.(i) in
+    let base = i * limb_bits in
+    for j = 0 to limb_bits - 1 do
+      if base + j < n then r.(base + j) <- (limb lsr j) land 1
+    done
+  done;
+  r
+
 let shift_left (a : t) (k : int) : t =
   if is_zero a || k = 0 then a
   else begin

@@ -24,6 +24,12 @@ val mul : t -> t -> t
 val mul_int : t -> int -> t
 val bit_length : t -> int
 val testbit : t -> int -> bool
+
+val bits : t -> int array
+(** All bits, least significant first ([bit_length] entries of 0/1).
+    One pass over the limbs; cheaper than [testbit] per bit in
+    exponentiation loops. *)
+
 val shift_left : t -> int -> t
 val shift_right : t -> int -> t
 

@@ -8,6 +8,12 @@ type scheme = {
   name : string;
   generate : seed:string -> signer * string;  (** seed -> (signer, public key) *)
   verify : pk:string -> msg:string -> signature:string -> bool;
+  verify_batch : (string * string * string) list -> bool;
+      (** [(pk, msg, signature)] triples, all checked at once; accepts
+          iff every signature is valid. For [ed25519] this is the
+          random-linear-combination batch equation (several times
+          cheaper per signature than [verify]); for [sim] it is a
+          plain fold. The empty batch is valid. *)
   signature_length : int;
 }
 

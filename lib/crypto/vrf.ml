@@ -28,7 +28,7 @@ type scheme = {
 (* ECVRF over ed25519.                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let hash_to_curve (input : string) : Ed25519.point =
+let hash_to_curve_uncached (input : string) : Ed25519.point =
   let rec attempt ctr =
     if ctr > 255 then failwith "Vrf.hash_to_curve: no point found (probability ~2^-256)"
     else begin
@@ -46,13 +46,52 @@ let hash_to_curve (input : string) : Ed25519.point =
   in
   attempt 0
 
+(* Sortition hashes the same (seed, role) input for every member of a
+   committee step, so one try-and-increment run serves a whole step's
+   worth of proofs and verifications. Cached alongside the point: its
+   encoding (a field inversion) and a fixed-base comb table, which
+   turns every s*H / k*H below into ~64 mixed additions with no
+   doubling chain. The comb costs ~1000 point operations to build, so
+   it is lazy: verification forces it (committee floods repay it ~2000
+   times over), while a prove on a cold input — one multiplication per
+   scalar, possibly never repeated — sticks to the w-NAF chain. A comb
+   is a few hundred KB, so the cache is kept small; bounded, reset on
+   overflow. *)
+let h2c_cache : (string, Ed25519.point * string * Ed25519.comb Lazy.t) Hashtbl.t =
+  Hashtbl.create 64
+
+let h2c_cache_limit = 64
+
+let hash_to_curve_full (input : string) :
+    Ed25519.point * string * Ed25519.comb Lazy.t =
+  match Hashtbl.find_opt h2c_cache input with
+  | Some entry -> entry
+  | None ->
+    let p = hash_to_curve_uncached input in
+    let entry = (p, Ed25519.encode p, lazy (Ed25519.comb_of_point p)) in
+    if Hashtbl.length h2c_cache >= h2c_cache_limit then Hashtbl.reset h2c_cache;
+    Hashtbl.add h2c_cache input entry;
+    entry
+
+let hash_to_curve (input : string) : Ed25519.point =
+  let p, _, _ = hash_to_curve_full input in
+  p
+
 let challenge ~h_enc ~gamma_enc ~u_enc ~v_enc : Nat.t =
   (* 128-bit Fiat-Shamir challenge. *)
   Nat.low_bits
     (Nat.of_bytes_le (Sha256.digest_concat [ "vrf-chal"; h_enc; gamma_enc; u_enc; v_enc ]))
     128
 
-let output_of_gamma gamma = Sha256.digest_concat [ "vrf-out"; Ed25519.encode gamma ]
+(* The output hashes 8*Gamma, not Gamma. This is what makes the output
+   unique per (pk, input): a malicious prover who knows its own key can
+   grind nonces until the challenge c = 0 (mod 8) and then open a valid
+   DLEQ proof for Gamma + D with D any 8-torsion point (the verifier's
+   V = s*H - c*Gamma' differs from the honest V by c*D = O). Clearing
+   the cofactor collapses all eight Gamma variants to one output, so
+   the grind buys nothing. Three doublings - essentially free. *)
+let cofactor_clear gamma = Ed25519.double (Ed25519.double (Ed25519.double gamma))
+let output_of_gamma8_enc gamma8_enc = Sha256.digest_concat [ "vrf-out"; gamma8_enc ]
 
 let ecvrf : scheme =
   let proof_length = 32 + 16 + 32 in
@@ -61,10 +100,13 @@ let ecvrf : scheme =
     let pk = Ed25519.public_key sk in
     let a = Ed25519.secret_scalar sk in
     let prove input =
-      let h = hash_to_curve input in
-      let h_enc = Ed25519.encode h in
-      let gamma = Ed25519.scalar_mult a h in
-      let gamma_enc = Ed25519.encode gamma in
+      let h, h_enc, hcomb = hash_to_curve_full input in
+      (* Ride the comb only if a verification has already paid for it. *)
+      let mult_h k =
+        if Lazy.is_val hcomb then Ed25519.scalar_mult_comb (Lazy.force hcomb) k
+        else Ed25519.scalar_mult_fast k h
+      in
+      let gamma = mult_h a in
       let k =
         Nat.add Nat.one
           (Nat.rem
@@ -72,12 +114,21 @@ let ecvrf : scheme =
                 (Sha256.digest_concat [ "vrf-nonce"; Ed25519.secret_seed sk; input ]))
              (Nat.sub Ed25519.order Nat.one))
       in
-      let u_enc = Ed25519.encode (Ed25519.scalar_mult k Ed25519.base) in
-      let v_enc = Ed25519.encode (Ed25519.scalar_mult k h) in
+      (* One shared inversion for all four encodings. *)
+      let encs =
+        Ed25519.encode_many
+          [|
+            gamma;
+            Ed25519.scalar_mult_base k;
+            mult_h k;
+            cofactor_clear gamma;
+          |]
+      in
+      let gamma_enc = encs.(0) and u_enc = encs.(1) and v_enc = encs.(2) in
       let c = challenge ~h_enc ~gamma_enc ~u_enc ~v_enc in
       let s = Nat.rem (Nat.add k (Nat.mul c a)) Ed25519.order in
       let proof = gamma_enc ^ Nat.to_bytes_le c ~len:16 ^ Nat.to_bytes_le s ~len:32 in
-      (output_of_gamma gamma, proof)
+      (output_of_gamma8_enc encs.(3), proof)
     in
     ({ prove }, pk)
   in
@@ -89,26 +140,29 @@ let ecvrf : scheme =
       let s = Nat.of_bytes_le (String.sub proof 48 32) in
       if Nat.compare s Ed25519.order >= 0 then None
       else begin
-        match (Ed25519.decode gamma_enc, Ed25519.decode pk) with
+        match (Ed25519.decode gamma_enc, Ed25519.decode_checked pk) with
         | Some gamma, Some a_pt ->
-          let h = hash_to_curve input in
-          let h_enc = Ed25519.encode h in
-          (* U = s*B - c*A,  V = s*H - c*Gamma *)
+          let _, h_enc, hcomb = hash_to_curve_full input in
+          let hcomb = Lazy.force hcomb in
+          (* U = s*B - c*A and V = s*H - c*Gamma have the same shape:
+             the combs (B's static one, H's cached per input) give the
+             s-side with zero doublings, so the only doubling chains
+             are c*A's and c*Gamma's - and c is a 128-bit challenge,
+             half the length of a Strauss chain over s. *)
           let u =
-            Ed25519.add
-              (Ed25519.scalar_mult s Ed25519.base)
-              (Ed25519.neg (Ed25519.scalar_mult c a_pt))
+            Ed25519.add (Ed25519.scalar_mult_base s)
+              (Ed25519.scalar_mult_fast c (Ed25519.neg a_pt))
           in
           let v =
             Ed25519.add
-              (Ed25519.scalar_mult s h)
-              (Ed25519.neg (Ed25519.scalar_mult c gamma))
+              (Ed25519.scalar_mult_comb hcomb s)
+              (Ed25519.scalar_mult_fast c (Ed25519.neg gamma))
           in
-          let c' =
-            challenge ~h_enc ~gamma_enc ~u_enc:(Ed25519.encode u)
-              ~v_enc:(Ed25519.encode v)
-          in
-          if Nat.equal c c' then Some (output_of_gamma gamma) else None
+          (* One shared inversion for the two commitment encodings plus
+             the cofactor-cleared output point. *)
+          let encs = Ed25519.encode_many [| u; v; cofactor_clear gamma |] in
+          let c' = challenge ~h_enc ~gamma_enc ~u_enc:encs.(0) ~v_enc:encs.(1) in
+          if Nat.equal c c' then Some (output_of_gamma8_enc encs.(2)) else None
         | _ -> None
       end
     end

@@ -61,11 +61,66 @@ let inversion_and_pow () =
   let y = to_fe (Nat.of_int 31337) in
   eq_nat "y^(p-1) = 1" Nat.one (Fe25519.to_nat (Fe25519.pow y (Nat.sub p Nat.one)))
 
+let sqrt_m1_and_parity () =
+  (* sqrt(-1)^2 = -1, and parity is the canonical low bit. *)
+  let m1 = Fe25519.neg (Fe25519.one ()) in
+  Alcotest.(check bool) "sqrt_m1^2 = -1" true
+    (Fe25519.equal (Fe25519.sqr Fe25519.sqrt_m1) m1);
+  Alcotest.(check int) "parity 0" 0 (Fe25519.parity (Fe25519.zero ()));
+  Alcotest.(check int) "parity 1" 1 (Fe25519.parity (Fe25519.one ()));
+  Alcotest.(check int) "parity p-1" 0 (Fe25519.parity (to_fe (Nat.sub p Nat.one)))
+
+let sqrt_ratio_cases () =
+  (* For random u, v: either a root of u/v exists and checks, or
+     u * v^-1 is a non-residue (cross-checked against Fp.sqrt). *)
+  let d = ref 0 in
+  for k = 1 to 200 do
+    let u = Nat.rem (Nat.of_bytes_le (Sha256.digest ("sru" ^ string_of_int k))) p in
+    let v = Nat.rem (Nat.of_bytes_le (Sha256.digest ("srv" ^ string_of_int k))) p in
+    if not (Nat.is_zero v) then begin
+      let fu = to_fe u and fv = to_fe v in
+      match Fe25519.sqrt_ratio ~u:fu ~v:fv with
+      | Some x ->
+        incr d;
+        Alcotest.(check bool) "v*x^2 = u" true
+          (Fe25519.equal (Fe25519.mul fv (Fe25519.sqr x)) fu)
+      | None ->
+        let ratio = Ed25519.Fp.mul u (Ed25519.Fp.inv v) in
+        Alcotest.(check bool) "oracle agrees: no root" true
+          (Ed25519.Fp.sqrt ratio = None)
+    end
+  done;
+  (* About half the ratios are residues. *)
+  Alcotest.(check bool) "some roots found" true (!d > 60 && !d < 140);
+  (* u = 0 has the root 0. *)
+  match Fe25519.sqrt_ratio ~u:(Fe25519.zero ()) ~v:(Fe25519.one ()) with
+  | Some x -> Alcotest.(check bool) "sqrt(0) = 0" true (Fe25519.is_zero x)
+  | None -> Alcotest.fail "sqrt_ratio 0/1 must exist"
+
+let inv_many_matches () =
+  let xs =
+    Array.init 23 (fun i ->
+        if i mod 7 = 3 then Fe25519.zero ()
+        else to_fe (Nat.of_bytes_le (Sha256.digest ("invm" ^ string_of_int i))))
+  in
+  let invs = Fe25519.inv_many xs in
+  Array.iteri
+    (fun i x ->
+      if Fe25519.is_zero x then
+        Alcotest.(check bool) "zero maps to zero" true (Fe25519.is_zero invs.(i))
+      else
+        Alcotest.(check bool) "matches inv" true (Fe25519.equal invs.(i) (Fe25519.inv x)))
+    xs;
+  Alcotest.(check int) "empty" 0 (Array.length (Fe25519.inv_many [||]))
+
 let suite =
   [
     ( "fe25519",
       [
         t "nat roundtrip" roundtrip;
+        t "sqrt_m1 and parity" sqrt_m1_and_parity;
+        t "sqrt_ratio" sqrt_ratio_cases;
+        t "inv_many" inv_many_matches;
         t "constants" constants;
         t "edge values" edge_values;
         t "inversion and pow" inversion_and_pow;

@@ -43,10 +43,27 @@ let run_cmd =
                ("partition", `Partition);
                ("dos", `Dos);
                ("delay-votes", `Delay_votes);
+               ("churn", `Churn);
              ])
           `None
       & info [ "attack" ]
-          ~doc:"Adversary: none, equivocate, partition, dos or delay-votes.")
+          ~doc:"Adversary: none, equivocate, partition, dos, delay-votes or churn.")
+  in
+  let loss =
+    Arg.(value & opt float 0.0 & info [ "loss" ] ~doc:"Uniform message-loss probability.")
+  in
+  let churn_fraction =
+    Arg.(value & opt float 0.3
+         & info [ "churn-fraction" ] ~doc:"Fraction of nodes crashed per churn tick.")
+  in
+  let churn_period =
+    Arg.(value & opt float 12.0 & info [ "churn-period" ] ~doc:"Seconds between churn ticks.")
+  in
+  let churn_down =
+    Arg.(value & opt float 8.0 & info [ "churn-down" ] ~doc:"Seconds a crashed node stays down.")
+  in
+  let churn_until =
+    Arg.(value & opt float 80.0 & info [ "churn-until" ] ~doc:"Sim-time when churn stops.")
   in
   let malicious =
     Arg.(value & opt float 0.2 & info [ "malicious" ] ~doc:"Malicious stake fraction (for equivocate).")
@@ -67,10 +84,11 @@ let run_cmd =
              ~doc:"After the run, save the certified block history to DIR.")
   in
   let run users rounds block_bytes seed attack malicious bandwidth fanout tx_rate
-      recovery real_crypto verbose save_dir =
+      recovery real_crypto verbose save_dir loss churn_fraction churn_period churn_down
+      churn_until =
     setup_logs verbose;
     let params =
-      if recovery then
+      if recovery || attack = `Churn then
         { Params.paper with
           lambda_priority = 1.0; lambda_stepvar = 1.0; lambda_block = 10.0;
           lambda_step = 5.0; max_steps = 6; recovery_interval = 150.0 }
@@ -85,6 +103,17 @@ let run_cmd =
       | `Delay_votes ->
         ( Harness.Delay_votes
             { delay = params.lambda_step *. 1.1; from_ = 0.0; until = 60.0 },
+          0.0 )
+      | `Churn ->
+        ( Harness.Crash_churn
+            (Harness.Periodic
+               {
+                 start = 5.0;
+                 period = churn_period;
+                 fraction = churn_fraction;
+                 down_for = churn_down;
+                 until = churn_until;
+               }),
           0.0 )
     in
     let config =
@@ -103,6 +132,7 @@ let run_cmd =
         params;
         crypto = (if real_crypto then Harness.Real_crypto else Harness.Sim_crypto);
         max_sim_time = 3_600.0;
+        loss;
       }
     in
     let r = Harness.run config in
@@ -119,6 +149,31 @@ let run_cmd =
       Array.fold_left (fun a n -> a + Node.recoveries_completed n) 0 r.harness.nodes
     in
     if recoveries > 0 then Printf.printf "recoveries completed: %d\n" recoveries;
+    let churn_failed =
+      if r.churn.crashes > 0 then begin
+        Printf.printf
+          "churn: %d crashes, %d restarts, %d rejoins (mean %.1fs, max %.1fs), %d \
+           retries\n"
+          r.churn.crashes r.churn.restarts r.churn.rejoins r.churn.mean_rejoin_s
+          r.churn.max_rejoin_s r.churn.retries;
+        Array.iteri
+          (fun i n ->
+            if Node.is_down n || Node.is_resyncing n || Node.is_hung n || not (Node.is_stopped n)
+            then
+              Printf.printf
+                "churn: node %d unfinished: down=%b resync=%b hung=%b round=%d tip=%d \
+                 crashes=%d\n"
+                i (Node.is_down n) (Node.is_resyncing n) (Node.is_hung n) (Node.round n)
+                (Chain.tip (Node.chain n)).height (Node.crash_count n))
+          r.harness.nodes;
+        if r.churn.divergent_restarted <> [] then
+          Printf.printf "churn: DIVERGENT restarted nodes: %s\n"
+            (String.concat "," (List.map string_of_int r.churn.divergent_restarted));
+        r.churn.divergent_restarted <> [] || r.churn.unfinished <> []
+      end
+      else false
+    in
+    Harness.cleanup_stores r.harness;
     let tip = Chain.tip (Node.chain r.harness.nodes.(0)) in
     Printf.printf "node 0 tip: height %d%s\n" tip.height (if tip.final then " [final]" else "");
     (match save_dir with
@@ -138,12 +193,16 @@ let run_cmd =
         Printf.printf "saved %d certified blocks to %s (%d KB)\n" (List.length items)
           dir
           (Algorand_core.Disk_store.size_bytes dir / 1024)));
-    if r.safety.double_final <> [] then exit 1
+    if r.safety.double_final <> [] || churn_failed then begin
+      Printf.printf "SAFETY VIOLATION at seed %d\n" seed;
+      exit 1
+    end
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a simulated Algorand deployment.")
     Term.(
       const run $ users $ rounds $ block_bytes $ seed $ attack $ malicious $ bandwidth
-      $ fanout $ tx_rate $ recovery $ real_crypto $ verbose $ save_dir)
+      $ fanout $ tx_rate $ recovery $ real_crypto $ verbose $ save_dir $ loss
+      $ churn_fraction $ churn_period $ churn_down $ churn_until)
 
 (* ------------------------------------------------------------------ *)
 (* committee                                                           *)

@@ -1,111 +1,24 @@
 (* Bootstrapping new users (section 8.3): a joining user downloads the
    chain of blocks with their certificates and validates them in order
-   starting from the genesis block - validating in order is what lets
-   it know the correct weights for checking sortition proofs at every
-   round. A final certificate for the most recent block proves safety
-   of the whole prefix (final blocks are totally ordered). *)
+   starting from the genesis block. The validation core (re-deriving
+   seeds and look-back weights per round, replaying with certificate
+   checks) lives in History, shared with Disk_store and Node.restart;
+   this module keeps the node-facing side: harvesting histories from
+   running (possibly sharded) nodes. *)
 
 module Block = Algorand_ledger.Block
 module Chain = Algorand_ledger.Chain
 module Genesis = Algorand_ledger.Genesis
-module Balances = Algorand_ledger.Balances
 module Vote = Algorand_ba.Vote
 module Params = Algorand_ba.Params
 
-type item = { block : Block.t; certificate : Certificate.t }
+type item = History.item = { block : Block.t; certificate : Certificate.t }
 
-type error =
-  [ `Round of int * Certificate.error
-  | `Chain of int * Chain.add_error
-  | `Hash_mismatch of int
-  | `Final_certificate of Certificate.error ]
+type error = History.error
 
-let pp_error fmt = function
-  | `Round (r, e) -> Format.fprintf fmt "round %d: %a" r Certificate.pp_error e
-  | `Chain (r, e) -> Format.fprintf fmt "round %d: %a" r Chain.pp_add_error e
-  | `Hash_mismatch r -> Format.fprintf fmt "round %d: certificate is for another block" r
-  | `Final_certificate e ->
-    Format.fprintf fmt "final certificate: %a" Certificate.pp_error e
-
-(* The validation context a new user derives for [round] from the chain
-   prefix it has verified so far. Mirrors Node.make_round_state. *)
-let validation_ctx ~(params : Params.t) ~(sig_scheme : Algorand_crypto.Signature_scheme.scheme)
-    ~(vrf_scheme : Algorand_crypto.Vrf.scheme) ~(chain : Chain.t) ~(round : int) :
-    Vote.validation_ctx =
-  let tip = Chain.tip chain in
-  let seed_height = max 0 (round - 1 - (round mod params.seed_refresh_interval)) in
-  let seed_entry =
-    match Chain.ancestor_at chain ~hash:tip.hash ~height:seed_height with
-    | Some e -> e
-    | None -> Chain.genesis_entry chain
-  in
-  let cutoff = seed_entry.block.header.timestamp -. params.lookback_b in
-  let rec back (e : Chain.entry) =
-    if e.height = 0 || e.block.header.timestamp <= cutoff then e
-    else match Chain.find chain e.parent with None -> e | Some p -> back p
-  in
-  let weights = (back seed_entry).balances_after in
-  {
-    sig_scheme;
-    vrf_scheme;
-    sig_pk_of = Identity.sig_pk;
-    vrf_pk_of = Identity.vrf_pk;
-    seed = seed_entry.seed;
-    total_weight = Balances.total weights;
-    weight_of = Balances.balance weights;
-    last_block_hash = tip.hash;
-    tau_of_step = (function Vote.Final -> params.tau_final | _ -> params.tau_step);
-  }
-
-(* Replay a downloaded history. Returns the reconstructed chain, with
-   every certified block applied and the tip advanced. *)
-let replay ~(params : Params.t) ~(sig_scheme : Algorand_crypto.Signature_scheme.scheme)
-    ~(vrf_scheme : Algorand_crypto.Vrf.scheme) ~(genesis : Genesis.t)
-    ?(final_certificate : Certificate.t option) (items : item list) :
-    (Chain.t, error) result =
-  let chain = Chain.create genesis in
-  let rec go = function
-    | [] -> Ok ()
-    | { block; certificate } :: rest ->
-      let round = Block.round block in
-      if not (String.equal certificate.block_hash (Block.hash block)) then
-        Error (`Hash_mismatch round)
-      else begin
-        let ctx = validation_ctx ~params ~sig_scheme ~vrf_scheme ~chain ~round in
-        match Certificate.validate ~params ~ctx certificate with
-        | Error e -> Error (`Round (round, e))
-        | Ok () -> (
-          match Chain.add chain block with
-          | Error e -> Error (`Chain (round, e))
-          | Ok entry ->
-            Chain.set_tip chain entry.hash;
-            go rest)
-      end
-  in
-  match go items with
-  | Error e -> Error e
-  | Ok () -> (
-    (* Optionally prove safety of the newest block: a valid final
-       certificate makes it (and transitively its prefix) final. *)
-    match final_certificate with
-    | None -> Ok chain
-    | Some fc -> (
-      let tip = Chain.tip chain in
-      if not (String.equal fc.block_hash tip.hash) then
-        Error (`Final_certificate `Wrong_value)
-      else begin
-        let ctx =
-          validation_ctx ~params ~sig_scheme ~vrf_scheme ~chain ~round:tip.height
-        in
-        (* Final votes bind to the previous block, i.e. the tip's
-           parent, so validate against that context. *)
-        let ctx = { ctx with last_block_hash = tip.parent } in
-        match Certificate.validate ~params ~ctx fc with
-        | Ok () ->
-          Chain.mark_final chain tip.hash;
-          Ok chain
-        | Error e -> Error (`Final_certificate e)
-      end))
+let pp_error = History.pp_error
+let validation_ctx = History.validation_ctx
+let replay = History.replay
 
 (* Harvest a catch-up history from a running node (what a bootstrap
    server would hand out). With sharded storage the node only serves

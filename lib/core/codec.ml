@@ -224,6 +224,8 @@ let tag_of (m : Message.t) : int =
   | Message.Block_request _ -> 5
   | Message.Block_reply _ -> 6
   | Message.Fork_proposal _ -> 7
+  | Message.Round_request _ -> 8
+  | Message.Round_reply _ -> 9
 
 let encode (m : Message.t) : string =
   let body =
@@ -232,9 +234,22 @@ let encode (m : Message.t) : string =
     | Message.Priority p -> encode_priority p
     | Message.Block_gossip b | Message.Block_reply b -> encode_block b
     | Message.Ba_vote v -> encode_vote v
-    | Message.Block_request { round; block_hash; requester } ->
-      Wire.concat [ Wire.u64 round; block_hash; Wire.u64 requester ]
+    | Message.Block_request { round; block_hash; requester; attempt } ->
+      Wire.concat [ Wire.u64 round; block_hash; Wire.u64 requester; Wire.u64 attempt ]
     | Message.Fork_proposal f -> encode_fork_proposal f
+    | Message.Round_request { from_round; requester; attempt } ->
+      Wire.concat [ Wire.u64 from_round; Wire.u64 requester; Wire.u64 attempt ]
+    | Message.Round_reply { to_; current_round; items } ->
+      Wire.concat
+        [
+          Wire.u64 to_;
+          Wire.u64 current_round;
+          Wire.concat
+            (List.map
+               (fun (b, c) ->
+                 Wire.concat [ encode_block b; encode_certificate c ])
+               items);
+        ]
   in
   Wire.concat [ Wire.u64 (tag_of m); body ]
 
@@ -248,17 +263,60 @@ let decode (s : string) : Message.t option =
     | 4 -> Option.map (fun v -> Message.Ba_vote v) (decode_vote body)
     | 5 -> (
       match Wire.split body with
-      | [ round; block_hash; requester ] ->
+      | [ round; block_hash; requester; attempt ] ->
         Some
           (Message.Block_request
              {
                round = Wire.read_u64 round 0;
                block_hash;
                requester = Wire.read_u64 requester 0;
+               attempt = Wire.read_u64 attempt 0;
              })
       | _ | (exception Invalid_argument _) -> None)
     | 6 -> Option.map (fun b -> Message.Block_reply b) (decode_block body)
     | 7 -> Option.map (fun f -> Message.Fork_proposal f) (decode_fork_proposal body)
+    | 8 -> (
+      match Wire.split body with
+      | [ from_round; requester; attempt ] ->
+        Some
+          (Message.Round_request
+             {
+               from_round = Wire.read_u64 from_round 0;
+               requester = Wire.read_u64 requester 0;
+               attempt = Wire.read_u64 attempt 0;
+             })
+      | _ | (exception Invalid_argument _) -> None)
+    | 9 -> (
+      match Wire.split body with
+      | [ to_; current_round; items ] -> (
+        let decoded =
+          try
+            Wire.split items
+            |> List.map (fun item ->
+                   match Wire.split item with
+                   | [ braw; craw ] -> (
+                     match (decode_block braw, decode_certificate craw) with
+                     | Some b, Some c -> Some (b, c)
+                     | _ -> None)
+                   | _ -> None)
+            |> List.fold_left
+                 (fun acc i ->
+                   match (acc, i) with Some l, Some i -> Some (i :: l) | _ -> None)
+                 (Some [])
+            |> Option.map List.rev
+          with Invalid_argument _ -> None
+        in
+        match decoded with
+        | Some items ->
+          Some
+            (Message.Round_reply
+               {
+                 to_ = Wire.read_u64 to_ 0;
+                 current_round = Wire.read_u64 current_round 0;
+                 items;
+               })
+        | None -> None)
+      | _ | (exception Invalid_argument _) -> None)
     | _ -> None)
   | _ | (exception Invalid_argument _) -> None
 
@@ -270,6 +328,8 @@ let wire_size_bytes (m : Message.t) : int =
     | Message.Block_gossip b | Message.Block_reply b -> b.padding
     | Message.Fork_proposal f ->
       List.fold_left (fun acc (b : Block.t) -> acc + b.padding) 0 f.suffix
+    | Message.Round_reply { items; _ } ->
+      List.fold_left (fun acc ((b : Block.t), _) -> acc + b.padding) 0 items
     | _ -> 0
   in
   String.length (encode m) + padding

@@ -6,19 +6,26 @@
    Layout: one directory, two files per round -
      <round>.block  : Codec-encoded block
      <round>.cert   : Codec-encoded certificate
-   plus "genesis.nonce" recording the genesis parameters. Loading
-   re-validates everything through Catchup.replay, so a corrupted or
-   tampered store is rejected, not trusted. *)
+   Every file is written crash-atomically (temp file + rename), so a
+   process killed mid-checkpoint leaves either the old round files, the
+   new ones, or a clean absence - never a half-written file that poisons
+   the whole history. Loading re-validates everything through
+   History.replay, so a corrupted or tampered store is rejected, not
+   trusted. *)
 
 module Block = Algorand_ledger.Block
 
 let block_file dir round = Filename.concat dir (Printf.sprintf "%06d.block" round)
 let cert_file dir round = Filename.concat dir (Printf.sprintf "%06d.cert" round)
 
+(* Crash-atomic write: the data lands under a temp name and is renamed
+   into place, so readers only ever see complete files. *)
 let write_file (path : string) (data : string) : unit =
-  let oc = open_out_bin path in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
   output_string oc data;
-  close_out oc
+  close_out oc;
+  Sys.rename tmp path
 
 let read_file (path : string) : string option =
   if not (Sys.file_exists path) then None
@@ -30,14 +37,16 @@ let read_file (path : string) : string option =
     Some data
   end
 
-(* Persist a catch-up history (from Catchup.collect / collect_from). *)
-let save (dir : string) (items : Catchup.item list) : unit =
+(* Persist a catch-up history (from Catchup.collect / collect_from, or
+   a node's periodic checkpoint). The certificate is written before the
+   block, so a round whose block file exists is complete. *)
+let save (dir : string) (items : History.item list) : unit =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   List.iter
-    (fun ({ block; certificate } : Catchup.item) ->
+    (fun ({ block; certificate } : History.item) ->
       let round = Block.round block in
-      write_file (block_file dir round) (Codec.encode_block block);
-      write_file (cert_file dir round) (Codec.encode_certificate certificate))
+      write_file (cert_file dir round) (Codec.encode_certificate certificate);
+      write_file (block_file dir round) (Codec.encode_block block))
     items
 
 (* Rounds present on disk, ascending. *)
@@ -58,18 +67,22 @@ let pp_load_error fmt = function
   | `Corrupt r -> Format.fprintf fmt "round %d does not decode" r
 
 (* Read rounds 1..up_to back as a catch-up history (unvalidated: feed
-   to Catchup.replay, which re-checks every certificate). *)
-let load (dir : string) ~(up_to_round : int) : (Catchup.item list, load_error) result =
+   to History.replay, which re-checks every certificate). A truncated
+   or corrupted tail - what a crash mid-checkpoint leaves - costs only
+   the tail: the valid prefix is returned along with the reason the
+   scan stopped ([None] when every requested round was read). *)
+let load ?(up_to_round = max_int) (dir : string) :
+    History.item list * load_error option =
   let rec go r acc =
-    if r > up_to_round then Ok (List.rev acc)
+    if r > up_to_round then (List.rev acc, None)
     else begin
       match (read_file (block_file dir r), read_file (cert_file dir r)) with
-      | None, _ | _, None -> Error (`Missing r)
+      | None, _ | _, None -> (List.rev acc, Some (`Missing r))
       | Some braw, Some craw -> (
         match (Codec.decode_block braw, Codec.decode_certificate craw) with
         | Some block, Some certificate ->
-          go (r + 1) ({ Catchup.block; certificate } :: acc)
-        | _ -> Error (`Corrupt r))
+          go (r + 1) ({ History.block; certificate } :: acc)
+        | _ -> (List.rev acc, Some (`Corrupt r)))
     end
   in
   go 1 []

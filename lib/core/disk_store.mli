@@ -1,11 +1,14 @@
 (** File-backed block/certificate storage (two Codec-encoded files per
-    round). Loading returns an *unvalidated* history; feed it to
-    {!Catchup.replay}, which re-checks every certificate, so a
-    tampered store is rejected rather than trusted. *)
+    round, each written crash-atomically via temp file + rename).
+    Loading returns an *unvalidated* history; feed it to
+    {!History.replay}, which re-checks every certificate, so a tampered
+    store is rejected rather than trusted. *)
 
-val save : string -> Catchup.item list -> unit
+val save : string -> History.item list -> unit
 (** [save dir items] writes each round's block and certificate under
-    [dir] (created if needed). *)
+    [dir] (created if needed). Each file lands atomically; the
+    certificate is written before the block, so a round whose block
+    file exists is complete. *)
 
 val stored_rounds : string -> int list
 
@@ -13,7 +16,12 @@ type load_error = [ `Missing of int | `Corrupt of int ]
 
 val pp_load_error : Format.formatter -> load_error -> unit
 
-val load : string -> up_to_round:int -> (Catchup.item list, load_error) result
+val load : ?up_to_round:int -> string -> History.item list * load_error option
+(** Read rounds 1.. (up to [up_to_round], default unlimited) back as a
+    catch-up history. Tolerates a truncated or corrupted tail - the
+    debris of a crash mid-checkpoint - by returning the longest valid
+    prefix plus the reason the scan stopped ([None] when every
+    requested round was read). *)
 
 val size_bytes : string -> int
 (** Total bytes on disk - the measured form of the section 10.3

@@ -22,6 +22,21 @@ module Block = Algorand_ledger.Block
 
 type crypto = Real_crypto | Sim_crypto
 
+(* Crash-restart fault injection: who goes down, when, for how long. *)
+type crash_plan =
+  | One_shot of { at : float; victims : int list; down_for : float }
+      (** crash the listed nodes at [at]; each restarts [down_for] later *)
+  | Periodic of {
+      start : float;
+      period : float;
+      fraction : float;  (** of users, re-drawn randomly each tick *)
+      down_for : float;
+      until : float;
+    }
+  | Correlated of { at : float; fraction : float; down_for : float }
+      (** one mass outage: a random fraction all crash (and later
+          restart) together - the rack/AZ failure shape *)
+
 type attack =
   | No_attack
   | Equivocate  (** section 10.4: malicious proposers + double-voting committee *)
@@ -35,6 +50,10 @@ type attack =
           groups' next votes are steered by what trickled in; the
           common coin must get the network unstuck once delivery
           resumes *)
+  | Crash_churn of crash_plan
+      (** crash-restart fault injection: victims lose all in-memory
+          state, reload their durable checkpoint, and rejoin via live
+          catch-up while the rest of the network keeps going *)
 
 type config = {
   users : int;
@@ -59,6 +78,13 @@ type config = {
   recovery_enabled : bool;  (** run the section 8.2 recovery protocol on clock ticks *)
   storage_shards : int;  (** section 8.3 sharded block/certificate serving *)
   pipeline_final : bool;  (** overlap final-step classification with the next round *)
+  loss : float;  (** uniform message-loss probability, composed with any attack *)
+  duplication : float;  (** uniform message-duplication probability *)
+  store_root : string option;
+      (** root directory for per-node durable checkpoints; [None] means
+          no persistence, except under [Crash_churn], which creates (and
+          owns) a temporary root so restarts have something to reload *)
+  checkpoint_every : int;  (** persist every k completed rounds *)
 }
 
 let default =
@@ -82,6 +108,10 @@ let default =
     recovery_enabled = false;
     storage_shards = 1;
     pipeline_final = false;
+    loss = 0.0;
+    duplication = 0.0;
+    store_root = None;
+    checkpoint_every = 1;
   }
 
 type t = {
@@ -93,12 +123,31 @@ type t = {
   gossip : Message.t Gossip.t;
   network : Message.t Network.t;
   genesis : Genesis.t;
+  store_root : string option;  (** resolved checkpoint root, if any *)
+  owns_store : bool;  (** the root is a temp dir this harness created *)
 }
 
 type safety_report = {
   agreement_rounds : int;  (** rounds on which every user agrees *)
   forked_rounds : int list;  (** rounds with conflicting blocks across users *)
   double_final : int list;  (** rounds with two different *final* blocks: must be [] *)
+}
+
+(* Post-run accounting of the crash-restart machinery. Meaningful for
+   any run (all zeros without churn). *)
+type churn_report = {
+  crashes : int;
+  restarts : int;
+  rejoins : int;  (** completed live catch-ups *)
+  mean_rejoin_s : float;
+  max_rejoin_s : float;
+  retries : int;  (** re-issued catch-up / block-fetch requests *)
+  divergent_restarted : int list;
+      (** restarted nodes whose chain disagrees with the majority chain
+          at some height they both cover: must be [] *)
+  unfinished : int list;
+      (** nodes still down, resyncing, hung, or mid-round at quiescence:
+          must be [] when every crash gets a restart *)
 }
 
 type result = {
@@ -109,12 +158,31 @@ type result = {
   completion : Algorand_sim.Stats.summary;  (** per-user round completion times *)
   final_rounds : int;  (** rounds that reached final consensus somewhere *)
   tentative_rounds : int;
+  churn : churn_report;
 }
 
 let schemes (c : crypto) : Signature_scheme.scheme * Vrf.scheme =
   match c with
   | Real_crypto -> (Signature_scheme.ed25519, Vrf.ecvrf)
   | Sim_crypto -> (Signature_scheme.sim, Vrf.sim)
+
+let rec mkdir_p (dir : string) : unit =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+(* Distinct auto store roots even for identical configs run twice in
+   one process (torture tests sweep hundreds of seeds). *)
+let store_instance = ref 0
+
+let rec rm_rf (path : string) : unit =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
 
 let build (config : config) : t =
   let sig_scheme, vrf_scheme = schemes config.crypto in
@@ -153,6 +221,32 @@ let build (config : config) : t =
     List.iter (fun i -> Hashtbl.replace s i ()) l;
     s
   in
+  (* Durable checkpoints: explicit root, or a temp root owned by this
+     harness when churn needs one. *)
+  let store_root, owns_store =
+    match (config.store_root, config.attack) with
+    | Some root, _ -> (Some root, false)
+    | None, Crash_churn _ ->
+      incr store_instance;
+      let root =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "algorand-churn-%d-%d-%d" (Unix.getpid ())
+             config.rng_seed !store_instance)
+      in
+      (Some root, true)
+    | None, _ -> (None, false)
+  in
+  (match store_root with Some root -> mkdir_p root | None -> ());
+  let retry_policy : Algorand_sim.Retry.policy =
+    {
+      base_delay = Float.max 0.5 config.params.lambda_priority;
+      multiplier = 2.0;
+      max_delay = Float.max 5.0 config.params.lambda_step;
+      jitter = 0.2;
+      max_attempts = 0;
+    }
+  in
   let node_config i : Node.config =
     {
       params = config.params;
@@ -169,12 +263,21 @@ let build (config : config) : t =
       recovery_enabled = config.recovery_enabled;
       storage_shards = config.storage_shards;
       pipeline_final = config.pipeline_final;
+      resync_enabled = true;
+      store_dir =
+        Option.map
+          (fun root -> Filename.concat root (Printf.sprintf "node-%03d" i))
+          store_root;
+      checkpoint_every = config.checkpoint_every;
+      retry = retry_policy;
     }
   in
   let nodes =
     Array.init config.users (fun i ->
         Node.create ~index:i ~identity:identities.(i) ~config:(node_config i) ~engine
-          ~metrics ~genesis)
+          ~metrics
+          ~rng:(Rng.split rng (Printf.sprintf "node-%d" i))
+          ~genesis ())
   in
   let weights = Array.map float_of_int stakes in
   let gossip_config : Message.t Gossip.config =
@@ -183,6 +286,10 @@ let build (config : config) : t =
       validate = (fun node msg -> Node.gossip_validate nodes.(node) msg);
       deliver = (fun node ~src msg -> Node.deliver nodes.(node) ~src msg);
       fanout = config.fanout;
+      point_to_point =
+        (function
+        | Message.Round_request _ | Message.Round_reply _ -> true
+        | _ -> false);
     }
   in
   let gossip = Gossip.create ~net:network ~rng:(Rng.split rng "gossip") ~weights gossip_config in
@@ -191,32 +298,111 @@ let build (config : config) : t =
      progress as the round clock. *)
   Node.set_on_round_complete nodes.(0) (fun _ ~round:_ ~final:_ ->
       Gossip.redraw gossip ~weights);
-  (* Network adversary. *)
+  (* Network adversary: the configured attack composed with the uniform
+     loss and duplication faults (first non-Deliver verdict wins). *)
+  let base_adversary : Message.t Network.adversary option =
+    match config.attack with
+    | No_attack | Equivocate | Crash_churn _ -> None
+    | Delay_votes { delay; from_; until } ->
+      Some
+        (fun ~now ~src:_ ~dst:_ msg ->
+          match msg with
+          | Message.Ba_vote { step = Algorand_ba.Vote.Bin _; _ }
+            when now >= from_ && now < until ->
+            Network.Delay delay
+          | _ -> Network.Deliver)
+    | Partition { from_; until } ->
+      let group_of i = if i < config.users / 2 then 0 else 1 in
+      Some
+        (fun ~now ~src ~dst msg ->
+          if now >= from_ then Adversary.partition ~group_of ~until ~now ~src ~dst msg
+          else Network.Deliver)
+    | Targeted_dos { fraction; from_; until } ->
+      let k = int_of_float (fraction *. float_of_int config.users) in
+      let targets = Hashtbl.create 16 in
+      List.iter
+        (fun i -> Hashtbl.replace targets i ())
+        (Rng.sample_indices (Rng.split rng "dos") ~n:config.users ~k);
+      Some
+        (Adversary.target_nodes
+           ~targeted:(fun i -> Hashtbl.mem targets i)
+           ~active:(fun now -> now >= from_ && now < until))
+  in
+  let faults =
+    (if config.loss > 0.0 then
+       [ Adversary.uniform_loss ~rng:(Rng.split rng "loss") ~p:config.loss ]
+     else [])
+    @
+    if config.duplication > 0.0 then
+      [
+        Adversary.duplicate ~rng:(Rng.split rng "dup") ~p:config.duplication
+          ~window:0.05;
+      ]
+    else []
+  in
+  (match Option.to_list base_adversary @ faults with
+  | [] -> ()
+  | [ a ] -> Network.set_adversary network a
+  | many -> Network.set_adversary network (Adversary.compose many));
+  (* Crash-restart churn: crash takes the node's network interface down
+     too (in-flight packets to it are lost); restart re-links the node
+     into the gossip overlay with fresh peers before it resyncs. *)
   (match config.attack with
-  | No_attack | Equivocate -> ()
-  | Delay_votes { delay; from_; until } ->
-    Network.set_adversary network (fun ~now ~src:_ ~dst:_ msg ->
-        match msg with
-        | Message.Ba_vote { step = Algorand_ba.Vote.Bin _; _ }
-          when now >= from_ && now < until ->
-          Network.Delay delay
-        | _ -> Network.Deliver)
-  | Partition { from_; until } ->
-    let group_of i = if i < config.users / 2 then 0 else 1 in
-    Network.set_adversary network (fun ~now ~src ~dst msg ->
-        if now >= from_ then Adversary.partition ~group_of ~until ~now ~src ~dst msg
-        else Network.Deliver)
-  | Targeted_dos { fraction; from_; until } ->
-    let k = int_of_float (fraction *. float_of_int config.users) in
-    let targets = Hashtbl.create 16 in
-    List.iter
-      (fun i -> Hashtbl.replace targets i ())
-      (Rng.sample_indices (Rng.split rng "dos") ~n:config.users ~k);
-    Network.set_adversary network
-      (Adversary.target_nodes
-         ~targeted:(fun i -> Hashtbl.mem targets i)
-         ~active:(fun now -> now >= from_ && now < until)));
-  { config; engine; metrics; identities; nodes; gossip; network; genesis }
+  | Crash_churn plan ->
+    let churn_rng = Rng.split rng "churn" in
+    let crash_one ~down_for i =
+      if (not (Node.is_down nodes.(i))) && not (Node.is_stopped nodes.(i)) then begin
+        Node.crash nodes.(i);
+        Network.set_up network i false;
+        Engine.schedule engine ~delay:down_for (fun () ->
+            Network.set_up network i true;
+            Gossip.relink gossip ~node:i ~weights;
+            Node.restart nodes.(i))
+      end
+    in
+    let pick fraction =
+      let k =
+        int_of_float (Float.round (fraction *. float_of_int config.users))
+      in
+      let k = min (max 1 k) (config.users - 1) in
+      Rng.sample_indices churn_rng ~n:config.users ~k
+    in
+    (match plan with
+    | One_shot { at; victims; down_for } ->
+      Engine.at engine ~time:at (fun () ->
+          List.iter
+            (fun i -> if i >= 0 && i < config.users then crash_one ~down_for i)
+            victims)
+    | Correlated { at; fraction; down_for } ->
+      Engine.at engine ~time:at (fun () ->
+          List.iter (crash_one ~down_for) (pick fraction))
+    | Periodic { start; period; fraction; down_for; until } ->
+      let rec tick time () =
+        if time <= until && not (Array.for_all Node.is_stopped nodes) then begin
+          List.iter (crash_one ~down_for) (pick fraction);
+          Engine.at engine ~time:(time +. period) (tick (time +. period))
+        end
+      in
+      Engine.at engine ~time:start (tick start))
+  | _ -> ());
+  {
+    config;
+    engine;
+    metrics;
+    identities;
+    nodes;
+    gossip;
+    network;
+    genesis;
+    store_root;
+    owns_store;
+  }
+
+(* Remove the temp checkpoint root, when this harness created one. *)
+let cleanup_stores (t : t) : unit =
+  match t.store_root with
+  | Some root when t.owns_store -> rm_rf root
+  | _ -> ()
 
 (* Poisson transaction workload: random payer pays 1 unit to a random
    payee, submitted at the payer's node. Nonces are tracked here (the
@@ -284,6 +470,77 @@ let audit_safety (t : t) : safety_report =
     double_final = List.sort compare !double_final;
   }
 
+(* Churn accounting: retry/rejoin metrics plus two per-node audits -
+   every restarted node's chain must match the strict-majority chain at
+   every height both cover, and at quiescence no node may be left down,
+   resyncing, hung, or short of the last round. *)
+let audit_churn (t : t) : churn_report =
+  let hash_at node h =
+    let chain = Node.chain node in
+    let tip = Chain.tip chain in
+    if h > tip.height then None
+    else
+      Option.map
+        (fun (e : Chain.entry) -> e.hash)
+        (Chain.ancestor_at chain ~hash:tip.hash ~height:h)
+  in
+  let max_h =
+    Array.fold_left
+      (fun acc n -> max acc (Chain.tip (Node.chain n)).height)
+      0 t.nodes
+  in
+  let majority_at h =
+    let counts = Hashtbl.create 8 in
+    Array.iter
+      (fun n ->
+        match hash_at n h with
+        | Some hash ->
+          Hashtbl.replace counts hash
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts hash))
+        | None -> ())
+      t.nodes;
+    Hashtbl.fold
+      (fun hash c acc ->
+        if 2 * c > Array.length t.nodes then Some hash else acc)
+      counts None
+  in
+  let divergent = ref [] in
+  Array.iteri
+    (fun i n ->
+      if Node.crash_count n > 0 then begin
+        let bad = ref false in
+        for h = 1 to max_h do
+          match (hash_at n h, majority_at h) with
+          | Some mine, Some maj when not (String.equal mine maj) -> bad := true
+          | _ -> ()
+        done;
+        if !bad then divergent := i :: !divergent
+      end)
+    t.nodes;
+  let unfinished = ref [] in
+  Array.iteri
+    (fun i n ->
+      if
+        Node.is_down n || Node.is_resyncing n || Node.is_hung n
+        || not (Node.is_stopped n)
+      then unfinished := i :: !unfinished)
+    t.nodes;
+  let m = t.metrics in
+  let lat = m.Metrics.rejoin_latencies in
+  let rejoins = List.length lat in
+  {
+    crashes = m.Metrics.crashes;
+    restarts = m.Metrics.restarts;
+    rejoins;
+    mean_rejoin_s =
+      (if rejoins = 0 then 0.0
+       else List.fold_left ( +. ) 0.0 lat /. float_of_int rejoins);
+    max_rejoin_s = List.fold_left Float.max 0.0 lat;
+    retries = m.Metrics.retry_attempts;
+    divergent_restarted = List.sort compare !divergent;
+    unfinished = List.sort compare !unfinished;
+  }
+
 let run (config : config) : result =
   let t = build config in
   install_workload t;
@@ -313,4 +570,5 @@ let run (config : config) : result =
     completion;
     final_rounds = !final_rounds;
     tentative_rounds = !tentative_rounds;
+    churn = audit_churn t;
   }

@@ -11,12 +11,29 @@ module Network = Algorand_netsim.Network
 
 type crypto = Real_crypto | Sim_crypto
 
+type crash_plan =
+  | One_shot of { at : float; victims : int list; down_for : float }
+      (** crash the listed nodes at [at]; each restarts [down_for] later *)
+  | Periodic of {
+      start : float;
+      period : float;
+      fraction : float;  (** of users, re-drawn randomly each tick *)
+      down_for : float;
+      until : float;
+    }
+  | Correlated of { at : float; fraction : float; down_for : float }
+      (** one mass outage: a random fraction crash and restart together *)
+
 type attack =
   | No_attack
   | Equivocate  (** section 10.4: equivocating proposers, double-voting committees *)
   | Partition of { from_ : float; until : float }
   | Targeted_dos of { fraction : float; from_ : float; until : float }
   | Delay_votes of { delay : float; from_ : float; until : float }
+  | Crash_churn of crash_plan
+      (** crash-restart fault injection: victims lose all in-memory
+          state, reload their durable checkpoint, rejoin via live
+          catch-up *)
 
 type config = {
   users : int;
@@ -38,6 +55,13 @@ type config = {
   recovery_enabled : bool;
   storage_shards : int;
   pipeline_final : bool;
+  loss : float;  (** uniform message-loss probability, composed with any attack *)
+  duplication : float;  (** uniform message-duplication probability *)
+  store_root : string option;
+      (** root for per-node durable checkpoints; [None] means no
+          persistence, except under [Crash_churn], which creates (and
+          owns) a temp root - release it with {!cleanup_stores} *)
+  checkpoint_every : int;  (** persist every k completed rounds *)
 }
 
 val default : config
@@ -51,12 +75,29 @@ type t = {
   gossip : Message.t Gossip.t;
   network : Message.t Network.t;
   genesis : Genesis.t;
+  store_root : string option;  (** resolved checkpoint root, if any *)
+  owns_store : bool;  (** the root is a temp dir this harness created *)
 }
 
 type safety_report = {
   agreement_rounds : int;
   forked_rounds : int list;  (** rounds with conflicting blocks across users *)
   double_final : int list;  (** rounds with two different final blocks: must be [] *)
+}
+
+type churn_report = {
+  crashes : int;
+  restarts : int;
+  rejoins : int;  (** completed live catch-ups *)
+  mean_rejoin_s : float;
+  max_rejoin_s : float;
+  retries : int;  (** re-issued catch-up / block-fetch requests *)
+  divergent_restarted : int list;
+      (** restarted nodes whose chain disagrees with the strict-majority
+          chain at some height both cover: must be [] *)
+  unfinished : int list;
+      (** nodes down, resyncing, hung, or short of the last round at
+          quiescence: must be [] when every crash gets a restart *)
 }
 
 type result = {
@@ -67,6 +108,7 @@ type result = {
   completion : Algorand_sim.Stats.summary;
   final_rounds : int;
   tentative_rounds : int;
+  churn : churn_report;
 }
 
 val build : config -> t
@@ -75,6 +117,11 @@ val build : config -> t
 
 val install_workload : t -> unit
 val audit_safety : t -> safety_report
+val audit_churn : t -> churn_report
+
+val cleanup_stores : t -> unit
+(** Remove the temp checkpoint root, when this harness created one
+    (no-op for an explicit [store_root]). *)
 
 val run : config -> result
 (** Build, start every node, run to quiescence, audit. *)

@@ -1,6 +1,7 @@
-(** Bootstrapping new users (section 8.3): replay downloaded blocks and
-    certificates from genesis, learning weights round by round so every
-    sortition proof can be checked. *)
+(** Certified chain histories (section 8.3): replay downloaded blocks
+    and certificates from genesis, learning weights round by round so
+    every sortition proof can be checked. Node-independent core shared
+    by {!Catchup}, {!Disk_store}, and [Node.restart]. *)
 
 module Block = Algorand_ledger.Block
 module Chain = Algorand_ledger.Chain
@@ -8,9 +9,13 @@ module Genesis = Algorand_ledger.Genesis
 module Vote = Algorand_ba.Vote
 module Params = Algorand_ba.Params
 
-type item = History.item = { block : Block.t; certificate : Certificate.t }
+type item = { block : Block.t; certificate : Certificate.t }
 
-type error = History.error
+type error =
+  [ `Round of int * Certificate.error
+  | `Chain of int * Chain.add_error
+  | `Hash_mismatch of int
+  | `Final_certificate of Certificate.error ]
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -36,12 +41,3 @@ val replay :
     [final_certificate] for the last block additionally marks it final
     (proving safety of the whole prefix, since final blocks are totally
     ordered). *)
-
-val collect : ?respect_shards:bool -> Node.t -> up_to_round:int -> item list
-(** Harvest a catch-up history from a running node;
-    [respect_shards] restricts it to rounds the node's storage shard
-    covers (section 8.3). *)
-
-val collect_from : Node.t list -> up_to_round:int -> item list option
-(** Assemble a full history from sharded servers, one round at a time;
-    [None] when some round is served by no one. *)

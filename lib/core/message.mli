@@ -19,14 +19,24 @@ type t =
   | Priority of Proposal.priority_msg
   | Block_gossip of Block.t
   | Ba_vote of Vote.t
-  | Block_request of { round : int; block_hash : string; requester : int }
-      (** BlockOfHash (Algorithm 3): fetch an agreed hash's pre-image *)
+  | Block_request of { round : int; block_hash : string; requester : int; attempt : int }
+      (** BlockOfHash (Algorithm 3): fetch an agreed hash's pre-image;
+          [attempt] distinguishes retries from relay-deduped originals *)
   | Block_reply of Block.t
   | Fork_proposal of fork_proposal  (** recovery (section 8.2) *)
+  | Round_request of { from_round : int; requester : int; attempt : int }
+      (** live catch-up (section 8.3): ask a peer for the certified
+          rounds we missed, starting at [from_round] *)
+  | Round_reply of {
+      to_ : int;
+      current_round : int;
+      items : (Block.t * Certificate.t) list;
+    }
 
 val id : t -> string
 (** Relay-dedup id; one message per key per (round, step), and one
-    block per (round, proposer), per section 8.4. *)
+    block per (round, proposer), per section 8.4. Retried requests
+    carry their attempt number so re-issues are not deduped away. *)
 
 val size_bytes : t -> int
 val kind : t -> string

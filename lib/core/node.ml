@@ -21,6 +21,8 @@ module Params = Algorand_ba.Params
 module Ba_star = Algorand_ba.Ba_star
 module Engine = Algorand_sim.Engine
 module Metrics = Algorand_sim.Metrics
+module Retry = Algorand_sim.Retry
+module Rng = Algorand_sim.Rng
 module Gossip = Algorand_netsim.Gossip
 
 let src = Logs.Src.create "algorand.node" ~doc:"Algorand node"
@@ -50,6 +52,15 @@ type config = {
       (** start the next round as soon as BinaryBA* returns, overlapping
           the final-step classification with the next round's proposal
           (the throughput optimization sketched in section 10.2) *)
+  resync_enabled : bool;
+      (** run the live catch-up rejoin (Round_request/Round_reply with
+          retry and backoff) after a restart, on MaxSteps, or when the
+          network is observed >= 2 rounds ahead *)
+  store_dir : string option;
+      (** durable checkpoint directory; [None] disables persistence *)
+  checkpoint_every : int;
+      (** checkpoint every k completed rounds (when [store_dir] is set) *)
+  retry : Retry.policy;  (** backoff for block fetch and catch-up requests *)
 }
 
 let default_config =
@@ -65,6 +76,10 @@ let default_config =
     recovery_enabled = false;
     storage_shards = 1;
     pipeline_final = false;
+    resync_enabled = true;
+    store_dir = None;
+    checkpoint_every = 1;
+    retry = Retry.default_policy;
   }
 
 type round_state = {
@@ -90,6 +105,8 @@ type round_state = {
   mutable completed : bool;  (** block appended, next round scheduled *)
   mutable classified : bool;  (** final/tentative classification arrived *)
   mutable buffered_votes : Vote.t list;  (** votes that arrived before BA started *)
+  mutable fetch : Retry.t option;
+      (** retry schedule for an outstanding BlockOfHash fetch *)
 }
 
 (* State of one engagement of the fork-recovery protocol (section 8.2). *)
@@ -113,14 +130,31 @@ type recovery_state = {
   mutable rbuffered : Vote.t list;
 }
 
+(* Live catch-up after a restart (or after falling behind): request
+   certified rounds from rotating peers on a retry schedule until our
+   tip reaches the round the network is working on (section 8.3 made
+   into an online protocol). *)
+type resync_state = {
+  started_at : float;
+  mutable target_round : int;  (** tip height to reach before rejoining BA* *)
+  mutable retry : Retry.t option;
+  mutable requests_sent : int;  (** rotates the peer we ask *)
+  mutable backtrack : int;
+      (** how far below our tip the next request starts: grows when
+          replies graft nothing (our tip sits on a dead tentative fork,
+          so the divergence point must be rediscovered) *)
+}
+
 type t = {
   index : int;
   identity : Identity.t;
   config : config;
   engine : Engine.t;
   metrics : Metrics.t;
-  chain : Chain.t;
-  txpool : Txpool.t;
+  genesis : Genesis.t;
+  rng : Rng.t;  (** retry jitter; deterministic per node *)
+  mutable chain : Chain.t;  (** replaced wholesale on crash/restart *)
+  mutable txpool : Txpool.t;
   mutable gossip : Message.t Gossip.t option;
   mutable current : round_state option;
   pending : (int, Message.t list ref) Hashtbl.t;  (** future-round messages *)
@@ -136,16 +170,26 @@ type t = {
   mutable recovery_generation : int;
   mutable recoveries_completed : int;
   mutable on_round_complete : (t -> round:int -> final:bool -> unit) option;
+  mutable incarnation : int;
+      (** bumped on crash, restart and resync teardown; every timer and
+          deferred CPU-model delivery captures the value it was armed
+          under and is ignored if the node has since moved on *)
+  mutable down : bool;  (** crashed and not yet restarted *)
+  mutable crash_count : int;
+  mutable resync : resync_state option;
+  mutable last_checkpoint : int;  (** highest round persisted to [store_dir] *)
 }
 
 let create ~(index : int) ~(identity : Identity.t) ~(config : config)
-    ~(engine : Engine.t) ~(metrics : Metrics.t) ~(genesis : Genesis.t) : t =
+    ~(engine : Engine.t) ~(metrics : Metrics.t) ?rng ~(genesis : Genesis.t) () : t =
   {
     index;
     identity;
     config;
     engine;
     metrics;
+    genesis;
+    rng = (match rng with Some r -> r | None -> Rng.create ((1_000_003 * index) + 17));
     chain = Chain.create genesis;
     txpool = Txpool.create ();
     gossip = None;
@@ -161,6 +205,11 @@ let create ~(index : int) ~(identity : Identity.t) ~(config : config)
     recovery_generation = 0;
     recoveries_completed = 0;
     on_round_complete = None;
+    incarnation = 0;
+    down = false;
+    crash_count = 0;
+    resync = None;
+    last_checkpoint = 0;
   }
 
 let set_gossip (t : t) (g : Message.t Gossip.t) : unit = t.gossip <- Some g
@@ -182,6 +231,48 @@ let serves_round (t : t) ~(round : int) : bool =
 
 let broadcast (t : t) (msg : Message.t) : unit =
   Gossip.broadcast (gossip t) ~node:t.index ~bytes:(Message.size_bytes msg) msg
+
+(* Schedule a timer that dies with the node's current life: crash,
+   restart and resync teardown bump [t.incarnation], so a closure armed
+   in a previous life finds a different value and does nothing. *)
+let sched (t : t) ~(delay : float) (f : unit -> unit) : unit =
+  let inc = t.incarnation in
+  Engine.schedule t.engine ~delay (fun () -> if t.incarnation = inc then f ())
+
+let cancel_fetch (rs : round_state) : unit =
+  (match rs.fetch with Some r -> Retry.cancel r | None -> ());
+  rs.fetch <- None
+
+(* Durable checkpoint: persist every certified round above the last
+   checkpoint, but only as a contiguous run - a gap on disk would
+   truncate what a restart can replay, so a round missing its
+   certificate (e.g. adopted during fork recovery) blocks the
+   checkpoint until resync backfills it. *)
+let maybe_checkpoint (t : t) : unit =
+  match t.config.store_dir with
+  | None -> ()
+  | Some dir ->
+    let k = t.config.checkpoint_every in
+    let tip = Chain.tip t.chain in
+    if k > 0 && tip.height >= t.last_checkpoint + k then begin
+      let rec collect r acc =
+        if r <= t.last_checkpoint then Some acc
+        else begin
+          match
+            ( Chain.ancestor_at t.chain ~hash:tip.hash ~height:r,
+              Hashtbl.find_opt t.certificates r )
+          with
+          | Some e, Some c when String.equal c.Certificate.block_hash e.hash ->
+            collect (r - 1) ({ History.block = e.block; certificate = c } :: acc)
+          | _ -> None
+        end
+      in
+      match collect tip.height [] with
+      | Some items when items <> [] ->
+        Disk_store.save dir items;
+        t.last_checkpoint <- tip.height
+      | Some _ | None -> ()
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Round context (seeds and look-back weights, sections 5.2-5.3).      *)
@@ -251,6 +342,7 @@ let make_round_state (t : t) ~(r : int) : round_state =
     completed = false;
     classified = false;
     buffered_votes = [];
+    fetch = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -326,7 +418,7 @@ let rec apply_ba_actions (t : t) (rs : round_state) (actions : Ba_star.action li
         (* The closure captures this round's machine; stale tokens are
            filtered inside it, so a pipelined previous round still gets
            its final-classification timeout after [t.current] moves on. *)
-        Engine.schedule t.engine ~delay (fun () ->
+        sched t ~delay (fun () ->
             match rs.ba with
             | Some ba -> apply_ba_actions t rs (Ba_star.handle ba (Ba_star.Timer token))
             | None -> ())
@@ -336,8 +428,21 @@ let rec apply_ba_actions (t : t) (rs : round_state) (actions : Ba_star.action li
         if t.config.pipeline_final then eager_complete t rs ~value
       | Ba_star.Decided { value; final; bin_steps = _ } -> decide t rs ~value ~final
       | Ba_star.Hang ->
-        t.hung <- true;
-        Log.warn (fun m -> m "node %d hung in round %d (MaxSteps)" t.index rs.round))
+        if
+          t.config.resync_enabled
+          && (not t.config.recovery_enabled)
+          && t.resync = None
+        then begin
+          (* MaxSteps without the section 8.2 protocol: treat it as
+             having fallen behind and rejoin via live catch-up. *)
+          Log.warn (fun m ->
+              m "node %d hit MaxSteps in round %d; resyncing" t.index rs.round);
+          begin_resync t
+        end
+        else begin
+          t.hung <- true;
+          Log.warn (fun m -> m "node %d hung in round %d (MaxSteps)" t.index rs.round)
+        end)
     actions
 
 and deliver_to_ba (t : t) (rs : round_state) (v : Vote.t) : unit =
@@ -385,10 +490,37 @@ and resolve_and_complete (t : t) (rs : round_state) ~(value : string) : unit =
     | Some b -> complete_round t rs b
     | None ->
       (* BlockOfHash (Algorithm 3): we agreed on a hash whose pre-image
-         we never received; fetch it from peers. *)
-      broadcast t
-        (Message.Block_request
-           { round = rs.round; block_hash = value; requester = t.index })
+         we never received; fetch it from peers, re-asking on the
+         backoff schedule (rotating the peer) until the reply lands -
+         under message loss a single fire-and-forget request can vanish
+         and strand the round forever. *)
+      start_block_fetch t rs ~value
+  end
+
+and start_block_fetch (t : t) (rs : round_state) ~(value : string) : unit =
+  if rs.fetch = None then begin
+    let inc = t.incarnation in
+    let request n =
+      Message.Block_request
+        { round = rs.round; block_hash = value; requester = t.index; attempt = n }
+    in
+    rs.fetch <-
+      Some
+        (Retry.start ~engine:t.engine ~rng:t.rng ~policy:t.config.retry
+           ~attempt:(fun n ->
+             if t.incarnation = inc && not rs.completed then
+               if n = 0 then broadcast t (request n)
+               else begin
+                 Metrics.record_retry t.metrics;
+                 let msg = request n in
+                 match Gossip.peers (gossip t) t.index with
+                 | [] -> broadcast t msg
+                 | peers ->
+                   let dst = List.nth peers ((n - 1) mod List.length peers) in
+                   Gossip.send_to (gossip t) ~src:t.index ~dst
+                     ~bytes:(Message.size_bytes msg) msg
+               end)
+           ())
   end
 
 (* Pipelined completion at BinaryBA* return: append the block and start
@@ -438,6 +570,7 @@ and complete_round (t : t) (rs : round_state) (block : Block.t) : unit =
   if rs.completed then ()
   else begin
   rs.completed <- true;
+  cancel_fetch rs;
   let now = Engine.now t.engine in
   rs.record.final_done <- now;
   rs.record.final <- rs.decided_final;
@@ -476,11 +609,12 @@ and complete_round (t : t) (rs : round_state) (block : Block.t) : unit =
   (match t.on_round_complete with
   | Some f -> f t ~round:rs.round ~final:rs.decided_final
   | None -> ());
+  maybe_checkpoint t;
   if rs.round >= t.config.max_round then begin
     t.stopped <- true;
     t.current <- None
   end
-  else Engine.schedule t.engine ~delay:0.0 (fun () -> start_round t ~r:(rs.round + 1))
+  else sched t ~delay:0.0 (fun () -> start_round t ~r:(rs.round + 1))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -612,7 +746,7 @@ and on_proposal_window_closed (t : t) (rs : round_state) : unit =
         | Some h -> start_ba t rs ~hblock:h
         | None ->
           rs.waiting_for_block <- true;
-          Engine.schedule t.engine ~delay:t.config.params.lambda_block (fun () ->
+          sched t ~delay:t.config.params.lambda_block (fun () ->
               match t.current with
               | Some rs' when rs'.round = rs.round && rs.ba = None ->
                 start_ba t rs ~hblock:rs.empty_hash
@@ -621,13 +755,13 @@ and on_proposal_window_closed (t : t) (rs : round_state) : unit =
   end
 
 and start_round (t : t) ~(r : int) : unit =
-  if t.stopped || t.hung then ()
+  if t.stopped || t.hung || t.down || t.resync <> None then ()
   else begin
     let rs = make_round_state t ~r in
     t.current <- Some rs;
     try_propose t rs;
     let p = t.config.params in
-    Engine.schedule t.engine ~delay:(p.lambda_priority +. p.lambda_stepvar) (fun () ->
+    sched t ~delay:(p.lambda_priority +. p.lambda_stepvar) (fun () ->
         match t.current with
         | Some rs' when rs'.round = r -> on_proposal_window_closed t rs
         | _ -> ());
@@ -670,18 +804,66 @@ and validate_block (t : t) (rs : round_state) (b : Block.t) : bool =
 (* ------------------------------------------------------------------ *)
 
 and process_message (t : t) (msg : Message.t) : unit =
-  match t.recovering with
-  | Some recovery -> process_recovery_message t recovery msg
-  | None -> (
-    match t.current with
-    | None -> (
-      (* Stopped - but a pipelined final round may still be awaiting
-         its classification votes. *)
-      match (msg, t.previous) with
-      | Message.Ba_vote v, Some p when p.round = v.round && not p.classified ->
-        deliver_to_ba t p v
-      | _ -> ())
-    | Some rs -> process_normal_message t rs msg)
+  if t.down then ()
+  else begin
+    match msg with
+    | Message.Round_request { from_round; requester; attempt = _ } ->
+      (* Served from any live state except our own resync: chain and
+         certificates survive round and recovery transitions. *)
+      if t.resync = None then serve_round_request t ~from_round ~requester
+    | Message.Round_reply { to_; current_round; items } -> (
+      if to_ = t.index then begin
+        match t.resync with
+        | Some st -> process_round_reply t st ~current_round ~items
+        | None -> ()
+      end)
+    | Message.Block_request { round; block_hash; requester; attempt = _ } ->
+      (* Served independently of round state: a node that already
+         stopped (or moved on) must still answer a straggler's fetch,
+         or the last round's late deciders can never learn the block
+         they agreed on. *)
+      let reply b =
+        let m = Message.Block_reply b in
+        Gossip.send_to (gossip t) ~src:t.index ~dst:requester
+          ~bytes:(Message.size_bytes m) m
+      in
+      (match t.current with
+      | Some rs when round = rs.round -> (
+        match Hashtbl.find_opt rs.proposed_blocks block_hash with
+        | Some b -> reply b
+        | None -> ())
+      | _ -> (
+        (* Old rounds come out of sharded storage (section 8.3). *)
+        match Chain.find t.chain block_hash with
+        | Some e when serves_round t ~round:e.height -> reply e.block
+        | Some _ | None -> ()))
+    | _ -> (
+      match t.resync with
+      | Some _ -> (
+        (* Catching up: bank round-tagged traffic for replay once we
+           rejoin; everything else waits for the next request. *)
+        match msg with
+        | Message.Tx tx -> ignore (Txpool.add t.txpool tx)
+        | Message.Ba_vote v -> buffer t v.round msg
+        | Message.Priority p -> buffer t p.round msg
+        | Message.Block_gossip b | Message.Block_reply b ->
+          buffer t (Block.round b) msg
+        | _ -> ())
+      | None -> (
+        match t.recovering with
+        | Some recovery -> process_recovery_message t recovery msg
+        | None -> (
+          match t.current with
+          | None -> (
+            (* Stopped - but a pipelined final round may still be
+               awaiting its classification votes. *)
+            match (msg, t.previous) with
+            | Message.Ba_vote v, Some p when p.round = v.round && not p.classified
+              ->
+              deliver_to_ba t p v
+            | _ -> ())
+          | Some rs -> process_normal_message t rs msg)))
+  end
 
 and process_normal_message (t : t) (rs : round_state) (msg : Message.t) : unit =
   match msg with
@@ -720,7 +902,21 @@ and process_normal_message (t : t) (rs : round_state) (msg : Message.t) : unit =
         end
       end
     | Message.Ba_vote v ->
-      if v.round > rs.round then buffer t v.round msg
+      if v.round > rs.round then begin
+        buffer t v.round msg;
+        (* Votes two or more rounds ahead mean the network moved on
+           without us (one ahead is normal under pipelining): catch up
+           via certified history instead of waiting to hang. *)
+        if
+          t.config.resync_enabled && v.round > rs.round + 1 && t.resync = None
+          && t.recovering = None
+        then begin
+          Log.debug (fun m ->
+              m "node %d saw round-%d traffic while in round %d; resyncing"
+                t.index v.round rs.round);
+          begin_resync t
+        end
+      end
       else if v.round = rs.round then deliver_to_ba t rs v
       else begin
         (* With pipelining, the previous round's final-step votes are
@@ -729,31 +925,186 @@ and process_normal_message (t : t) (rs : round_state) (msg : Message.t) : unit =
         | Some p when p.round = v.round && not p.classified -> deliver_to_ba t p v
         | _ -> ()
       end
-    | Message.Block_request { round; block_hash; requester } ->
-      let reply b =
-        let m = Message.Block_reply b in
-        Gossip.send_to (gossip t) ~src:t.index ~dst:requester
-          ~bytes:(Message.size_bytes m) m
-      in
-      if round = rs.round then (
-        match Hashtbl.find_opt rs.proposed_blocks block_hash with
-        | Some b -> reply b
-        | None -> ())
-      else (
-        (* Old rounds come out of sharded storage (section 8.3). *)
-        match Chain.find t.chain block_hash with
-        | Some e when serves_round t ~round:e.height -> reply e.block
-        | Some _ | None -> ())
+    | Message.Block_request _ ->
+      (* Served in the state-independent dispatch above. *)
+      ()
     | Message.Fork_proposal _ ->
       (* Recovery ticks are clock-synchronized, so by the time a fork
          proposal arrives we are either recovering (handled above) or
          healthy and not interested. *)
+      ()
+    | Message.Round_request _ | Message.Round_reply _ ->
+      (* Handled before the per-round dispatch. *)
       ()
 
 and buffer (t : t) (round : int) (msg : Message.t) : unit =
   match Hashtbl.find_opt t.pending round with
   | Some l -> l := msg :: !l
   | None -> Hashtbl.replace t.pending round (ref [ msg ])
+
+(* ------------------------------------------------------------------ *)
+(* Live catch-up (restart rejoin and laggard resync).                  *)
+(*                                                                     *)
+(* Section 8.3's catch-up, run as an online protocol: the node asks    *)
+(* one peer at a time for the certified rounds above its tip, with     *)
+(* exponential backoff and peer rotation so a lossy network or a dead  *)
+(* peer only delays - never strands - the rejoin. Every reply is       *)
+(* re-validated against our own chain before it is grafted.            *)
+(* ------------------------------------------------------------------ *)
+
+and begin_resync (t : t) : unit =
+  (* Tear down any in-flight round: the incarnation bump silences every
+     timer armed for it, so the abandoned round cannot fire into the
+     rejoin. *)
+  t.incarnation <- t.incarnation + 1;
+  (match t.current with Some rs -> cancel_fetch rs | None -> ());
+  t.current <- None;
+  t.previous <- None;
+  t.hung <- false;
+  let st =
+    {
+      started_at = Engine.now t.engine;
+      target_round = (Chain.tip t.chain).height;
+      retry = None;
+      requests_sent = 0;
+      backtrack = 0;
+    }
+  in
+  t.resync <- Some st;
+  arm_resync_retry t st
+
+and arm_resync_retry (t : t) (st : resync_state) : unit =
+  (match st.retry with Some r -> Retry.cancel r | None -> ());
+  let inc = t.incarnation in
+  st.retry <-
+    Some
+      (Retry.start ~engine:t.engine ~rng:t.rng ~policy:t.config.retry
+         ~attempt:(fun _ ->
+           match t.resync with
+           | Some st' when st' == st && t.incarnation = inc ->
+             if st.requests_sent > 0 then Metrics.record_retry t.metrics;
+             send_round_request t st
+           | _ -> ())
+         ())
+
+and send_round_request (t : t) (st : resync_state) : unit =
+  let tip = Chain.tip t.chain in
+  (* [backtrack] re-requests rounds below our tip after unproductive
+     replies: a tip stranded on a dead tentative branch needs the
+     divergence point rediscovered from the certified history. *)
+  let from_round = max 1 (tip.height + 1 - st.backtrack) in
+  st.requests_sent <- st.requests_sent + 1;
+  let msg =
+    Message.Round_request
+      { from_round; requester = t.index; attempt = st.requests_sent }
+  in
+  let g = gossip t in
+  match Gossip.peers g t.index with
+  | [] -> broadcast t msg
+  | peers ->
+    let dst = List.nth peers ((st.requests_sent - 1) mod List.length peers) in
+    Gossip.send_to g ~src:t.index ~dst ~bytes:(Message.size_bytes msg) msg
+
+and serve_round_request (t : t) ~(from_round : int) ~(requester : int) : unit =
+  if requester <> t.index then begin
+    let tip = Chain.tip t.chain in
+    (* Bounded reply: at most 8 rounds per request; the requester asks
+       again from its new tip. Live rejoin ignores storage sharding -
+       a node always serves the recent rounds it still holds. *)
+    let upto = min tip.height (from_round + 7) in
+    let rec collect r acc =
+      if r > upto then List.rev acc
+      else begin
+        match
+          ( Chain.ancestor_at t.chain ~hash:tip.hash ~height:r,
+            Hashtbl.find_opt t.certificates r )
+        with
+        | Some e, Some c when String.equal c.Certificate.block_hash e.hash ->
+          collect (r + 1) ((e.block, c) :: acc)
+        | _ -> List.rev acc (* stop at the first gap: replies are contiguous *)
+      end
+    in
+    let items = if from_round < 1 then [] else collect from_round [] in
+    let current_round =
+      match t.current with Some rs -> rs.round | None -> tip.height + 1
+    in
+    let msg = Message.Round_reply { to_ = requester; current_round; items } in
+    Gossip.send_to (gossip t) ~src:t.index ~dst:requester
+      ~bytes:(Message.size_bytes msg) msg
+  end
+
+and process_round_reply (t : t) (st : resync_state) ~(current_round : int)
+    ~(items : (Block.t * Certificate.t) list) : unit =
+  st.target_round <- max st.target_round (current_round - 1);
+  let tip_before = (Chain.tip t.chain).hash in
+  List.iter (fun (b, c) -> graft_certified t b c) items;
+  let tip = Chain.tip t.chain in
+  if tip.height >= st.target_round then finish_resync t st
+  else if not (String.equal tip.hash tip_before) then begin
+    (* Progress: reset backoff and ask for the next batch right away. *)
+    st.backtrack <- 0;
+    arm_resync_retry t st
+  end
+  else
+    (* Nothing grafted: our tip may sit on a branch the network
+       abandoned. Widen the request window; the armed backoff timer
+       will send it. *)
+    st.backtrack <- min tip.height (max 1 (2 * st.backtrack))
+
+(* Validate and adopt one (block, certificate) pair from a reply. The
+   certificate is checked in the context derived from the block's own
+   parent (temporarily re-tipping the chain, since contexts are built
+   at the tip), so replies can also heal a fork: a certified sibling
+   of a block we hold tentatively replaces it as tip. *)
+and graft_certified (t : t) (b : Block.t) (c : Certificate.t) : unit =
+  let round = Block.round b in
+  if String.equal c.Certificate.block_hash (Block.hash b) then begin
+    match Chain.find t.chain (Block.prev_hash b) with
+    | Some parent when parent.height = round - 1 ->
+      let saved = (Chain.tip t.chain).hash in
+      Chain.set_tip t.chain parent.hash;
+      let ctx =
+        History.validation_ctx ~params:t.config.params
+          ~sig_scheme:t.config.sig_scheme ~vrf_scheme:t.config.vrf_scheme
+          ~chain:t.chain ~round
+      in
+      let restore () = Chain.set_tip t.chain saved in
+      (match Certificate.validate ~params:t.config.params ~ctx c with
+      | Error _ -> restore ()
+      | Ok () -> (
+        match Chain.add t.chain b with
+        | Ok e ->
+          Chain.set_tip t.chain e.hash;
+          Hashtbl.replace t.certificates round c
+        | Error `Duplicate -> (
+          match Chain.find t.chain (Block.hash b) with
+          | Some e ->
+            Chain.set_tip t.chain e.hash;
+            Hashtbl.replace t.certificates round c
+          | None -> restore ())
+        | Error (`Unknown_parent | `Wrong_round _ | `Invalid_tx _) -> restore ()))
+    | _ -> () (* unknown parent: backtracking will find the fork point *)
+  end
+
+and finish_resync (t : t) (st : resync_state) : unit =
+  (match st.retry with Some r -> Retry.cancel r | None -> ());
+  st.retry <- None;
+  t.resync <- None;
+  let latency = Engine.now t.engine -. st.started_at in
+  Metrics.record_rejoin t.metrics latency;
+  maybe_checkpoint t;
+  let tip = Chain.tip t.chain in
+  Log.debug (fun m ->
+      m "node %d resynced to round %d in %.2fs (%d requests)" t.index tip.height
+        latency st.requests_sent);
+  if tip.height >= t.config.max_round then begin
+    t.stopped <- true;
+    t.current <- None
+  end
+  else if t.recovering = None && not t.stopped then
+    sched t ~delay:0.0 (fun () ->
+        if t.resync = None && t.recovering = None && t.current = None then
+          start_round t ~r:((Chain.tip t.chain).height + 1))
 
 (* ------------------------------------------------------------------ *)
 (* Fork recovery (section 8.2).                                        *)
@@ -801,6 +1152,7 @@ and longest_leaf_above (t : t) (stable : Chain.entry) : Chain.entry =
 
 and engage_recovery (t : t) ~(attempt : int) : unit =
   t.hung <- false;
+  (match t.current with Some rs -> cancel_fetch rs | None -> ());
   t.current <- None;
   t.recovery_generation <- t.recovery_generation + 1;
   let stable = deepest_final t in
@@ -855,7 +1207,7 @@ and engage_recovery (t : t) ~(attempt : int) : unit =
     in
     consider_fork rs f;
     broadcast t (Message.Fork_proposal f));
-  Engine.schedule t.engine ~delay:(p.lambda_priority +. p.lambda_stepvar) (fun () ->
+  sched t ~delay:(p.lambda_priority +. p.lambda_stepvar) (fun () ->
       match t.recovering with
       | Some rs' when rs'.generation = rs.generation -> adopt_fork t rs
       | _ -> ())
@@ -976,7 +1328,7 @@ and apply_recovery_actions (t : t) (rs : recovery_state) (actions : Ba_star.acti
         broadcast t (Message.Ba_vote v);
         deliver_to_recovery_ba t rs v
       | Ba_star.Set_timer { token; delay } ->
-        Engine.schedule t.engine ~delay (fun () ->
+        sched t ~delay (fun () ->
             match (t.recovering, rs.rba) with
             | Some rs', Some ba when rs'.generation = rs.generation ->
               apply_recovery_actions t rs (Ba_star.handle ba (Ba_star.Timer token))
@@ -1007,9 +1359,10 @@ and finish_recovery (t : t) (rs : recovery_state) ~(value : string) : unit =
     Log.debug (fun m ->
         m "node %d recovered to round %d at %.1fs" t.index rs.fork_round
           (Engine.now t.engine));
+    maybe_checkpoint t;
     if rs.fork_round >= t.config.max_round then t.stopped <- true
     else
-      Engine.schedule t.engine ~delay:0.0 (fun () ->
+      sched t ~delay:0.0 (fun () ->
           if t.recovering = None && not t.stopped && t.current = None then
             start_round t ~r:(rs.fork_round + 1))
   end
@@ -1035,20 +1388,33 @@ and process_recovery_message (t : t) (rs : recovery_state) (msg : Message.t) : u
   | Message.Ba_vote v ->
     if rs.rba = None || v.round = rs.rvote_round then deliver_to_recovery_ba t rs v
   | Message.Priority _ | Message.Block_gossip _ | Message.Block_reply _
-  | Message.Block_request _ ->
+  | Message.Block_request _ | Message.Round_request _ | Message.Round_reply _ ->
     ()
 
 (* Gossip relay gating (section 8.4): validate what can be validated at
    our current round; relay plausible near-future messages so laggards
    do not partition the overlay; drop stale rounds. *)
 let gossip_validate (t : t) (msg : Message.t) : bool =
+  if t.down then false
+  else
+  match msg with
+  | Message.Round_request _ | Message.Round_reply _ ->
+    (* Point-to-point catch-up traffic: never relayed by the overlay,
+       but delivery still requires passing validation. *)
+    true
+  | _ when t.resync <> None ->
+    (* We are behind: everything current is plausibly ahead of us.
+       Relay it rather than partition the overlay around a laggard. *)
+    true
+  | _ -> (
   match (t.recovering, t.current) with
   | Some _, _ ->
     (* During recovery, relay recovery traffic and anything we cannot
        judge yet; regular-round traffic is stale by construction. *)
     (match msg with
     | Message.Tx _ | Message.Fork_proposal _ | Message.Ba_vote _
-    | Message.Block_request _ | Message.Block_reply _ ->
+    | Message.Block_request _ | Message.Block_reply _
+    | Message.Round_request _ | Message.Round_reply _ ->
       true
     | Message.Priority _ | Message.Block_gossip _ -> false)
   | None, None -> (
@@ -1058,6 +1424,10 @@ let gossip_validate (t : t) (msg : Message.t) : bool =
       match t.previous with
       | Some p when p.round = v.round && not p.classified -> vote_weight t p v > 0
       | _ -> false)
+    | Message.Block_request _ ->
+      (* A stopped node still serves block fetches: the last round's
+         late deciders depend on someone answering. *)
+      true
     | _ -> false)
   | None, Some rs -> (
     match msg with
@@ -1081,7 +1451,8 @@ let gossip_validate (t : t) (msg : Message.t) : bool =
         | Some p when p.round = v.round && not p.classified -> vote_weight t p v > 0
         | _ -> false)
     | Message.Block_request _ | Message.Block_reply _ -> true
-    | Message.Fork_proposal _ -> true)
+    | Message.Fork_proposal _ -> true
+    | Message.Round_request _ | Message.Round_reply _ -> true))
 
 (* CPU model: message processing is serialized through one core with a
    per-kind cost; with the default sub-millisecond costs this matters
@@ -1090,20 +1461,27 @@ let gossip_validate (t : t) (msg : Message.t) : bool =
 let cpu_cost (t : t) (msg : Message.t) : float =
   match msg with
   | Message.Ba_vote _ -> t.config.cpu_vote_verify_s
-  | Message.Block_gossip _ | Message.Block_reply _ | Message.Fork_proposal _ ->
+  | Message.Block_gossip _ | Message.Block_reply _ | Message.Fork_proposal _
+  | Message.Round_reply _ ->
     t.config.cpu_block_verify_s
-  | Message.Tx _ | Message.Priority _ | Message.Block_request _ -> 0.0
+  | Message.Tx _ | Message.Priority _ | Message.Block_request _
+  | Message.Round_request _ ->
+    0.0
 
 let deliver (t : t) ~(src : int) (msg : Message.t) : unit =
   ignore src;
-  let cost = cpu_cost t msg in
-  if cost <= 0.0 then process_message t msg
+  if t.down then ()
   else begin
-    let now = Engine.now t.engine in
-    let start = Float.max now t.cpu_free_at in
-    t.cpu_free_at <- start +. cost;
-    Engine.schedule t.engine ~delay:(start +. cost -. now) (fun () ->
-        process_message t msg)
+    let cost = cpu_cost t msg in
+    if cost <= 0.0 then process_message t msg
+    else begin
+      let now = Engine.now t.engine in
+      let start = Float.max now t.cpu_free_at in
+      t.cpu_free_at <- start +. cost;
+      (* Incarnation-guarded: a message sitting in the modeled CPU queue
+         when the node crashes must not surface after the restart. *)
+      sched t ~delay:(start +. cost -. now) (fun () -> process_message t msg)
+    end
   end
 
 let start (t : t) : unit =
@@ -1113,7 +1491,10 @@ let start (t : t) : unit =
     let interval = t.config.params.recovery_interval in
     let rec tick k () =
       if not t.stopped then begin
-        engage_recovery t ~attempt:k;
+        (* A crashed node misses its ticks; a resyncing one rejoins
+           through catch-up instead. The tick chain itself persists
+           across crashes (it belongs to the node, not a round). *)
+        if (not t.down) && t.resync = None then engage_recovery t ~attempt:k;
         Engine.at t.engine ~time:(float_of_int (k + 1) *. interval) (tick (k + 1))
       end
     in
@@ -1129,4 +1510,108 @@ let set_on_round_complete (t : t) f : unit = t.on_round_complete <- Some f
 (* Submit a transaction at this node (entering its pool and the gossip
    network), as a wallet would. *)
 let submit_tx (t : t) (tx : Transaction.t) : unit =
-  if Txpool.add t.txpool tx then broadcast t (Message.Tx tx)
+  if t.down then ()
+  else if Txpool.add t.txpool tx then broadcast t (Message.Tx tx)
+
+(* ------------------------------------------------------------------ *)
+(* Crash and restart.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A crash is total: every in-memory structure is dropped, exactly as a
+   killed process would lose them. Only [store_dir] (and the node's
+   keys, which real deployments keep on disk too) survives. The
+   incarnation bump makes every armed timer and queued CPU delivery
+   from this life a no-op. *)
+let crash (t : t) : unit =
+  if not t.down then begin
+    t.down <- true;
+    t.crash_count <- t.crash_count + 1;
+    t.incarnation <- t.incarnation + 1;
+    (match t.current with Some rs -> cancel_fetch rs | None -> ());
+    (match t.resync with
+    | Some st -> (match st.retry with Some r -> Retry.cancel r | None -> ())
+    | None -> ());
+    t.resync <- None;
+    t.current <- None;
+    t.previous <- None;
+    t.recovering <- None;
+    Hashtbl.reset t.pending;
+    Hashtbl.reset t.certificates;
+    Hashtbl.reset t.final_certificates;
+    t.chain <- Chain.create t.genesis;
+    t.txpool <- Txpool.create ();
+    t.cpu_free_at <- 0.0;
+    t.hung <- false;
+    t.stopped <- false;
+    t.last_checkpoint <- 0;
+    Metrics.record_crash t.metrics;
+    Log.debug (fun m -> m "node %d crashed at %.2fs" t.index (Engine.now t.engine))
+  end
+
+(* Restart: reload the durable checkpoint (never trusted - every
+   certificate is re-validated by History.replay, and a corrupt or
+   truncated tail costs only the tail), then rejoin through live
+   catch-up. *)
+let restart (t : t) : unit =
+  if t.down then begin
+    t.down <- false;
+    t.incarnation <- t.incarnation + 1;
+    t.cpu_free_at <- Engine.now t.engine;
+    Metrics.record_restart t.metrics;
+    (match t.config.store_dir with
+    | None -> ()
+    | Some dir ->
+      let items, err = Disk_store.load dir in
+      (match err with
+      | Some e ->
+        Log.debug (fun m ->
+            m "node %d: store truncated: %a" t.index Disk_store.pp_load_error e)
+      | None -> ());
+      (* Replay what validates; on a failure, retry with the prefix
+         below the offending round so a bad tail costs only the tail. *)
+      let rec replay_prefix items =
+        if items = [] then ()
+        else begin
+          match
+            History.replay ~params:t.config.params ~sig_scheme:t.config.sig_scheme
+              ~vrf_scheme:t.config.vrf_scheme ~genesis:t.genesis items
+          with
+          | Ok chain ->
+            t.chain <- chain;
+            List.iter
+              (fun ({ block; certificate } : History.item) ->
+                Hashtbl.replace t.certificates (Block.round block) certificate)
+              items;
+            t.last_checkpoint <- (Chain.tip chain).height
+          | Error e ->
+            Log.warn (fun m ->
+                m "node %d: checkpoint replay: %a" t.index History.pp_error e);
+            let bad =
+              match e with
+              | `Round (r, _) | `Chain (r, _) | `Hash_mismatch r -> r
+              | `Final_certificate _ -> 0
+            in
+            replay_prefix
+              (List.filter
+                 (fun ({ block; _ } : History.item) -> Block.round block < bad)
+                 items)
+        end
+      in
+      replay_prefix items);
+    Log.debug (fun m ->
+        m "node %d restarted at %.2fs with %d durable rounds" t.index
+          (Engine.now t.engine)
+          (Chain.tip t.chain).height);
+    if t.config.resync_enabled then begin_resync t
+    else begin
+      let tip = Chain.tip t.chain in
+      if tip.height >= t.config.max_round then t.stopped <- true
+      else start_round t ~r:(tip.height + 1)
+    end
+  end
+
+let is_down (t : t) : bool = t.down
+let is_resyncing (t : t) : bool = t.resync <> None
+let is_stopped (t : t) : bool = t.stopped
+let crash_count (t : t) : int = t.crash_count
+let incarnation (t : t) : int = t.incarnation

@@ -11,6 +11,8 @@ module Transaction = Algorand_ledger.Transaction
 module Params = Algorand_ba.Params
 module Engine = Algorand_sim.Engine
 module Metrics = Algorand_sim.Metrics
+module Retry = Algorand_sim.Retry
+module Rng = Algorand_sim.Rng
 module Gossip = Algorand_netsim.Gossip
 
 type byzantine = {
@@ -35,6 +37,16 @@ type config = {
   pipeline_final : bool;
       (** overlap the final-step classification with the next round's
           proposal (the throughput optimization of section 10.2) *)
+  resync_enabled : bool;
+      (** rejoin via live catch-up (Round_request / Round_reply with
+          retry, backoff and peer rotation) after a restart, on
+          MaxSteps, or when the network is observed >= 2 rounds ahead *)
+  store_dir : string option;
+      (** durable checkpoint directory; [None] disables persistence *)
+  checkpoint_every : int;
+      (** checkpoint every k completed rounds (when [store_dir] is set) *)
+  retry : Retry.policy;
+      (** backoff for block-fetch and catch-up requests *)
 }
 
 val default_config : config
@@ -47,7 +59,9 @@ val create :
   config:config ->
   engine:Engine.t ->
   metrics:Metrics.t ->
+  ?rng:Rng.t ->
   genesis:Genesis.t ->
+  unit ->
   t
 
 val set_gossip : t -> Message.t Gossip.t -> unit
@@ -65,6 +79,29 @@ val round : t -> int
 val is_hung : t -> bool
 val is_recovering : t -> bool
 val recoveries_completed : t -> int
+
+val crash : t -> unit
+(** Kill the node: all in-memory state is dropped (chain, pools, round
+    machines, buffered messages); armed timers and queued deliveries
+    from this life become no-ops. Only the durable store survives.
+    No-op if already down. *)
+
+val restart : t -> unit
+(** Bring a crashed node back: reload and re-validate the durable
+    checkpoint (a corrupt or truncated tail costs only the tail), then
+    rejoin via live catch-up ([resync_enabled]) or by starting the next
+    round directly. No-op if not down. *)
+
+val is_down : t -> bool
+val is_resyncing : t -> bool
+val is_stopped : t -> bool
+
+val crash_count : t -> int
+(** Crashes suffered so far. *)
+
+val incarnation : t -> int
+(** Bumped on crash, restart and resync teardown; timers armed under an
+    older incarnation never fire. *)
 
 val certificate : t -> round:int -> Certificate.t option
 (** The certificate assembled for an agreed round (section 8.3). *)

@@ -23,6 +23,21 @@ let uniform_loss ~(rng : Algorand_sim.Rng.t) ~(p : float) : 'msg Network.adversa
  fun ~now:_ ~src:_ ~dst:_ _ ->
   if Algorand_sim.Rng.float rng 1.0 < p then Network.Drop else Network.Deliver
 
+(* Deliver each message twice with probability [p], the two copies
+   independently delayed by uniform draws from [0, window). Exercises
+   the overlay's at-most-once relay and the receivers' stateful
+   re-validation (a retransmitting WAN, or a replaying attacker). *)
+let duplicate ~(rng : Algorand_sim.Rng.t) ~(p : float) ~(window : float) :
+    'msg Network.adversary =
+ fun ~now:_ ~src:_ ~dst:_ _ ->
+  if Algorand_sim.Rng.float rng 1.0 < p then
+    Network.Duplicate
+      {
+        first = Algorand_sim.Rng.float rng window;
+        second = Algorand_sim.Rng.float rng window;
+      }
+  else Network.Deliver
+
 (* Add [extra] seconds of delay to every message (degraded WAN). *)
 let uniform_delay ~(extra : float) : 'msg Network.adversary =
  fun ~now:_ ~src:_ ~dst:_ _ -> Network.Delay extra

@@ -12,6 +12,11 @@ val target_nodes :
 val uniform_loss : rng:Algorand_sim.Rng.t -> p:float -> 'msg Network.adversary
 val uniform_delay : extra:float -> 'msg Network.adversary
 
+val duplicate :
+  rng:Algorand_sim.Rng.t -> p:float -> window:float -> 'msg Network.adversary
+(** With probability [p] deliver a message twice, the two copies
+    independently delayed by uniform draws from [\[0, window)]. *)
+
 val hold_until : release:float -> 'msg Network.adversary
 (** Full adversarial scheduling: delay (not drop) everything until
     [release] - the asynchronous period of weak synchrony. *)

@@ -16,6 +16,10 @@ type 'msg config = {
       (** [validate node msg]: relay (and deliver) only if true. *)
   deliver : int -> src:int -> 'msg -> unit;
   fanout : int;  (** outgoing peers per node; the paper uses 4 (8 total with inbound) *)
+  point_to_point : 'msg -> bool;
+      (** addressed messages (catch-up requests and their replies):
+          delivered and deduplicated like everything else but never
+          relayed onward *)
 }
 
 type 'msg t = {
@@ -81,9 +85,10 @@ let create ~(net : 'msg Network.t) ~(rng : Rng.t) ~(weights : float array)
     else begin
       Hashtbl.replace t.seen.(node) id ();
       config.deliver node ~src msg;
-      List.iter
-        (fun peer -> if peer <> src then Network.send net ~src:node ~dst:peer ~bytes:sz msg)
-        t.peers.(node)
+      if not (config.point_to_point msg) then
+        List.iter
+          (fun peer -> if peer <> src then Network.send net ~src:node ~dst:peer ~bytes:sz msg)
+          t.peers.(node)
     end
   in
   for node = 0 to n - 1 do
@@ -107,6 +112,31 @@ let flush_seen (t : 'msg t) : unit = Array.iter Hashtbl.reset t.seen
    peers each round", healing nodes that landed in a disconnected
    component). In-flight messages are unaffected. *)
 let redraw (t : 'msg t) ~(weights : float array) : unit = draw_peers t ~weights
+
+(* Re-link a single (rejoining) node: sever its old links, clear its
+   dedup state - a fresh process knows nothing it has relayed - and
+   draw it a fresh set of weighted bidirectional peers. Everyone else's
+   links are untouched. *)
+let relink (t : 'msg t) ~(node : int) ~(weights : float array) : unit =
+  Hashtbl.reset t.seen.(node);
+  let n = Network.nodes t.net in
+  for i = 0 to n - 1 do
+    if i <> node then t.peers.(i) <- List.filter (fun p -> p <> node) t.peers.(i)
+  done;
+  let budget = min t.config.fanout (n - 1) in
+  let chosen = Hashtbl.create 8 in
+  let attempts = ref 0 in
+  while Hashtbl.length chosen < budget && !attempts < 50 * budget do
+    incr attempts;
+    let candidate = Rng.weighted_index t.rng weights in
+    if candidate <> node then Hashtbl.replace chosen candidate ()
+  done;
+  let links = Hashtbl.fold (fun k () acc -> k :: acc) chosen [] in
+  t.peers.(node) <- links;
+  List.iter
+    (fun peer ->
+      if not (List.mem node t.peers.(peer)) then t.peers.(peer) <- node :: t.peers.(peer))
+    links
 
 let duplicates_dropped (t : 'msg t) : int = t.duplicates_dropped
 let invalid_dropped (t : 'msg t) : int = t.invalid_dropped

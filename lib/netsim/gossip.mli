@@ -10,6 +10,8 @@ type 'msg config = {
           of a message they rejected. *)
   deliver : int -> src:int -> 'msg -> unit;
   fanout : int;  (** connections initiated per node (the paper uses 4) *)
+  point_to_point : 'msg -> bool;
+      (** addressed messages: delivered and deduplicated, never relayed *)
 }
 
 type 'msg t
@@ -31,6 +33,11 @@ val mark_seen : 'msg t -> node:int -> 'msg -> unit
 val redraw : 'msg t -> weights:float array -> unit
 (** Replace every node's peers (section 8.4: peers are re-drawn each
     round, healing disconnected components). *)
+
+val relink : 'msg t -> node:int -> weights:float array -> unit
+(** Re-link a single rejoining node: sever its old links, clear its
+    dedup state, and draw it fresh weighted bidirectional peers.
+    Everyone else's links are untouched. *)
 
 val flush_seen : 'msg t -> unit
 val duplicates_dropped : 'msg t -> int

@@ -10,7 +10,12 @@
 
 open Algorand_sim
 
-type 'msg action = Deliver | Drop | Delay of float
+type 'msg action =
+  | Deliver
+  | Drop
+  | Delay of float
+  | Duplicate of { first : float; second : float }
+      (** deliver two copies, each with its own extra delay *)
 
 type 'msg adversary = now:float -> src:int -> dst:int -> 'msg -> 'msg action
 
@@ -20,6 +25,7 @@ type 'msg t = {
   bandwidth_bps : float;  (** uplink capacity per process, bits/second *)
   uplink_free_at : float array;
   handlers : (src:int -> bytes:int -> 'msg -> unit) option array;
+  up : bool array;  (** crashed processes neither send nor receive *)
   mutable adversary : 'msg adversary;
   mutable messages_sent : int;
   mutable bytes_sent : float;
@@ -38,6 +44,7 @@ let create ?(bandwidth_bps = 20e6) ?on_send ?on_receive ~(engine : Engine.t)
     bandwidth_bps;
     uplink_free_at = Array.make n 0.0;
     handlers = Array.make n None;
+    up = Array.make n true;
     adversary = no_adversary;
     messages_sent = 0;
     bytes_sent = 0.0;
@@ -52,12 +59,18 @@ let set_adversary (t : 'msg t) (a : 'msg adversary) : unit = t.adversary <- a
 
 let nodes (t : 'msg t) : int = Array.length t.handlers
 
+(* Crash/restart visibility: a down process's sends are suppressed and
+   deliveries to it are dropped - including messages already in flight
+   when it went down (checked at delivery time). *)
+let set_up (t : 'msg t) (node : int) (up : bool) : unit = t.up.(node) <- up
+let is_up (t : 'msg t) (node : int) : bool = t.up.(node)
+
 (* Send [msg] of [bytes] from [src] to [dst]. The sender's uplink is
    occupied for the serialization time regardless of what the adversary
    later does to the packet (dropping happens in the network, not at
    the sender). *)
 let send (t : 'msg t) ~(src : int) ~(dst : int) ~(bytes : int) (msg : 'msg) : unit =
-  if src = dst then ()
+  if src = dst || not t.up.(src) then ()
   else begin
     let now = Engine.now t.engine in
     let tx_time = float_of_int (8 * bytes) /. t.bandwidth_bps in
@@ -69,14 +82,19 @@ let send (t : 'msg t) ~(src : int) ~(dst : int) ~(bytes : int) (msg : 'msg) : un
     let latency = Topology.latency t.topology ~src ~dst in
     let base_arrival = start +. tx_time +. latency in
     let deliver () =
-      match t.handlers.(dst) with
-      | Some h ->
-        (match t.on_receive with Some f -> f ~dst ~bytes | None -> ());
-        h ~src ~bytes msg
-      | None -> ()
+      if t.up.(dst) then begin
+        match t.handlers.(dst) with
+        | Some h ->
+          (match t.on_receive with Some f -> f ~dst ~bytes | None -> ());
+          h ~src ~bytes msg
+        | None -> ()
+      end
     in
     match t.adversary ~now ~src ~dst msg with
     | Drop -> ()
     | Deliver -> Engine.at t.engine ~time:base_arrival deliver
     | Delay extra -> Engine.at t.engine ~time:(base_arrival +. extra) deliver
+    | Duplicate { first; second } ->
+      Engine.at t.engine ~time:(base_arrival +. first) deliver;
+      Engine.at t.engine ~time:(base_arrival +. second) deliver
   end

@@ -4,7 +4,13 @@
 
 open Algorand_sim
 
-type 'msg action = Deliver | Drop | Delay of float
+type 'msg action =
+  | Deliver
+  | Drop
+  | Delay of float
+  | Duplicate of { first : float; second : float }
+      (** deliver two copies, each with its own extra delay *)
+
 type 'msg adversary = now:float -> src:int -> dst:int -> 'msg -> 'msg action
 
 type 'msg t
@@ -26,7 +32,14 @@ val set_handler : 'msg t -> int -> (src:int -> bytes:int -> 'msg -> unit) -> uni
 val set_adversary : 'msg t -> 'msg adversary -> unit
 val nodes : 'msg t -> int
 
+val set_up : 'msg t -> int -> bool -> unit
+(** Crash/restart visibility: a down process's sends are suppressed and
+    deliveries to it (including messages already in flight when it went
+    down) are dropped. All processes start up. *)
+
+val is_up : 'msg t -> int -> bool
+
 val send : 'msg t -> src:int -> dst:int -> bytes:int -> 'msg -> unit
 (** Occupies the sender's uplink for the serialization time; the
-    adversary is consulted after the send is committed. Self-sends are
-    dropped. *)
+    adversary is consulted after the send is committed. Self-sends and
+    sends from down processes are dropped. *)

@@ -27,6 +27,11 @@ type t = {
   mutable bytes_received : float array;
   mutable step_durations : float list;  (** per (user, round, step) wall time *)
   mutable priority_gossip_times : float list;  (** proposer priority msg propagation *)
+  mutable crashes : int;  (** node crashes injected *)
+  mutable restarts : int;  (** nodes brought back up *)
+  mutable rejoin_latencies : float list;
+      (** restart (or lag detection) to BA* rejoin, sim-seconds *)
+  mutable retry_attempts : int;  (** re-issued requests (block fetch + catch-up) *)
 }
 
 let create ~(users : int) : t =
@@ -36,6 +41,10 @@ let create ~(users : int) : t =
     bytes_received = Array.make users 0.0;
     step_durations = [];
     priority_gossip_times = [];
+    crashes = 0;
+    restarts = 0;
+    rejoin_latencies = [];
+    retry_attempts = 0;
   }
 
 let start_round (t : t) ~(user : int) ~(round : int) ~(now : float) : round_record =
@@ -65,6 +74,14 @@ let record_step_duration (t : t) (d : float) : unit =
 
 let record_priority_gossip (t : t) (d : float) : unit =
   t.priority_gossip_times <- d :: t.priority_gossip_times
+
+let record_crash (t : t) : unit = t.crashes <- t.crashes + 1
+let record_restart (t : t) : unit = t.restarts <- t.restarts + 1
+
+let record_rejoin (t : t) (latency : float) : unit =
+  t.rejoin_latencies <- latency :: t.rejoin_latencies
+
+let record_retry (t : t) : unit = t.retry_attempts <- t.retry_attempts + 1
 
 (* Completed-round durations for a given round across users. *)
 let round_completion_times (t : t) ~(round : int) : float list =

@@ -1,0 +1,81 @@
+(* Reusable retry schedule: exponential backoff with jitter over the
+   simulation engine. One instance covers one outstanding request
+   ("get this block", "catch me up"); the caller's [attempt] callback
+   receives the attempt index so it can rotate through peers, and
+   cancels the schedule when the response lands.
+
+   Attempt 0 fires synchronously inside [start]; attempt n waits
+   base * multiplier^(n-1) (capped at [max_delay]) perturbed by a
+   uniform +-[jitter] fraction, so a cohort of restarting nodes does
+   not re-request in lockstep. *)
+
+type policy = {
+  base_delay : float;  (** delay before the first retry (attempt 1) *)
+  multiplier : float;  (** backoff factor per further attempt *)
+  max_delay : float;  (** backoff cap *)
+  jitter : float;  (** fractional jitter: delay *= 1 + U(-jitter, +jitter) *)
+  max_attempts : int;  (** give up after this many attempts; 0 = never *)
+}
+
+let default_policy =
+  { base_delay = 2.0; multiplier = 2.0; max_delay = 30.0; jitter = 0.2; max_attempts = 0 }
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  policy : policy;
+  attempt : int -> unit;
+  on_exhausted : (unit -> unit) option;
+  mutable attempts : int;  (** attempts fired so far *)
+  mutable active : bool;
+  mutable generation : int;  (** invalidates timers armed before a cancel *)
+}
+
+let delay_before (t : t) ~(n : int) : float =
+  let d = t.policy.base_delay *. (t.policy.multiplier ** float_of_int (n - 1)) in
+  let d = Float.min d t.policy.max_delay in
+  if t.policy.jitter <= 0.0 then d
+  else d *. (1.0 +. (t.policy.jitter *. ((2.0 *. Rng.float t.rng 1.0) -. 1.0)))
+
+let rec arm (t : t) : unit =
+  let n = t.attempts in
+  if t.policy.max_attempts > 0 && n >= t.policy.max_attempts then begin
+    t.active <- false;
+    match t.on_exhausted with Some f -> f () | None -> ()
+  end
+  else begin
+    let gen = t.generation in
+    let fire () =
+      if t.active && t.generation = gen then begin
+        t.attempts <- n + 1;
+        t.attempt n;
+        (* The callback may have cancelled us (response already in). *)
+        if t.active then arm t
+      end
+    in
+    if n = 0 then fire () else Engine.schedule t.engine ~delay:(delay_before t ~n) fire
+  end
+
+let start ~(engine : Engine.t) ~(rng : Rng.t) ~(policy : policy)
+    ~(attempt : int -> unit) ?on_exhausted () : t =
+  let t =
+    {
+      engine;
+      rng;
+      policy;
+      attempt;
+      on_exhausted;
+      attempts = 0;
+      active = true;
+      generation = 0;
+    }
+  in
+  arm t;
+  t
+
+let cancel (t : t) : unit =
+  t.active <- false;
+  t.generation <- t.generation + 1
+
+let active (t : t) : bool = t.active
+let attempts (t : t) : int = t.attempts

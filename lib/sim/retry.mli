@@ -1,0 +1,33 @@
+(** Retry schedule with exponential backoff and jitter over the
+    simulation engine. One instance covers one outstanding request; the
+    [attempt] callback gets the attempt index (0, 1, 2, ...) so callers
+    can rotate peers, and {!cancel} stops the schedule once the
+    response lands. Attempt 0 fires synchronously inside {!start}. *)
+
+type policy = {
+  base_delay : float;  (** delay before the first retry (attempt 1) *)
+  multiplier : float;  (** backoff factor per further attempt *)
+  max_delay : float;  (** backoff cap *)
+  jitter : float;  (** fractional jitter: delay *= 1 + U(-jitter, +jitter) *)
+  max_attempts : int;  (** give up after this many attempts; 0 = never *)
+}
+
+val default_policy : policy
+
+type t
+
+val start :
+  engine:Engine.t ->
+  rng:Rng.t ->
+  policy:policy ->
+  attempt:(int -> unit) ->
+  ?on_exhausted:(unit -> unit) ->
+  unit ->
+  t
+
+val cancel : t -> unit
+(** Stop retrying (response landed or the request was abandoned).
+    Idempotent; armed timers become no-ops. *)
+
+val active : t -> bool
+val attempts : t -> int

@@ -73,7 +73,7 @@ let all_kinds () =
   roundtrip (Message.Block_gossip (sample_block ~txs:[ sample_tx 1; sample_tx 2 ] ~padding:77));
   roundtrip (Message.Block_reply (sample_block ~txs:[] ~padding:0));
   roundtrip (Message.Ba_vote (sample_vote (Vote.Bin 4)));
-  roundtrip (Message.Block_request { round = 5; block_hash = h32 "b"; requester = 12 });
+  roundtrip (Message.Block_request { round = 5; block_hash = h32 "b"; requester = 12; attempt = 2 });
   roundtrip
     (Message.Fork_proposal
        {

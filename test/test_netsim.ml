@@ -93,6 +93,7 @@ let gossip_reaches_everyone () =
       validate = (fun _ _ -> true);
       deliver = (fun node ~src:_ _ -> got.(node) <- true);
       fanout = 4;
+      point_to_point = (fun _ -> false);
     }
   in
   let g =
@@ -120,6 +121,7 @@ let gossip_invalid_not_relayed () =
       validate = (fun _ m -> m <> "bad");
       deliver = (fun node ~src:_ _ -> got.(node) <- true);
       fanout = 4;
+      point_to_point = (fun _ -> false);
     }
   in
   let g = Gossip.create ~net ~rng:(Rng.create 9) ~weights:(Array.make n 1.0) config in
@@ -140,6 +142,7 @@ let gossip_direct_send () =
       validate = (fun _ _ -> true);
       deliver = (fun node ~src:_ m -> if node = 2 then got := m);
       fanout = 2;
+      point_to_point = (fun _ -> false);
     }
   in
   let g = Gossip.create ~net ~rng:(Rng.create 11) ~weights:(Array.make 3 1.0) config in
@@ -206,7 +209,8 @@ let adversary_reorder_bounded () =
     List.init 50 (fun i ->
         match adv ~now:0.0 ~src:0 ~dst:1 i with
         | Network.Delay d -> d
-        | Network.Deliver | Network.Drop -> Alcotest.fail "reorder must only delay")
+        | Network.Deliver | Network.Drop | Network.Duplicate _ ->
+          Alcotest.fail "reorder must only delay")
   in
   let ds = sample 21 in
   List.iter
@@ -244,6 +248,7 @@ let gossip_redraw_keeps_connectivity () =
       validate = (fun _ _ -> true);
       deliver = (fun node ~src:_ _ -> got.(node) <- true);
       fanout = 4;
+      point_to_point = (fun _ -> false);
     }
   in
   let weights = Array.make n 1.0 in
@@ -268,6 +273,7 @@ let gossip_bidirectional_degree () =
       validate = (fun _ _ -> true);
       deliver = (fun _ ~src:_ _ -> ());
       fanout = 4;
+      point_to_point = (fun _ -> false);
     }
   in
   let g = Gossip.create ~net ~rng:(Rng.create 18) ~weights:(Array.make n 1.0) config in
@@ -280,6 +286,160 @@ let gossip_bidirectional_degree () =
   let mean = float_of_int total /. float_of_int n in
   Alcotest.(check bool) (Printf.sprintf "mean degree %.1f near 8" mean) true
     (mean > 6.0 && mean < 10.0)
+
+let adversary_duplicate () =
+  (* duplicate delivers two copies with probability p: expect about
+     400 * 1.5 arrivals at p = 0.5. *)
+  let engine = Engine.create () in
+  let topo = Topology.create ~nodes:2 (Rng.create 22) in
+  let net = Network.create ~engine ~topology:topo () in
+  let got = ref 0 in
+  Network.set_handler net 1 (fun ~src:_ ~bytes:_ () -> incr got);
+  Network.set_adversary net
+    (Adversary.duplicate ~rng:(Rng.create 23) ~p:0.5 ~window:0.1);
+  for _ = 1 to 400 do
+    Network.send net ~src:0 ~dst:1 ~bytes:8 ()
+  done;
+  ignore (Engine.run engine ());
+  Alcotest.(check bool) (Printf.sprintf "about 1.5x delivered (%d/400)" !got) true
+    (!got > 520 && !got < 680)
+
+let gossip_at_most_once_under_dup_loss () =
+  (* Relay dedup (section 8.4) must hold when the network both loses
+     and duplicates packets: every node sees each message id at most
+     once, and validation is re-run only on first receipt. *)
+  let n = 30 in
+  let engine = Engine.create () in
+  let topo = Topology.create ~nodes:n (Rng.create 24) in
+  let net = Network.create ~engine ~topology:topo () in
+  Network.set_adversary net
+    (Adversary.compose
+       [
+         Adversary.uniform_loss ~rng:(Rng.create 25) ~p:0.15;
+         Adversary.duplicate ~rng:(Rng.create 26) ~p:0.4 ~window:0.2;
+       ]);
+  let deliveries = Array.make n 0 in
+  let validations = Array.make n 0 in
+  let config : string Gossip.config =
+    {
+      msg_id = (fun m -> m);
+      validate =
+        (fun node _ ->
+          validations.(node) <- validations.(node) + 1;
+          true);
+      deliver = (fun node ~src:_ _ -> deliveries.(node) <- deliveries.(node) + 1);
+      fanout = 4;
+      point_to_point = (fun _ -> false);
+    }
+  in
+  let g = Gossip.create ~net ~rng:(Rng.create 27) ~weights:(Array.make n 1.0) config in
+  Gossip.broadcast g ~node:0 ~bytes:64 "payload";
+  ignore (Engine.run engine ());
+  Array.iteri
+    (fun i d ->
+      Alcotest.(check bool) (Printf.sprintf "node %d delivered %d <= 1" i d) true (d <= 1);
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d validated once per accept (%d)" i validations.(i))
+        true
+        (validations.(i) <= 1 || d <= 1))
+    deliveries;
+  let reached = Array.fold_left ( + ) 0 deliveries in
+  Alcotest.(check bool) (Printf.sprintf "gossip still spreads (%d/30)" reached) true
+    (reached >= 20);
+  Alcotest.(check bool) "duplicates were dropped by dedup" true
+    (Gossip.duplicates_dropped g > 0)
+
+let network_down_node_unreachable () =
+  let engine = Engine.create () in
+  let topo = Topology.create ~nodes:2 (Rng.create 28) in
+  let net = Network.create ~engine ~topology:topo () in
+  let got = ref 0 in
+  Network.set_handler net 1 (fun ~src:_ ~bytes:_ () -> incr got);
+  (* Down before send: dropped at the source. *)
+  Network.set_up net 1 false;
+  Alcotest.(check bool) "is_up reflects state" false (Network.is_up net 1);
+  Network.send net ~src:0 ~dst:1 ~bytes:8 ();
+  ignore (Engine.run engine ());
+  Alcotest.(check int) "down dst got nothing" 0 !got;
+  (* Crash while a message is in flight: it is lost, not queued. *)
+  Network.set_up net 1 true;
+  Network.send net ~src:0 ~dst:1 ~bytes:8 ();
+  Network.set_up net 1 false;
+  ignore (Engine.run engine ());
+  Alcotest.(check int) "in-flight message lost at crash" 0 !got;
+  (* Back up: new traffic flows. *)
+  Network.set_up net 1 true;
+  Network.send net ~src:0 ~dst:1 ~bytes:8 ();
+  ignore (Engine.run engine ());
+  Alcotest.(check int) "delivered after restart" 1 !got;
+  (* A down *sender* cannot send either. *)
+  Network.set_up net 0 false;
+  Network.send net ~src:0 ~dst:1 ~bytes:8 ();
+  ignore (Engine.run engine ());
+  Alcotest.(check int) "down src sends nothing" 1 !got
+
+let gossip_relink_rejoins () =
+  let n = 20 in
+  let engine = Engine.create () in
+  let topo = Topology.create ~nodes:n (Rng.create 29) in
+  let net = Network.create ~engine ~topology:topo () in
+  let got = Array.make n 0 in
+  let config : string Gossip.config =
+    {
+      msg_id = (fun m -> m);
+      validate = (fun _ _ -> true);
+      deliver = (fun node ~src:_ _ -> got.(node) <- got.(node) + 1);
+      fanout = 4;
+      point_to_point = (fun _ -> false);
+    }
+  in
+  let weights = Array.make n 1.0 in
+  let g = Gossip.create ~net ~rng:(Rng.create 30) ~weights config in
+  (* Simulate a restart of node 5: relink clears its dedup memory and
+     gives it fresh bidirectional links. *)
+  Gossip.relink g ~node:5 ~weights;
+  Alcotest.(check bool) "rejoiner has peers" true
+    (List.length (Gossip.peers g 5) >= 4);
+  (* Its peers link back, so relays reach it. *)
+  let back =
+    List.exists (fun p -> List.mem 5 (Gossip.peers g p)) (Gossip.peers g 5)
+  in
+  Alcotest.(check bool) "peers link back" true back;
+  Gossip.broadcast g ~node:0 ~bytes:32 "post-relink";
+  ignore (Engine.run engine ());
+  Alcotest.(check bool) "rejoiner hears broadcasts" true (got.(5) = 1);
+  (* Relink cleared the seen table: the same id, sent directly, is
+     accepted again (the restarted process genuinely forgot it) - and
+     deduped again after that first re-receipt. *)
+  Gossip.relink g ~node:5 ~weights;
+  Gossip.send_to g ~src:0 ~dst:5 ~bytes:32 "post-relink";
+  Gossip.send_to g ~src:0 ~dst:5 ~bytes:32 "post-relink";
+  ignore (Engine.run engine ());
+  Alcotest.(check int) "forgotten id re-delivered once" 2 got.(5)
+
+let gossip_point_to_point_not_relayed () =
+  let n = 20 in
+  let engine = Engine.create () in
+  let topo = Topology.create ~nodes:n (Rng.create 31) in
+  let net = Network.create ~engine ~topology:topo () in
+  let got = Array.make n 0 in
+  let config : string Gossip.config =
+    {
+      msg_id = (fun m -> m);
+      validate = (fun _ _ -> true);
+      deliver = (fun node ~src:_ _ -> got.(node) <- got.(node) + 1);
+      fanout = 4;
+      point_to_point = (fun m -> String.length m > 0 && m.[0] = 'p');
+    }
+  in
+  let g = Gossip.create ~net ~rng:(Rng.create 32) ~weights:(Array.make n 1.0) config in
+  (* A point-to-point message delivered to a direct peer must stop
+     there, not flood the overlay. *)
+  let dst = List.hd (Gossip.peers g 0) in
+  Gossip.send_to g ~src:0 ~dst ~bytes:16 "p2p-request";
+  ignore (Engine.run engine ());
+  Alcotest.(check int) "only the addressee got it" 1 (Array.fold_left ( + ) 0 got);
+  Alcotest.(check int) "and it was the addressee" 1 got.(dst)
 
 let topology_jitter_varies () =
   let rng = Rng.create 19 in
@@ -297,6 +457,11 @@ let suite =
         t "adversary compose ordering semantics" adversary_compose_ordering;
         t "adversary reorder bounded + deterministic" adversary_reorder_bounded;
         t "adversary uniform loss" adversary_uniform_loss;
+        t "adversary duplicate" adversary_duplicate;
+        t "gossip at-most-once under dup+loss" gossip_at_most_once_under_dup_loss;
+        t "network down node unreachable" network_down_node_unreachable;
+        t "gossip relink rejoins" gossip_relink_rejoins;
+        t "gossip point-to-point not relayed" gossip_point_to_point_not_relayed;
         t "gossip redraw keeps connectivity" gossip_redraw_keeps_connectivity;
         t "gossip bidirectional degree" gossip_bidirectional_degree;
         t "topology jitter varies" topology_jitter_varies;

@@ -102,7 +102,7 @@ let message_ids () =
     [
       Message.id (Message.Tx tx);
       Message.id (Message.Block_gossip b);
-      Message.id (Message.Block_request { round = 1; block_hash = "h"; requester = 0 });
+      Message.id (Message.Block_request { round = 1; block_hash = "h"; requester = 0; attempt = 0 });
       Message.id (Message.Block_reply b);
     ]
   in

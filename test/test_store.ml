@@ -79,8 +79,8 @@ let save_load_replay () =
       Alcotest.(check (list int)) "stored rounds" [ 1; 2; 3 ] (Disk_store.stored_rounds dir);
       Alcotest.(check bool) "nonzero size" true (Disk_store.size_bytes dir > 1000);
       match Disk_store.load dir ~up_to_round:3 with
-      | Error e -> Alcotest.failf "load: %a" Disk_store.pp_load_error e
-      | Ok loaded -> (
+      | _, Some e -> Alcotest.failf "load: %a" Disk_store.pp_load_error e
+      | loaded, None -> (
         match
           Catchup.replay ~params:config.params ~sig_scheme:Signature_scheme.sim
             ~vrf_scheme:Vrf.sim ~genesis:r.harness.genesis loaded
@@ -100,19 +100,26 @@ let corrupt_store_rejected () =
                List.for_all (fun round -> Node.certificate n ~round <> None) [ 1; 2; 3 ])
       in
       Disk_store.save dir (Catchup.collect node ~up_to_round:3);
-      (* Truncate one block file: load must fail cleanly. *)
+      (* Truncate one block file: load keeps the valid prefix (round 1)
+         and reports where and why the scan stopped. *)
       let victim = Filename.concat dir "000002.block" in
       let oc = open_out_bin victim in
       output_string oc "garbage";
       close_out oc;
       (match Disk_store.load dir ~up_to_round:3 with
-      | Error (`Corrupt 2) -> ()
-      | Error e -> Alcotest.failf "unexpected: %a" Disk_store.pp_load_error e
-      | Ok _ -> Alcotest.fail "corrupt block decoded");
-      (* Remove a round entirely. *)
+      | prefix, Some (`Corrupt 2) ->
+        Alcotest.(check (list int)) "prefix before corruption" [ 1 ]
+          (List.map
+             (fun (i : Algorand_core.History.item) ->
+               Algorand_ledger.Block.round i.block)
+             prefix)
+      | _, Some e -> Alcotest.failf "unexpected: %a" Disk_store.pp_load_error e
+      | _, None -> Alcotest.fail "corrupt block decoded");
+      (* Remove a round entirely: same prefix-tolerant behavior. *)
       Sys.remove victim;
       match Disk_store.load dir ~up_to_round:3 with
-      | Error (`Missing 2) -> ()
+      | prefix, Some (`Missing 2) ->
+        Alcotest.(check int) "prefix before gap" 1 (List.length prefix)
       | _ -> Alcotest.fail "missing round not reported")
 
 let suite =

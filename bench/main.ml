@@ -655,7 +655,7 @@ let ablation_pipeline () =
         List.fold_left
           (fun acc (rec_ : Metrics.round_record) ->
             if Float.is_nan rec_.final_done then acc else Float.max acc rec_.final_done)
-          0.0 r.harness.metrics.rounds
+          0.0 (Metrics.records r.harness.metrics)
       in
       Printf.printf "  %-12s %-18.2f %-14d\n%!"
         (if pipeline_final then "on" else "off")

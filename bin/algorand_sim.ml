@@ -9,11 +9,15 @@
 
 open Cmdliner
 module Harness = Algorand_core.Harness
+module Figures = Algorand_core.Figures
 module Node = Algorand_core.Node
 module Chain = Algorand_ledger.Chain
 module Params = Algorand_ba.Params
 module Committee = Algorand_sortition.Committee
 module Nakamoto = Algorand_baselines.Nakamoto
+module Metrics = Algorand_sim.Metrics
+module Trace = Algorand_obs.Trace
+module Registry = Algorand_obs.Registry
 
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -83,10 +87,30 @@ let run_cmd =
          & info [ "save" ] ~docv:"DIR"
              ~doc:"After the run, save the certified block history to DIR.")
   in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write the structured event trace to FILE as JSONL (one event per line).")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"After the run, write the metrics-registry snapshot to FILE as JSON.")
+  in
   let run users rounds block_bytes seed attack malicious bandwidth fanout tx_rate
       recovery real_crypto verbose save_dir loss churn_fraction churn_period churn_down
-      churn_until =
+      churn_until trace_out metrics_out =
     setup_logs verbose;
+    let trace, trace_oc =
+      match trace_out with
+      | None -> (None, None)
+      | Some path ->
+        let tr = Trace.create () in
+        Trace.enable tr;
+        let oc = open_out path in
+        Trace.add_jsonl tr oc;
+        (Some tr, Some oc)
+    in
     let params =
       if recovery || attack = `Churn then
         { Params.paper with
@@ -133,9 +157,24 @@ let run_cmd =
         crypto = (if real_crypto then Harness.Real_crypto else Harness.Sim_crypto);
         max_sim_time = 3_600.0;
         loss;
+        trace;
       }
     in
     let r = Harness.run config in
+    (match trace_oc with
+    | Some oc ->
+      (match trace with Some tr -> Trace.flush tr | None -> ());
+      close_out oc;
+      Printf.printf "trace: wrote %s\n" (Option.get trace_out)
+    | None -> ());
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Registry.to_json (Metrics.registry r.harness.metrics));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "metrics: wrote %s\n" path);
     Printf.printf "simulated %.1fs of network time, %d events\n" r.sim_time r.events;
     Printf.printf "round completion: %s\n"
       (Format.asprintf "%a" Algorand_sim.Stats.pp_summary r.completion);
@@ -202,7 +241,8 @@ let run_cmd =
     Term.(
       const run $ users $ rounds $ block_bytes $ seed $ attack $ malicious $ bandwidth
       $ fanout $ tx_rate $ recovery $ real_crypto $ verbose $ save_dir $ loss
-      $ churn_fraction $ churn_period $ churn_down $ churn_until)
+      $ churn_fraction $ churn_period $ churn_down $ churn_until $ trace_out
+      $ metrics_out)
 
 (* ------------------------------------------------------------------ *)
 (* committee                                                           *)
@@ -248,6 +288,47 @@ let bitcoin_cmd =
   Cmd.v (Cmd.info "bitcoin" ~doc:"Run the Nakamoto-consensus baseline.")
     Term.(const go $ days $ interval)
 
+(* ------------------------------------------------------------------ *)
+(* --figure: regenerate a section 10 figure artifact                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Default command, so `algorand-sim --figure 7` works without a
+   subcommand. Writes the Figure 7 latency breakdown regenerated from
+   the metrics registry; deterministic per seed, NaN-free. *)
+let figure_term =
+  let figure =
+    Arg.(value & opt (some int) None
+         & info [ "figure" ] ~docv:"N"
+             ~doc:"Regenerate the paper's figure N from a fresh deterministic run \
+                   (currently only 7: the round-latency breakdown).")
+  in
+  let users = Arg.(value & opt int 50 & info [ "users" ] ~doc:"Simulated users.") in
+  let rounds = Arg.(value & opt int 5 & info [ "rounds" ] ~doc:"Rounds to run.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic RNG seed.") in
+  let block_bytes =
+    Arg.(value & opt int 1_000_000 & info [ "block-bytes" ] ~doc:"Target block size.")
+  in
+  let out =
+    Arg.(value & opt string "results/FIG7.json"
+         & info [ "out" ] ~docv:"FILE" ~doc:"Output path for the figure artifact.")
+  in
+  let go figure users rounds seed block_bytes out =
+    match figure with
+    | None -> `Help (`Pager, None)
+    | Some 7 ->
+      let json = Figures.fig7_run ~users ~rounds ~seed ~block_bytes () in
+      Figures.write ~path:out json;
+      Printf.printf "figure 7: wrote %s\n" out;
+      `Ok ()
+    | Some n ->
+      `Error (false, Printf.sprintf "figure %d not supported (only --figure 7)" n)
+  in
+  Term.(ret (const go $ figure $ users $ rounds $ seed $ block_bytes $ out))
+
 let () =
   let doc = "Simulated Algorand (SOSP 2017) deployments and baselines" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "algorand-sim" ~doc) [ run_cmd; committee_cmd; bitcoin_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default:figure_term
+          (Cmd.info "algorand-sim" ~doc)
+          [ run_cmd; committee_cmd; bitcoin_cmd ]))

@@ -1,0 +1,19 @@
+(** Regeneration of the paper's section 10 figures from the metrics
+    registry and round records of a finished run. *)
+
+val fig7_json : Harness.result -> string
+(** The Figure 7 latency breakdown - block proposal / BA* without the
+    final step / final step, plus the total round time - as a JSON
+    document. Each quantity is a min/p25/median/p75/max/mean summary
+    across (user, round) records; records completed without the
+    intermediate phase timestamps (catch-up grafts) are skipped and
+    counted. Deterministic for a given config and seed: fixed float
+    formatting, no wall-clock input, and never a NaN token (empty
+    summaries serialize as zeros with ["count":0]). *)
+
+val fig7_run : ?users:int -> ?rounds:int -> ?seed:int -> ?block_bytes:int -> unit -> string
+(** Run the standard Figure 7 deployment (defaults: 50 users, 5
+    rounds, seed 42, 1 MB blocks) and return {!fig7_json} of it. *)
+
+val write : path:string -> string -> unit
+(** Write a document to [path], creating parent directories. *)

@@ -15,6 +15,8 @@ module Topology = Algorand_netsim.Topology
 module Network = Algorand_netsim.Network
 module Gossip = Algorand_netsim.Gossip
 module Adversary = Algorand_netsim.Adversary
+module Trace = Algorand_obs.Trace
+module Registry = Algorand_obs.Registry
 module Transaction = Algorand_ledger.Transaction
 module Genesis = Algorand_ledger.Genesis
 module Chain = Algorand_ledger.Chain
@@ -85,6 +87,9 @@ type config = {
           no persistence, except under [Crash_churn], which creates (and
           owns) a temporary root so restarts have something to reload *)
   checkpoint_every : int;  (** persist every k completed rounds *)
+  trace : Algorand_obs.Trace.t option;
+      (** structured event trace shared by harness, nodes, gossip and
+          retries; [None] builds a disabled trace internally *)
 }
 
 let default =
@@ -112,6 +117,7 @@ let default =
     duplication = 0.0;
     store_root = None;
     checkpoint_every = 1;
+    trace = None;
   }
 
 type t = {
@@ -202,7 +208,9 @@ let build (config : config) : t =
       (Array.to_list (Array.mapi (fun i id -> (id.Identity.pk, stakes.(i))) identities))
   in
   let engine = Engine.create () in
-  let metrics = Metrics.create ~users:config.users in
+  let trace = match config.trace with Some tr -> tr | None -> Trace.create () in
+  let registry = Registry.create () in
+  let metrics = Metrics.create ~registry ~trace ~users:config.users () in
   let rng = Rng.create config.rng_seed in
   let topology = Topology.create ~nodes:config.users (Rng.split rng "topology") in
   let network =
@@ -292,7 +300,10 @@ let build (config : config) : t =
         | _ -> false);
     }
   in
-  let gossip = Gossip.create ~net:network ~rng:(Rng.split rng "gossip") ~weights gossip_config in
+  let gossip =
+    Gossip.create ~registry ~trace ~net:network ~rng:(Rng.split rng "gossip") ~weights
+      gossip_config
+  in
   Array.iter (fun n -> Node.set_gossip n gossip) nodes;
   (* Replace gossip peers each round (section 8.4), keyed off node 0's
      progress as the round clock. *)
@@ -379,6 +390,8 @@ let build (config : config) : t =
     | Periodic { start; period; fraction; down_for; until } ->
       let rec tick time () =
         if time <= until && not (Array.for_all Node.is_stopped nodes) then begin
+          if Trace.enabled trace then
+            Trace.instant trace ~ts:time ~cat:"harness" ~name:"churn.tick" ();
           List.iter (crash_one ~down_for) (pick fraction);
           Engine.at engine ~time:(time +. period) (tick (time +. period))
         end
@@ -529,14 +542,14 @@ let audit_churn (t : t) : churn_report =
   let lat = m.Metrics.rejoin_latencies in
   let rejoins = List.length lat in
   {
-    crashes = m.Metrics.crashes;
-    restarts = m.Metrics.restarts;
+    crashes = Metrics.crashes m;
+    restarts = Metrics.restarts m;
     rejoins;
     mean_rejoin_s =
       (if rejoins = 0 then 0.0
        else List.fold_left ( +. ) 0.0 lat /. float_of_int rejoins);
     max_rejoin_s = List.fold_left Float.max 0.0 lat;
-    retries = m.Metrics.retry_attempts;
+    retries = Metrics.retry_attempts m;
     divergent_restarted = List.sort compare !divergent;
     unfinished = List.sort compare !unfinished;
   }
@@ -544,8 +557,26 @@ let audit_churn (t : t) : churn_report =
 let run (config : config) : result =
   let t = build config in
   install_workload t;
+  let trace = Metrics.trace t.metrics in
+  if Trace.enabled trace then
+    Trace.instant trace ~ts:0.0 ~cat:"harness" ~name:"run.start"
+      ~detail:
+        [
+          ("users", string_of_int config.users);
+          ("rounds", string_of_int config.rounds);
+          ("seed", string_of_int config.rng_seed);
+        ]
+      ();
   Array.iter Node.start t.nodes;
   let events = Engine.run t.engine ~until:config.max_sim_time () in
+  let registry = Metrics.registry t.metrics in
+  Registry.set (Registry.gauge registry "sim.time_s") (Engine.now t.engine);
+  Registry.set (Registry.gauge registry "sim.events") (float_of_int events);
+  if Trace.enabled trace then
+    Trace.span trace ~start_ts:0.0 ~ts:(Engine.now t.engine) ~cat:"harness"
+      ~name:"run"
+      ~detail:[ ("events", string_of_int events) ]
+      ();
   let safety = audit_safety t in
   let completion =
     Algorand_sim.Stats.summarize (Metrics.all_round_completion_times t.metrics)

@@ -62,6 +62,9 @@ type config = {
           persistence, except under [Crash_churn], which creates (and
           owns) a temp root - release it with {!cleanup_stores} *)
   checkpoint_every : int;  (** persist every k completed rounds *)
+  trace : Algorand_obs.Trace.t option;
+      (** structured event trace shared by harness, nodes, gossip and
+          retries; [None] builds a disabled trace internally *)
 }
 
 val default : config

@@ -24,6 +24,7 @@ module Metrics = Algorand_sim.Metrics
 module Retry = Algorand_sim.Retry
 module Rng = Algorand_sim.Rng
 module Gossip = Algorand_netsim.Gossip
+module Trace = Algorand_obs.Trace
 
 let src = Logs.Src.create "algorand.node" ~doc:"Algorand node"
 
@@ -211,6 +212,17 @@ let create ~(index : int) ~(identity : Identity.t) ~(config : config)
     resync = None;
     last_checkpoint = 0;
   }
+
+(* Structured tracing (lib/obs): every emission site below guards on
+   [Trace.enabled], so a run without tracing pays one field load and
+   allocates nothing. *)
+let tracer (t : t) : Trace.t = Metrics.trace t.metrics
+
+let trace_instant (t : t) ?round ?detail (name : string) : unit =
+  let tr = tracer t in
+  if Trace.enabled tr then
+    Trace.instant tr ~node:t.index ~incarnation:t.incarnation ?round ?detail
+      ~ts:(Engine.now t.engine) ~cat:"node" ~name ()
 
 let set_gossip (t : t) (g : Message.t Gossip.t) : unit = t.gossip <- Some g
 let gossip (t : t) : Message.t Gossip.t = Option.get t.gossip
@@ -414,6 +426,11 @@ let rec apply_ba_actions (t : t) (rs : round_state) (actions : Ba_star.action li
         deliver_to_ba t rs v
       | Ba_star.Set_timer { token; delay } ->
         Metrics.record_step_duration t.metrics (now -. rs.last_step_started);
+        let tr = tracer t in
+        if Trace.enabled tr then
+          Trace.span tr ~node:t.index ~incarnation:t.incarnation ~round:rs.round
+            ~step:token ~start_ts:rs.last_step_started ~ts:now ~cat:"step" ~name:"ba_step"
+            ();
         rs.last_step_started <- now;
         (* The closure captures this round's machine; stale tokens are
            filtered inside it, so a pipelined previous round still gets
@@ -425,6 +442,12 @@ let rec apply_ba_actions (t : t) (rs : round_state) (actions : Ba_star.action li
       | Ba_star.Bin_decided { value; bin_steps } ->
         rs.record.ba_done <- now;
         rs.record.steps_taken <- bin_steps;
+        let tr = tracer t in
+        if Trace.enabled tr && not (Float.is_nan rs.record.proposal_done) then
+          Trace.span tr ~node:t.index ~incarnation:t.incarnation ~round:rs.round
+            ~start_ts:rs.record.proposal_done ~ts:now ~cat:"phase" ~name:"ba_no_final"
+            ~detail:[ ("bin_steps", string_of_int bin_steps) ]
+            ();
         if t.config.pipeline_final then eager_complete t rs ~value
       | Ba_star.Decided { value; final; bin_steps = _ } -> decide t rs ~value ~final
       | Ba_star.Hang ->
@@ -455,6 +478,11 @@ and start_ba (t : t) (rs : round_state) ~(hblock : string) : unit =
   if rs.ba <> None then ()
   else begin
     rs.record.proposal_done <- Engine.now t.engine;
+    let tr = tracer t in
+    if Trace.enabled tr then
+      Trace.span tr ~node:t.index ~incarnation:t.incarnation ~round:rs.round
+        ~start_ts:rs.record.started ~ts:rs.record.proposal_done ~cat:"phase"
+        ~name:"proposal" ();
     rs.waiting_for_block <- false;
     let ctx : Ba_star.ctx =
       {
@@ -520,7 +548,8 @@ and start_block_fetch (t : t) (rs : round_state) ~(value : string) : unit =
                    Gossip.send_to (gossip t) ~src:t.index ~dst
                      ~bytes:(Message.size_bytes msg) msg
                end)
-           ())
+           ~name:"block_fetch" ~registry:(Metrics.registry t.metrics)
+           ~trace:(Metrics.trace t.metrics) ())
   end
 
 (* Pipelined completion at BinaryBA* return: append the block and start
@@ -574,6 +603,20 @@ and complete_round (t : t) (rs : round_state) (block : Block.t) : unit =
   let now = Engine.now t.engine in
   rs.record.final_done <- now;
   rs.record.final <- rs.decided_final;
+  let tr = tracer t in
+  if Trace.enabled tr then begin
+    if not (Float.is_nan rs.record.ba_done) then
+      Trace.span tr ~node:t.index ~incarnation:t.incarnation ~round:rs.round
+        ~start_ts:rs.record.ba_done ~ts:now ~cat:"phase" ~name:"final" ();
+    Trace.span tr ~node:t.index ~incarnation:t.incarnation ~round:rs.round
+      ~start_ts:rs.record.started ~ts:now ~cat:"round" ~name:"round"
+      ~detail:
+        [
+          ("final", string_of_bool rs.decided_final);
+          ("steps", string_of_int rs.record.steps_taken);
+        ]
+      ()
+  end;
   if not rs.classified then t.previous <- Some rs;
   (match Chain.add t.chain block with
   | Ok _ | Error `Duplicate -> (
@@ -759,6 +802,7 @@ and start_round (t : t) ~(r : int) : unit =
   else begin
     let rs = make_round_state t ~r in
     t.current <- Some rs;
+    trace_instant t ~round:r "round.start";
     try_propose t rs;
     let p = t.config.params in
     sched t ~delay:(p.lambda_priority +. p.lambda_stepvar) (fun () ->
@@ -971,6 +1015,7 @@ and begin_resync (t : t) : unit =
     }
   in
   t.resync <- Some st;
+  trace_instant t "resync.start";
   arm_resync_retry t st
 
 and arm_resync_retry (t : t) (st : resync_state) : unit =
@@ -985,7 +1030,8 @@ and arm_resync_retry (t : t) (st : resync_state) : unit =
              if st.requests_sent > 0 then Metrics.record_retry t.metrics;
              send_round_request t st
            | _ -> ())
-         ())
+         ~name:"resync" ~registry:(Metrics.registry t.metrics)
+         ~trace:(Metrics.trace t.metrics) ())
 
 and send_round_request (t : t) (st : resync_state) : unit =
   let tip = Chain.tip t.chain in
@@ -1092,6 +1138,12 @@ and finish_resync (t : t) (st : resync_state) : unit =
   t.resync <- None;
   let latency = Engine.now t.engine -. st.started_at in
   Metrics.record_rejoin t.metrics latency;
+  let tr = tracer t in
+  if Trace.enabled tr then
+    Trace.span tr ~node:t.index ~incarnation:t.incarnation ~start_ts:st.started_at
+      ~ts:(Engine.now t.engine) ~cat:"node" ~name:"resync"
+      ~detail:[ ("requests", string_of_int st.requests_sent) ]
+      ();
   maybe_checkpoint t;
   let tip = Chain.tip t.chain in
   Log.debug (fun m ->
@@ -1545,6 +1597,7 @@ let crash (t : t) : unit =
     t.stopped <- false;
     t.last_checkpoint <- 0;
     Metrics.record_crash t.metrics;
+    trace_instant t "crash";
     Log.debug (fun m -> m "node %d crashed at %.2fs" t.index (Engine.now t.engine))
   end
 
@@ -1558,6 +1611,7 @@ let restart (t : t) : unit =
     t.incarnation <- t.incarnation + 1;
     t.cpu_free_at <- Engine.now t.engine;
     Metrics.record_restart t.metrics;
+    trace_instant t "restart";
     (match t.config.store_dir with
     | None -> ()
     | Some dir ->

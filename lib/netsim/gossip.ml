@@ -9,6 +9,8 @@
    callback. *)
 
 open Algorand_sim
+module Registry = Algorand_obs.Registry
+module Trace = Algorand_obs.Trace
 
 type 'msg config = {
   msg_id : 'msg -> string;
@@ -22,15 +24,32 @@ type 'msg config = {
           relayed onward *)
 }
 
+(* Overlay-health counters. Registry-backed when a registry is wired
+   in (so the CLI's metrics snapshot carries them); always mirrored in
+   plain ints for the in-process accessors. *)
+type counters = {
+  mutable duplicates_dropped : int;
+  mutable invalid_dropped : int;
+  c_delivered : Registry.counter option;
+  c_duplicates : Registry.counter option;
+  c_invalid : Registry.counter option;
+  c_relayed : Registry.counter option;  (** fan-out sends while relaying *)
+  c_originated : Registry.counter option;
+  c_p2p : Registry.counter option;
+}
+
 type 'msg t = {
   net : 'msg Network.t;
   config : 'msg config;
   rng : Rng.t;
+  trace : Trace.t option;
+  counters : counters;
   mutable peers : int list array;
   seen : (string, unit) Hashtbl.t array;
-  mutable duplicates_dropped : int;
-  mutable invalid_dropped : int;
 }
+
+let bump (c : Registry.counter option) : unit =
+  match c with Some c -> Registry.incr c | None -> ()
 
 (* Draw peers for every node, weighted by stake. Each node initiates
    [fanout] connections; like the paper's TCP links these are
@@ -59,35 +78,56 @@ let draw_peers (t : 'msg t) ~(weights : float array) : unit =
     t.peers.(node) <- Hashtbl.fold (fun k () acc -> k :: acc) chosen.(node) []
   done
 
-let create ~(net : 'msg Network.t) ~(rng : Rng.t) ~(weights : float array)
-    (config : 'msg config) : 'msg t =
+let create ?registry ?trace ~(net : 'msg Network.t) ~(rng : Rng.t)
+    ~(weights : float array) (config : 'msg config) : 'msg t =
   let n = Network.nodes net in
+  let c name = Option.map (fun r -> Registry.counter r ("gossip." ^ name)) registry in
   let t =
     {
       net;
       config;
       rng;
+      trace;
+      counters =
+        {
+          duplicates_dropped = 0;
+          invalid_dropped = 0;
+          c_delivered = c "delivered";
+          c_duplicates = c "duplicates_dropped";
+          c_invalid = c "invalid_dropped";
+          c_relayed = c "relayed";
+          c_originated = c "originated";
+          c_p2p = c "p2p_sends";
+        };
       peers = Array.make n [];
       seen = Array.init n (fun _ -> Hashtbl.create 64);
-      duplicates_dropped = 0;
-      invalid_dropped = 0;
     }
   in
   draw_peers t ~weights;
   let handle node ~src ~bytes:sz msg =
     let id = config.msg_id msg in
-    if Hashtbl.mem t.seen.(node) id then t.duplicates_dropped <- t.duplicates_dropped + 1
-    else if not (config.validate node msg) then
+    if Hashtbl.mem t.seen.(node) id then begin
+      t.counters.duplicates_dropped <- t.counters.duplicates_dropped + 1;
+      bump t.counters.c_duplicates
+    end
+    else if not (config.validate node msg) then begin
       (* Not marked seen: validation is stateful (e.g. the priority-
          based block discard of section 6), so a copy arriving later -
          when this node knows more - gets a fresh chance. *)
-      t.invalid_dropped <- t.invalid_dropped + 1
+      t.counters.invalid_dropped <- t.counters.invalid_dropped + 1;
+      bump t.counters.c_invalid
+    end
     else begin
       Hashtbl.replace t.seen.(node) id ();
+      bump t.counters.c_delivered;
       config.deliver node ~src msg;
       if not (config.point_to_point msg) then
         List.iter
-          (fun peer -> if peer <> src then Network.send net ~src:node ~dst:peer ~bytes:sz msg)
+          (fun peer ->
+            if peer <> src then begin
+              bump t.counters.c_relayed;
+              Network.send net ~src:node ~dst:peer ~bytes:sz msg
+            end)
           t.peers.(node)
     end
   in
@@ -101,6 +141,7 @@ let broadcast (t : 'msg t) ~(node : int) ~(bytes : int) (msg : 'msg) : unit =
   let id = t.config.msg_id msg in
   if not (Hashtbl.mem t.seen.(node) id) then begin
     Hashtbl.replace t.seen.(node) id ();
+    bump t.counters.c_originated;
     List.iter (fun peer -> Network.send t.net ~src:node ~dst:peer ~bytes msg) t.peers.(node)
   end
 
@@ -108,16 +149,27 @@ let broadcast (t : 'msg t) ~(node : int) ~(bytes : int) (msg : 'msg) : unit =
    protocol never re-gossips old-round messages anyway. *)
 let flush_seen (t : 'msg t) : unit = Array.iter Hashtbl.reset t.seen
 
+(* Trace overlay-topology changes: they are rare (once per round, or
+   per rejoin) and explain why a node's neighborhood shifted. *)
+let trace_instant (t : 'msg t) ~(node : int) (name : string) : unit =
+  match t.trace with
+  | Some tr when Trace.enabled tr ->
+    Trace.instant tr ~node ~ts:(Network.now t.net) ~cat:"gossip" ~name ()
+  | _ -> ()
+
 (* Re-draw the whole peer graph (section 8.4: "Algorand replaces gossip
    peers each round", healing nodes that landed in a disconnected
    component). In-flight messages are unaffected. *)
-let redraw (t : 'msg t) ~(weights : float array) : unit = draw_peers t ~weights
+let redraw (t : 'msg t) ~(weights : float array) : unit =
+  trace_instant t ~node:(-1) "redraw";
+  draw_peers t ~weights
 
 (* Re-link a single (rejoining) node: sever its old links, clear its
    dedup state - a fresh process knows nothing it has relayed - and
    draw it a fresh set of weighted bidirectional peers. Everyone else's
    links are untouched. *)
 let relink (t : 'msg t) ~(node : int) ~(weights : float array) : unit =
+  trace_instant t ~node "relink";
   Hashtbl.reset t.seen.(node);
   let n = Network.nodes t.net in
   for i = 0 to n - 1 do
@@ -138,14 +190,15 @@ let relink (t : 'msg t) ~(node : int) ~(weights : float array) : unit =
       if not (List.mem node t.peers.(peer)) then t.peers.(peer) <- node :: t.peers.(peer))
     links
 
-let duplicates_dropped (t : 'msg t) : int = t.duplicates_dropped
-let invalid_dropped (t : 'msg t) : int = t.invalid_dropped
+let duplicates_dropped (t : 'msg t) : int = t.counters.duplicates_dropped
+let invalid_dropped (t : 'msg t) : int = t.counters.invalid_dropped
 
 let peers (t : 'msg t) (node : int) : int list = t.peers.(node)
 
 (* Point-to-point send outside the overlay: block-fetch replies, and
    byzantine senders that show different messages to different peers. *)
 let send_to (t : 'msg t) ~(src : int) ~(dst : int) ~(bytes : int) (msg : 'msg) : unit =
+  bump t.counters.c_p2p;
   Network.send t.net ~src ~dst ~bytes msg
 
 (* Mark a message as seen at [node] without delivering it (used by

@@ -17,7 +17,19 @@ type 'msg config = {
 type 'msg t
 
 val create :
-  net:'msg Network.t -> rng:Rng.t -> weights:float array -> 'msg config -> 'msg t
+  ?registry:Algorand_obs.Registry.t ->
+  ?trace:Algorand_obs.Trace.t ->
+  net:'msg Network.t ->
+  rng:Rng.t ->
+  weights:float array ->
+  'msg config ->
+  'msg t
+(** With [registry], the overlay maintains "gossip.delivered",
+    "gossip.duplicates_dropped", "gossip.invalid_dropped",
+    "gossip.relayed" (fan-out sends while relaying),
+    "gossip.originated" and "gossip.p2p_sends" counters. With an
+    enabled [trace], peer-graph changes ({!redraw}, {!relink}) emit
+    instant events. *)
 
 val broadcast : 'msg t -> node:int -> bytes:int -> 'msg -> unit
 (** Originate a message at [node]. *)

@@ -58,6 +58,7 @@ let set_handler (t : 'msg t) (node : int) (h : src:int -> bytes:int -> 'msg -> u
 let set_adversary (t : 'msg t) (a : 'msg adversary) : unit = t.adversary <- a
 
 let nodes (t : 'msg t) : int = Array.length t.handlers
+let now (t : 'msg t) : float = Engine.now t.engine
 
 (* Crash/restart visibility: a down process's sends are suppressed and
    deliveries to it are dropped - including messages already in flight

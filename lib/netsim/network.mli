@@ -32,6 +32,9 @@ val set_handler : 'msg t -> int -> (src:int -> bytes:int -> 'msg -> unit) -> uni
 val set_adversary : 'msg t -> 'msg adversary -> unit
 val nodes : 'msg t -> int
 
+val now : 'msg t -> float
+(** Current sim-time of the underlying engine. *)
+
 val set_up : 'msg t -> int -> bool -> unit
 (** Crash/restart visibility: a down process's sends are suppressed and
     deliveries to it (including messages already in flight when it went

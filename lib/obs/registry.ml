@@ -1,0 +1,185 @@
+(* Typed metrics registry: named counters, gauges and log-bucket
+   histograms, snapshot-able mid-run with deterministic serialization.
+   NaN observations are quarantined into a dedicated count so they can
+   never poison a sum, extremum or bucket. *)
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  lo : float;
+  growth : float;
+  nbuckets : int;
+  bucket_counts : int array;  (** nbuckets + 2: underflow .. overflow *)
+  mutable h_n : int;
+  mutable nan_n : int;
+  mutable sum : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () : t = { tbl = Hashtbl.create 64 }
+
+let get_or_make (t : t) (name : string) (kind : string) (make : unit -> metric)
+    (match_ : metric -> 'a option) : 'a =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m -> (
+    match match_ m with
+    | Some x -> x
+    | None -> invalid_arg (Printf.sprintf "Registry: %S already registered with another type (wanted %s)" name kind))
+  | None ->
+    let m = make () in
+    Hashtbl.replace t.tbl name m;
+    (match match_ m with Some x -> x | None -> assert false)
+
+let counter (t : t) (name : string) : counter =
+  get_or_make t name "counter"
+    (fun () -> C { c = 0 })
+    (function C c -> Some c | _ -> None)
+
+let incr (c : counter) : unit = c.c <- c.c + 1
+let add (c : counter) (n : int) : unit = c.c <- c.c + n
+let count (c : counter) : int = c.c
+
+let gauge (t : t) (name : string) : gauge =
+  get_or_make t name "gauge"
+    (fun () -> G { g = 0.0 })
+    (function G g -> Some g | _ -> None)
+
+let set (g : gauge) (v : float) : unit = g.g <- v
+let value (g : gauge) : float = g.g
+
+let histogram (t : t) ?(lo = 1e-3) ?(growth = 2.0) ?(buckets = 36) (name : string) :
+    histogram =
+  if lo <= 0.0 || growth <= 1.0 || buckets < 1 then
+    invalid_arg "Registry.histogram: need lo > 0, growth > 1, buckets >= 1";
+  get_or_make t name "histogram"
+    (fun () ->
+      H
+        {
+          lo;
+          growth;
+          nbuckets = buckets;
+          bucket_counts = Array.make (buckets + 2) 0;
+          h_n = 0;
+          nan_n = 0;
+          sum = 0.0;
+          mn = infinity;
+          mx = neg_infinity;
+        })
+    (function H h -> Some h | _ -> None)
+
+let bucket_index (h : histogram) (v : float) : int =
+  if v < h.lo then 0
+  else if v = infinity then h.nbuckets + 1
+  else begin
+    let k = 1 + int_of_float (Float.floor (Float.log (v /. h.lo) /. Float.log h.growth)) in
+    if k > h.nbuckets then h.nbuckets + 1 else max 1 k
+  end
+
+let observe (h : histogram) (v : float) : unit =
+  if Float.is_nan v then h.nan_n <- h.nan_n + 1
+  else begin
+    h.h_n <- h.h_n + 1;
+    h.sum <- h.sum +. v;
+    if v < h.mn then h.mn <- v;
+    if v > h.mx then h.mx <- v;
+    let i = bucket_index h v in
+    h.bucket_counts.(i) <- h.bucket_counts.(i) + 1
+  end
+
+type hist_snapshot = {
+  h_count : int;
+  h_nan : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : (float * int) list;
+}
+
+let bucket_bound (h : histogram) (i : int) : float =
+  if i = 0 then h.lo
+  else if i > h.nbuckets then infinity
+  else h.lo *. (h.growth ** float_of_int i)
+
+let hist_snapshot (h : histogram) : hist_snapshot =
+  let buckets = ref [] in
+  for i = h.nbuckets + 1 downto 0 do
+    if h.bucket_counts.(i) > 0 then
+      buckets := (bucket_bound h i, h.bucket_counts.(i)) :: !buckets
+  done;
+  {
+    h_count = h.h_n;
+    h_nan = h.nan_n;
+    h_sum = h.sum;
+    h_min = (if h.h_n = 0 then 0.0 else h.mn);
+    h_max = (if h.h_n = 0 then 0.0 else h.mx);
+    h_buckets = !buckets;
+  }
+
+let counter_value (t : t) (name : string) : int option =
+  match Hashtbl.find_opt t.tbl name with Some (C c) -> Some c.c | _ -> None
+
+let gauge_value (t : t) (name : string) : float option =
+  match Hashtbl.find_opt t.tbl name with Some (G g) -> Some g.g | _ -> None
+
+let histogram_value (t : t) (name : string) : hist_snapshot option =
+  match Hashtbl.find_opt t.tbl name with Some (H h) -> Some (hist_snapshot h) | _ -> None
+
+let names (t : t) : string list =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [])
+
+(* Deterministic serialization: sorted names, fixed float precision,
+   never a bare NaN/inf token (JSON has neither). *)
+let json_float (v : float) : string =
+  if Float.is_nan v then "0.0"
+  else if v = infinity then "\"inf\""
+  else if v = neg_infinity then "\"-inf\""
+  else Printf.sprintf "%.6f" v
+
+let sorted (t : t) (pick : string -> metric -> 'a option) : (string * 'a) list =
+  List.filter_map
+    (fun name ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some m -> Option.map (fun x -> (name, x)) (pick name m)
+      | None -> None)
+    (names t)
+
+let to_json (t : t) : string =
+  let b = Buffer.create 1024 in
+  let obj label entries render =
+    Buffer.add_string b (Printf.sprintf "\"%s\":{" label);
+    List.iteri
+      (fun i (name, x) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\"%s\":" name);
+        render x)
+      entries;
+    Buffer.add_char b '}'
+  in
+  Buffer.add_char b '{';
+  obj "counters"
+    (sorted t (fun _ m -> match m with C c -> Some c.c | _ -> None))
+    (fun c -> Buffer.add_string b (string_of_int c));
+  Buffer.add_char b ',';
+  obj "gauges"
+    (sorted t (fun _ m -> match m with G g -> Some g.g | _ -> None))
+    (fun g -> Buffer.add_string b (json_float g));
+  Buffer.add_char b ',';
+  obj "histograms"
+    (sorted t (fun _ m -> match m with H h -> Some (hist_snapshot h) | _ -> None))
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "{\"count\":%d,\"nan\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"buckets\":["
+           s.h_count s.h_nan (json_float s.h_sum) (json_float s.h_min) (json_float s.h_max));
+      List.iteri
+        (fun i (bound, n) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (Printf.sprintf "[%s,%d]" (json_float bound) n))
+        s.h_buckets;
+      Buffer.add_string b "]}");
+  Buffer.add_char b '}';
+  Buffer.contents b

@@ -1,0 +1,76 @@
+(** A typed metrics registry: named counters, gauges and histograms
+    that can be snapshotted mid-run.
+
+    Handles are created (or retrieved) by name; re-requesting a name
+    returns the same underlying metric, and requesting an existing name
+    with a different type raises [Invalid_argument]. Snapshots are
+    deterministic: metrics are emitted sorted by name with fixed float
+    formatting, so identical runs serialize bit-identically.
+
+    Histograms use a fixed log-bucket layout: bucket 0 holds values
+    below [lo], bucket k (1 <= k <= buckets) holds values in
+    (lo * growth^(k-1), lo * growth^k], and one overflow bucket holds
+    the rest. NaN observations are counted separately and never touch
+    the buckets, sum, min or max. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val value : gauge -> float
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : t -> ?lo:float -> ?growth:float -> ?buckets:int -> string -> histogram
+(** Defaults: [lo = 1e-3], [growth = 2.0], [buckets = 36] - covering
+    roughly a millisecond to 19 hours of sim-time. The layout is fixed
+    at creation; a later lookup of the same name ignores the layout
+    arguments. *)
+
+val observe : histogram -> float -> unit
+
+type hist_snapshot = {
+  h_count : int;  (** finite observations *)
+  h_nan : int;  (** NaN observations, excluded from everything else *)
+  h_sum : float;
+  h_min : float;  (** 0.0 when empty *)
+  h_max : float;  (** 0.0 when empty *)
+  h_buckets : (float * int) list;
+      (** non-empty buckets as (upper bound, count); the overflow
+          bucket reports [infinity] as its bound *)
+}
+
+val hist_snapshot : histogram -> hist_snapshot
+
+(** {1 Snapshots} *)
+
+val counter_value : t -> string -> int option
+val gauge_value : t -> string -> float option
+val histogram_value : t -> string -> hist_snapshot option
+
+val names : t -> string list
+(** All registered metric names, sorted. *)
+
+val to_json : t -> string
+(** The whole registry as one JSON object:
+    [{"counters":{...},"gauges":{...},"histograms":{...}}], keys
+    sorted, fixed float formatting. Never emits NaN or infinity
+    tokens (the overflow bucket bound serializes as the string
+    ["inf"]). *)

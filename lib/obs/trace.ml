@@ -1,0 +1,119 @@
+(* Structured event tracing: instants and spans stamped with sim-time,
+   node, incarnation and protocol position, fanned out to pluggable
+   sinks. Disabled by default; emission sites guard with [enabled] so a
+   disabled trace is one field load and zero allocation. *)
+
+type event = {
+  ts : float;
+  start_ts : float;
+  node : int;
+  incarnation : int;
+  cat : string;
+  name : string;
+  round : int;
+  step : int;
+  detail : (string * string) list;
+}
+
+let duration (e : event) : float = e.ts -. e.start_ts
+
+type ring = {
+  buf : event option array;
+  mutable next : int;  (** write cursor *)
+  mutable stored : int;  (** total events ever written *)
+}
+
+type sink = Ring of ring | Jsonl of out_channel | Callback of (event -> unit)
+
+type t = { mutable on : bool; mutable sinks : sink list }
+
+let create () : t = { on = false; sinks = [] }
+let enabled (t : t) : bool = t.on
+let enable (t : t) : unit = t.on <- true
+let disable (t : t) : unit = t.on <- false
+
+let add_ring (t : t) ~(capacity : int) : unit =
+  if capacity <= 0 then invalid_arg "Trace.add_ring: capacity must be positive";
+  t.sinks <- Ring { buf = Array.make capacity None; next = 0; stored = 0 } :: t.sinks
+
+let add_jsonl (t : t) (oc : out_channel) : unit = t.sinks <- Jsonl oc :: t.sinks
+let add_callback (t : t) (f : event -> unit) : unit = t.sinks <- Callback f :: t.sinks
+
+(* JSON string escaping: quotes, backslashes and control characters. *)
+let escape (s : string) : string =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let event_to_json (e : event) : string =
+  let b = Buffer.create 160 in
+  Buffer.add_string b (Printf.sprintf "{\"ts\":%.6f" e.ts);
+  if e.start_ts <> e.ts then
+    Buffer.add_string b
+      (Printf.sprintf ",\"start\":%.6f,\"dur\":%.6f" e.start_ts (e.ts -. e.start_ts));
+  Buffer.add_string b
+    (Printf.sprintf ",\"cat\":\"%s\",\"name\":\"%s\"" (escape e.cat) (escape e.name));
+  if e.node >= 0 then Buffer.add_string b (Printf.sprintf ",\"node\":%d" e.node);
+  if e.incarnation >= 0 then Buffer.add_string b (Printf.sprintf ",\"inc\":%d" e.incarnation);
+  if e.round >= 0 then Buffer.add_string b (Printf.sprintf ",\"round\":%d" e.round);
+  if e.step >= 0 then Buffer.add_string b (Printf.sprintf ",\"step\":%d" e.step);
+  (match e.detail with
+  | [] -> ()
+  | kvs ->
+    Buffer.add_string b ",\"detail\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)))
+      kvs;
+    Buffer.add_char b '}');
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let emit (t : t) (e : event) : unit =
+  if t.on then
+    List.iter
+      (fun sink ->
+        match sink with
+        | Ring r ->
+          r.buf.(r.next) <- Some e;
+          r.next <- (r.next + 1) mod Array.length r.buf;
+          r.stored <- r.stored + 1
+        | Jsonl oc ->
+          output_string oc (event_to_json e);
+          output_char oc '\n'
+        | Callback f -> f e)
+      t.sinks
+
+let instant (t : t) ?(node = -1) ?(incarnation = -1) ?(round = -1) ?(step = -1)
+    ?(detail = []) ~(ts : float) ~(cat : string) ~(name : string) () : unit =
+  emit t { ts; start_ts = ts; node; incarnation; cat; name; round; step; detail }
+
+let span (t : t) ?(node = -1) ?(incarnation = -1) ?(round = -1) ?(step = -1) ?(detail = [])
+    ~(start_ts : float) ~(ts : float) ~(cat : string) ~(name : string) () : unit =
+  emit t { ts; start_ts; node; incarnation; cat; name; round; step; detail }
+
+let ring_events (t : t) : event list =
+  List.concat_map
+    (fun sink ->
+      match sink with
+      | Ring r ->
+        let cap = Array.length r.buf in
+        let n = min r.stored cap in
+        let first = if r.stored <= cap then 0 else r.next in
+        List.filter_map (fun i -> r.buf.((first + i) mod cap)) (List.init n Fun.id)
+      | Jsonl _ | Callback _ -> [])
+    (List.rev t.sinks)
+
+let flush (t : t) : unit =
+  List.iter (function Jsonl oc -> flush oc | Ring _ | Callback _ -> ()) t.sinks

@@ -1,0 +1,87 @@
+(** Structured event tracing for the simulator.
+
+    A trace is a stream of events - instants and spans - stamped with
+    sim-time, the emitting node, its incarnation, and a protocol
+    position (round, step). It is disabled by default and designed to
+    be zero-cost in that state: the emitting code guards every emission
+    site with [if Trace.enabled t then ...], so a disabled trace costs
+    one mutable-field load per site and allocates nothing.
+
+    Events fan out to pluggable sinks: a fixed-capacity ring buffer
+    (post-mortem inspection, tests), a JSONL channel (one JSON object
+    per line, for offline analysis), and arbitrary callbacks (live
+    assertions in tests). *)
+
+type event = {
+  ts : float;  (** emission sim-time; for spans, the span end *)
+  start_ts : float;  (** span start sim-time; equals [ts] for instants *)
+  node : int;  (** emitting node index, or -1 when not node-scoped *)
+  incarnation : int;  (** node incarnation, or -1 when not applicable *)
+  cat : string;  (** coarse category: "round", "step", "phase", "gossip", ... *)
+  name : string;  (** event name within the category *)
+  round : int;  (** protocol round, or -1 *)
+  step : int;  (** BA* step, or -1 *)
+  detail : (string * string) list;  (** free-form key/value payload *)
+}
+
+val duration : event -> float
+(** [ts -. start_ts]; 0 for instants. *)
+
+type t
+
+val create : unit -> t
+(** A fresh trace: disabled, no sinks. *)
+
+val enabled : t -> bool
+val enable : t -> unit
+val disable : t -> unit
+
+val add_ring : t -> capacity:int -> unit
+(** Keep the most recent [capacity] events in memory. *)
+
+val add_jsonl : t -> out_channel -> unit
+(** Write each event as one JSON object per line. The caller owns the
+    channel; call {!flush} (and close it) when done. *)
+
+val add_callback : t -> (event -> unit) -> unit
+
+val emit : t -> event -> unit
+(** Deliver to every sink; no-op while disabled. *)
+
+val instant :
+  t ->
+  ?node:int ->
+  ?incarnation:int ->
+  ?round:int ->
+  ?step:int ->
+  ?detail:(string * string) list ->
+  ts:float ->
+  cat:string ->
+  name:string ->
+  unit ->
+  unit
+
+val span :
+  t ->
+  ?node:int ->
+  ?incarnation:int ->
+  ?round:int ->
+  ?step:int ->
+  ?detail:(string * string) list ->
+  start_ts:float ->
+  ts:float ->
+  cat:string ->
+  name:string ->
+  unit ->
+  unit
+
+val ring_events : t -> event list
+(** Events retained by the ring sink(s), oldest first; [] without one. *)
+
+val event_to_json : event -> string
+(** One-line JSON object (no trailing newline). Deterministic field
+    order; numbers formatted with fixed precision so identical runs
+    produce bit-identical output. *)
+
+val flush : t -> unit
+(** Flush every JSONL sink's channel. *)

@@ -1,7 +1,18 @@
 (* Experiment instrumentation: per-user round phase timestamps (for the
    Figure 7 breakdown), per-user bytes sent/received (section 10.3
    bandwidth costs), and per-step BA* completion times (section 10.5
-   timeout validation). *)
+   timeout validation).
+
+   Scalar counts and duration distributions live in a typed
+   Registry (snapshot-able mid-run, exported as JSON by the CLI);
+   the exact per-sample lists needed for the paper's percentile plots
+   are kept alongside, and round records are indexed per round so
+   per-round queries do not rescan the whole history. The carried
+   Trace handle is how Node / Harness / Gossip / Retry reach the
+   structured event trace without extra plumbing. *)
+
+module Registry = Algorand_obs.Registry
+module Trace = Algorand_obs.Trace
 
 type phase = Block_proposal | Ba_no_final | Ba_final
 
@@ -22,30 +33,51 @@ type round_record = {
 }
 
 type t = {
-  mutable rounds : round_record list;
-  mutable bytes_sent : float array;  (** per user *)
-  mutable bytes_received : float array;
+  registry : Registry.t;
+  trace : Trace.t;
+  by_round : (int, round_record list ref) Hashtbl.t;  (** per-round index *)
+  mutable records : round_record list;  (** every record, newest first *)
+  mutable record_count : int;
+  bytes_sent : float array;  (** per user *)
+  bytes_received : float array;
   mutable step_durations : float list;  (** per (user, round, step) wall time *)
   mutable priority_gossip_times : float list;  (** proposer priority msg propagation *)
-  mutable crashes : int;  (** node crashes injected *)
-  mutable restarts : int;  (** nodes brought back up *)
   mutable rejoin_latencies : float list;
       (** restart (or lag detection) to BA* rejoin, sim-seconds *)
-  mutable retry_attempts : int;  (** re-issued requests (block fetch + catch-up) *)
+  c_crashes : Registry.counter;
+  c_restarts : Registry.counter;
+  c_retries : Registry.counter;
+  c_rounds_started : Registry.counter;
+  h_step : Registry.histogram;
+  h_priority : Registry.histogram;
+  h_rejoin : Registry.histogram;
 }
 
-let create ~(users : int) : t =
+let create ?registry ?trace ~(users : int) () : t =
+  let registry = match registry with Some r -> r | None -> Registry.create () in
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
   {
-    rounds = [];
+    registry;
+    trace;
+    by_round = Hashtbl.create 64;
+    records = [];
+    record_count = 0;
     bytes_sent = Array.make users 0.0;
     bytes_received = Array.make users 0.0;
     step_durations = [];
     priority_gossip_times = [];
-    crashes = 0;
-    restarts = 0;
     rejoin_latencies = [];
-    retry_attempts = 0;
+    c_crashes = Registry.counter registry "node.crashes";
+    c_restarts = Registry.counter registry "node.restarts";
+    c_retries = Registry.counter registry "retry.reissued_requests";
+    c_rounds_started = Registry.counter registry "round.records_started";
+    h_step = Registry.histogram registry "ba.step_duration_s";
+    h_priority = Registry.histogram registry "proposal.priority_gossip_s";
+    h_rejoin = Registry.histogram registry "node.rejoin_latency_s";
   }
+
+let registry (t : t) : Registry.t = t.registry
+let trace (t : t) : Trace.t = t.trace
 
 let start_round (t : t) ~(user : int) ~(round : int) ~(now : float) : round_record =
   let r =
@@ -60,7 +92,12 @@ let start_round (t : t) ~(user : int) ~(round : int) ~(now : float) : round_reco
       final = false;
     }
   in
-  t.rounds <- r :: t.rounds;
+  (match Hashtbl.find_opt t.by_round round with
+  | Some l -> l := r :: !l
+  | None -> Hashtbl.replace t.by_round round (ref [ r ]));
+  t.records <- r :: t.records;
+  t.record_count <- t.record_count + 1;
+  Registry.incr t.c_rounds_started;
   r
 
 let record_bytes_sent (t : t) ~(user : int) (bytes : int) : unit =
@@ -70,47 +107,76 @@ let record_bytes_received (t : t) ~(user : int) (bytes : int) : unit =
   t.bytes_received.(user) <- t.bytes_received.(user) +. float_of_int bytes
 
 let record_step_duration (t : t) (d : float) : unit =
-  t.step_durations <- d :: t.step_durations
+  t.step_durations <- d :: t.step_durations;
+  Registry.observe t.h_step d
 
 let record_priority_gossip (t : t) (d : float) : unit =
-  t.priority_gossip_times <- d :: t.priority_gossip_times
+  t.priority_gossip_times <- d :: t.priority_gossip_times;
+  Registry.observe t.h_priority d
 
-let record_crash (t : t) : unit = t.crashes <- t.crashes + 1
-let record_restart (t : t) : unit = t.restarts <- t.restarts + 1
+let record_crash (t : t) : unit = Registry.incr t.c_crashes
+let record_restart (t : t) : unit = Registry.incr t.c_restarts
 
 let record_rejoin (t : t) (latency : float) : unit =
-  t.rejoin_latencies <- latency :: t.rejoin_latencies
+  t.rejoin_latencies <- latency :: t.rejoin_latencies;
+  Registry.observe t.h_rejoin latency
 
-let record_retry (t : t) : unit = t.retry_attempts <- t.retry_attempts + 1
+let record_retry (t : t) : unit = Registry.incr t.c_retries
 
-(* Completed-round durations for a given round across users. *)
+let crashes (t : t) : int = Registry.count t.c_crashes
+let restarts (t : t) : int = Registry.count t.c_restarts
+let retry_attempts (t : t) : int = Registry.count t.c_retries
+
+let records (t : t) : round_record list = t.records
+let record_count (t : t) : int = t.record_count
+
+let completed (r : round_record) : bool = not (Float.is_nan r.final_done)
+
+(* Completed-round durations for a given round across users: one index
+   lookup, not a scan of every record ever started. *)
 let round_completion_times (t : t) ~(round : int) : float list =
-  List.filter_map
-    (fun r ->
-      if r.round = round && not (Float.is_nan r.final_done) then
-        Some (r.final_done -. r.started)
-      else None)
-    t.rounds
+  match Hashtbl.find_opt t.by_round round with
+  | None -> []
+  | Some l ->
+    List.filter_map
+      (fun r -> if completed r then Some (r.final_done -. r.started) else None)
+      !l
 
 let all_round_completion_times (t : t) : float list =
   List.filter_map
-    (fun r ->
-      if (not (Float.is_nan r.final_done)) && r.round > 0 then Some (r.final_done -. r.started)
-      else None)
-    t.rounds
+    (fun r -> if completed r && r.round > 0 then Some (r.final_done -. r.started) else None)
+    t.records
 
-(* Phase durations across completed rounds (Figure 7 decomposition). *)
+(* Phase durations across completed rounds (Figure 7 decomposition).
+   A round completed via catch-up (the block and certificate grafted
+   from a peer) never passed through the proposal / BinaryBA* phases,
+   so its intermediate timestamps are still NaN: such records are
+   skipped here and counted by [incomplete_phase_records] - one NaN
+   duration would otherwise poison the whole decomposition. *)
+let phase_endpoints (r : round_record) (phase : phase) : float * float =
+  match phase with
+  | Block_proposal -> (r.started, r.proposal_done)
+  | Ba_no_final -> (r.proposal_done, r.ba_done)
+  | Ba_final -> (r.ba_done, r.final_done)
+
 let phase_times (t : t) (phase : phase) : float list =
   List.filter_map
     (fun r ->
-      if Float.is_nan r.final_done then None
+      if not (completed r) then None
       else begin
-        match phase with
-        | Block_proposal -> Some (r.proposal_done -. r.started)
-        | Ba_no_final -> Some (r.ba_done -. r.proposal_done)
-        | Ba_final -> Some (r.final_done -. r.ba_done)
+        let a, b = phase_endpoints r phase in
+        if Float.is_nan a || Float.is_nan b then None else Some (b -. a)
       end)
-    t.rounds
+    t.records
+
+(* Completed records missing an intermediate timestamp (catch-up,
+   pipelining edge cases): excluded from every phase decomposition. *)
+let incomplete_phase_records (t : t) : int =
+  List.fold_left
+    (fun n r ->
+      if completed r && (Float.is_nan r.proposal_done || Float.is_nan r.ba_done) then n + 1
+      else n)
+    0 t.records
 
 let completed_rounds (t : t) : int =
-  List.length (List.filter (fun r -> not (Float.is_nan r.final_done)) t.rounds)
+  List.fold_left (fun n r -> if completed r then n + 1 else n) 0 t.records

@@ -7,7 +7,16 @@
    Attempt 0 fires synchronously inside [start]; attempt n waits
    base * multiplier^(n-1) (capped at [max_delay]) perturbed by a
    uniform +-[jitter] fraction, so a cohort of restarting nodes does
-   not re-request in lockstep. *)
+   not re-request in lockstep.
+
+   Observability: with a registry, each instance feeds per-kind
+   counters ("retry.<name>.attempts") plus histograms of the backoff
+   delays it draws and, at cancel/exhaustion, of how many attempts the
+   request needed. With an enabled trace, every backed-off attempt is
+   an instant event and the request's whole lifetime a span. *)
+
+module Registry = Algorand_obs.Registry
+module Trace = Algorand_obs.Trace
 
 type policy = {
   base_delay : float;  (** delay before the first retry (attempt 1) *)
@@ -20,12 +29,22 @@ type policy = {
 let default_policy =
   { base_delay = 2.0; multiplier = 2.0; max_delay = 30.0; jitter = 0.2; max_attempts = 0 }
 
+type obs = {
+  name : string;
+  trace : Trace.t option;
+  c_attempts : Registry.counter option;
+  h_delay : Registry.histogram option;
+  h_per_request : Registry.histogram option;
+}
+
 type t = {
   engine : Engine.t;
   rng : Rng.t;
   policy : policy;
   attempt : int -> unit;
   on_exhausted : (unit -> unit) option;
+  obs : obs;
+  started_at : float;
   mutable attempts : int;  (** attempts fired so far *)
   mutable active : bool;
   mutable generation : int;  (** invalidates timers armed before a cancel *)
@@ -37,10 +56,25 @@ let delay_before (t : t) ~(n : int) : float =
   if t.policy.jitter <= 0.0 then d
   else d *. (1.0 +. (t.policy.jitter *. ((2.0 *. Rng.float t.rng 1.0) -. 1.0)))
 
+(* The request is over (cancelled or exhausted): record how many
+   attempts it took and close its trace span. *)
+let finish (t : t) ~(outcome : string) : unit =
+  (match t.obs.h_per_request with
+  | Some h -> Registry.observe h (float_of_int t.attempts)
+  | None -> ());
+  match t.obs.trace with
+  | Some tr when Trace.enabled tr ->
+    Trace.span tr ~start_ts:t.started_at ~ts:(Engine.now t.engine) ~cat:"retry"
+      ~name:t.obs.name
+      ~detail:[ ("attempts", string_of_int t.attempts); ("outcome", outcome) ]
+      ()
+  | _ -> ()
+
 let rec arm (t : t) : unit =
   let n = t.attempts in
   if t.policy.max_attempts > 0 && n >= t.policy.max_attempts then begin
     t.active <- false;
+    finish t ~outcome:"exhausted";
     match t.on_exhausted with Some f -> f () | None -> ()
   end
   else begin
@@ -48,16 +82,47 @@ let rec arm (t : t) : unit =
     let fire () =
       if t.active && t.generation = gen then begin
         t.attempts <- n + 1;
+        if n > 0 then begin
+          (match t.obs.c_attempts with Some c -> Registry.incr c | None -> ());
+          match t.obs.trace with
+          | Some tr when Trace.enabled tr ->
+            Trace.instant tr ~ts:(Engine.now t.engine) ~cat:"retry"
+              ~name:(t.obs.name ^ ".attempt")
+              ~detail:[ ("n", string_of_int n) ]
+              ()
+          | _ -> ()
+        end;
         t.attempt n;
         (* The callback may have cancelled us (response already in). *)
         if t.active then arm t
       end
     in
-    if n = 0 then fire () else Engine.schedule t.engine ~delay:(delay_before t ~n) fire
+    if n = 0 then fire ()
+    else begin
+      let d = delay_before t ~n in
+      (match t.obs.h_delay with Some h -> Registry.observe h d | None -> ());
+      Engine.schedule t.engine ~delay:d fire
+    end
   end
 
 let start ~(engine : Engine.t) ~(rng : Rng.t) ~(policy : policy)
-    ~(attempt : int -> unit) ?on_exhausted () : t =
+    ~(attempt : int -> unit) ?on_exhausted ?(name = "request") ?registry ?trace () : t =
+  let obs =
+    {
+      name;
+      trace;
+      c_attempts =
+        Option.map (fun r -> Registry.counter r ("retry." ^ name ^ ".attempts")) registry;
+      h_delay =
+        Option.map (fun r -> Registry.histogram r ("retry." ^ name ^ ".backoff_delay_s")) registry;
+      h_per_request =
+        Option.map
+          (fun r ->
+            Registry.histogram r ~lo:1.0 ~growth:2.0 ~buckets:12
+              ("retry." ^ name ^ ".attempts_per_request"))
+          registry;
+    }
+  in
   let t =
     {
       engine;
@@ -65,6 +130,8 @@ let start ~(engine : Engine.t) ~(rng : Rng.t) ~(policy : policy)
       policy;
       attempt;
       on_exhausted;
+      obs;
+      started_at = Engine.now engine;
       attempts = 0;
       active = true;
       generation = 0;
@@ -74,6 +141,7 @@ let start ~(engine : Engine.t) ~(rng : Rng.t) ~(policy : policy)
   t
 
 let cancel (t : t) : unit =
+  if t.active then finish t ~outcome:"cancelled";
   t.active <- false;
   t.generation <- t.generation + 1
 

@@ -22,8 +22,18 @@ val start :
   policy:policy ->
   attempt:(int -> unit) ->
   ?on_exhausted:(unit -> unit) ->
+  ?name:string ->
+  ?registry:Algorand_obs.Registry.t ->
+  ?trace:Algorand_obs.Trace.t ->
   unit ->
   t
+(** [name] labels this request kind for observability (default
+    ["request"]). With [registry], the instance maintains
+    ["retry.<name>.attempts"] (backed-off attempts fired),
+    ["retry.<name>.backoff_delay_s"] (delays drawn) and
+    ["retry.<name>.attempts_per_request"] (observed at cancel or
+    exhaustion). With an enabled [trace], each backed-off attempt
+    emits an instant event and the request lifetime a span. *)
 
 val cancel : t -> unit
 (** Stop retrying (response landed or the request was abandoned).

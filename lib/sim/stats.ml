@@ -1,9 +1,17 @@
 (* Summary statistics matching the paper's graphs, which plot the
    minimum, 25th percentile, median, 75th percentile and maximum of
-   round completion times across users. *)
+   round completion times across users.
+
+   NaN inputs (e.g. a phase timestamp a round never reached) are
+   quarantined: they are counted in [nans] and excluded from the sort
+   and every statistic. Sorting NaNs with a total order would otherwise
+   scatter them through the array and silently corrupt every
+   percentile - polymorphic [compare] on floats is not even a
+   consistent order in their presence. *)
 
 type summary = {
-  count : int;
+  count : int;  (** finite samples actually summarized *)
+  nans : int;  (** NaN samples dropped from the summary *)
   min : float;
   p25 : float;
   median : float;
@@ -23,13 +31,16 @@ let percentile (sorted : float array) (p : float) : float =
   end
 
 let summarize (xs : float list) : summary =
-  let a = Array.of_list xs in
-  Array.sort compare a;
+  let nans = List.fold_left (fun n x -> if Float.is_nan x then n + 1 else n) 0 xs in
+  let a = Array.of_list (List.filter (fun x -> not (Float.is_nan x)) xs) in
+  Array.sort Float.compare a;
   let n = Array.length a in
-  if n = 0 then { count = 0; min = nan; p25 = nan; median = nan; p75 = nan; max = nan; mean = nan }
+  if n = 0 then
+    { count = 0; nans; min = nan; p25 = nan; median = nan; p75 = nan; max = nan; mean = nan }
   else
     {
       count = n;
+      nans;
       min = a.(0);
       p25 = percentile a 0.25;
       median = percentile a 0.5;
@@ -39,10 +50,14 @@ let summarize (xs : float list) : summary =
     }
 
 let pp_summary fmt (s : summary) =
-  Format.fprintf fmt "min=%.2f p25=%.2f med=%.2f p75=%.2f max=%.2f (n=%d)"
+  Format.fprintf fmt "min=%.2f p25=%.2f med=%.2f p75=%.2f max=%.2f (n=%d%s)"
     s.min s.p25 s.median s.p75 s.max s.count
+    (if s.nans > 0 then Printf.sprintf ", %d NaN dropped" s.nans else "")
 
 let mean (xs : float list) : float =
-  match xs with
-  | [] -> nan
-  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  let n, sum =
+    List.fold_left
+      (fun (n, sum) x -> if Float.is_nan x then (n, sum) else (n + 1, sum +. x))
+      (0, 0.0) xs
+  in
+  if n = 0 then nan else sum /. float_of_int n

@@ -1,8 +1,10 @@
 (** Summary statistics matching the paper's plots (min / p25 / median /
-    p75 / max across users). *)
+    p75 / max across users). NaN samples never reach the sort: they are
+    counted in [nans] and excluded from every statistic. *)
 
 type summary = {
-  count : int;
+  count : int;  (** finite samples actually summarized *)
+  nans : int;  (** NaN samples dropped from the summary *)
   min : float;
   p25 : float;
   median : float;
@@ -12,8 +14,10 @@ type summary = {
 }
 
 val percentile : float array -> float -> float
-(** Linear interpolation on a sorted array. *)
+(** Linear interpolation on a sorted array (NaN-free; see {!summarize}). *)
 
 val summarize : float list -> summary
 val pp_summary : Format.formatter -> summary -> unit
+
 val mean : float list -> float
+(** Mean of the non-NaN samples; NaN only when there are none. *)

@@ -260,7 +260,7 @@ let pipelining_works_and_helps () =
     List.fold_left
       (fun acc (rec_ : Algorand_sim.Metrics.round_record) ->
         if Float.is_nan rec_.final_done then acc else Float.max acc rec_.final_done)
-      0.0 r.harness.metrics.rounds
+      0.0 (Algorand_sim.Metrics.records r.harness.metrics)
   in
   let t_plain = last_done plain and t_piped = last_done piped in
   Alcotest.(check bool)
@@ -306,7 +306,7 @@ let vote_scheduling_attack () =
   let max_steps_taken =
     List.fold_left
       (fun acc (rec_ : Algorand_sim.Metrics.round_record) -> max acc rec_.steps_taken)
-      0 r.harness.metrics.rounds
+      0 (Algorand_sim.Metrics.records r.harness.metrics)
   in
   Alcotest.(check bool)
     (Printf.sprintf "extra steps taken (max %d)" max_steps_taken)

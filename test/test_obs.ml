@@ -1,0 +1,280 @@
+(* The observability layer: summary statistics under NaN poisoning,
+   the typed metrics registry, the structured trace, and the
+   Figure 7 regeneration pipeline built on top of them. *)
+
+open Algorand_sim
+module Trace = Algorand_obs.Trace
+module Registry = Algorand_obs.Registry
+module Figures = Algorand_core.Figures
+
+let t name f = Alcotest.test_case name `Quick f
+let ts name f = Alcotest.test_case name `Slow f
+
+let contains needle hay =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* Blank out JSON string literals so "no NaN token" checks only see
+   value positions: keys like "nan_values_dropped" legitimately contain
+   the letters. *)
+let strip_quoted s =
+  let b = Buffer.create (String.length s) in
+  let in_string = ref false in
+  String.iter
+    (fun ch ->
+      if ch = '"' then in_string := not !in_string
+      else if not !in_string then Buffer.add_char b ch)
+    s;
+  Buffer.contents b
+
+(* ---- Stats: percentile / summarize edge cases ---- *)
+
+let stats_empty () =
+  let s = Stats.summarize [] in
+  Alcotest.(check int) "count" 0 s.count;
+  Alcotest.(check int) "nans" 0 s.nans;
+  Alcotest.(check bool) "median is NaN" true (Float.is_nan s.median);
+  Alcotest.(check bool) "mean is NaN" true (Float.is_nan s.mean)
+
+let stats_singleton () =
+  let s = Stats.summarize [ 4.5 ] in
+  Alcotest.(check int) "count" 1 s.count;
+  Alcotest.(check (float 1e-9)) "min" 4.5 s.min;
+  Alcotest.(check (float 1e-9)) "median" 4.5 s.median;
+  Alcotest.(check (float 1e-9)) "max" 4.5 s.max;
+  Alcotest.(check (float 1e-9)) "mean" 4.5 s.mean
+
+let stats_two_element_interpolation () =
+  (* Percentiles between two samples interpolate linearly. *)
+  Alcotest.(check (float 1e-9)) "p50" 5.0 (Stats.percentile [| 0.0; 10.0 |] 0.5);
+  Alcotest.(check (float 1e-9)) "p25" 2.5 (Stats.percentile [| 0.0; 10.0 |] 0.25);
+  let s = Stats.summarize [ 10.0; 0.0 ] in
+  Alcotest.(check (float 1e-9)) "median" 5.0 s.median;
+  Alcotest.(check (float 1e-9)) "p75" 7.5 s.p75
+
+let stats_nan_quarantine () =
+  (* A NaN sample must not poison the sort or any statistic: it is
+     counted and dropped. With polymorphic [compare] this test fails
+     intermittently depending on where the NaN lands in the array. *)
+  let s = Stats.summarize [ 1.0; nan; 3.0 ] in
+  Alcotest.(check int) "count" 2 s.count;
+  Alcotest.(check int) "nans" 1 s.nans;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.min;
+  Alcotest.(check (float 1e-9)) "median" 2.0 s.median;
+  Alcotest.(check (float 1e-9)) "max" 3.0 s.max;
+  Alcotest.(check (float 1e-9)) "mean" 2.0 s.mean;
+  let all_nan = Stats.summarize [ nan; nan ] in
+  Alcotest.(check int) "all-NaN count" 0 all_nan.count;
+  Alcotest.(check int) "all-NaN counted" 2 all_nan.nans;
+  Alcotest.(check bool) "mean of NaNs is NaN" true (Float.is_nan (Stats.mean [ nan ]));
+  Alcotest.(check (float 1e-9)) "mean skips NaN" 2.0 (Stats.mean [ 1.0; nan; 3.0 ])
+
+(* ---- Registry ---- *)
+
+let registry_counters_and_gauges () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg "a.count" in
+  Registry.incr c;
+  Registry.add c 4;
+  Alcotest.(check int) "count" 5 (Registry.count c);
+  (* Same name returns the same underlying counter. *)
+  Registry.incr (Registry.counter reg "a.count");
+  Alcotest.(check (option int)) "shared" (Some 6) (Registry.counter_value reg "a.count");
+  let g = Registry.gauge reg "a.gauge" in
+  Registry.set g 2.5;
+  Alcotest.(check (option (float 1e-9))) "gauge" (Some 2.5) (Registry.gauge_value reg "a.gauge");
+  (* Requesting an existing name with a different type is a bug. *)
+  (match Registry.gauge reg "a.count" with
+  | _ -> Alcotest.fail "type mismatch accepted"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check (list string)) "names sorted" [ "a.count"; "a.gauge" ] (Registry.names reg)
+
+let registry_histogram_nan () =
+  let reg = Registry.create () in
+  let h = Registry.histogram reg "h" in
+  Registry.observe h 0.010;
+  Registry.observe h 0.020;
+  Registry.observe h nan;
+  let s = Registry.hist_snapshot h in
+  Alcotest.(check int) "finite count" 2 s.h_count;
+  Alcotest.(check int) "nan count" 1 s.h_nan;
+  Alcotest.(check (float 1e-9)) "sum" 0.030 s.h_sum;
+  Alcotest.(check (float 1e-9)) "min" 0.010 s.h_min;
+  Alcotest.(check (float 1e-9)) "max" 0.020 s.h_max;
+  Alcotest.(check int) "bucketed observations" 2
+    (List.fold_left (fun n (_, c) -> n + c) 0 s.h_buckets)
+
+let registry_histogram_buckets () =
+  let reg = Registry.create () in
+  let h = Registry.histogram reg ~lo:1.0 ~growth:2.0 ~buckets:3 "b" in
+  (* underflow, (1,2], (2,4], (4,8], overflow *)
+  List.iter (Registry.observe h) [ 0.5; 1.5; 3.0; 3.5; 100.0 ];
+  let s = Registry.hist_snapshot h in
+  Alcotest.(check int) "count" 5 s.h_count;
+  let bucket bound =
+    List.fold_left (fun n (b, c) -> if b = bound then n + c else n) 0 s.h_buckets
+  in
+  Alcotest.(check int) "underflow" 1 (bucket 1.0);
+  Alcotest.(check int) "(1,2]" 1 (bucket 2.0);
+  Alcotest.(check int) "(2,4]" 2 (bucket 4.0);
+  Alcotest.(check int) "overflow" 1 (bucket infinity)
+
+let registry_json_deterministic () =
+  let build () =
+    let reg = Registry.create () in
+    Registry.add (Registry.counter reg "z.last") 3;
+    Registry.add (Registry.counter reg "a.first") 1;
+    Registry.set (Registry.gauge reg "poisoned") nan;
+    let h = Registry.histogram reg "h" in
+    Registry.observe h 0.5;
+    Registry.observe h nan;
+    Registry.to_json reg
+  in
+  let a = build () and b = build () in
+  Alcotest.(check string) "bit-identical" a b;
+  Alcotest.(check bool) "no nan value" false (contains "nan" (strip_quoted a));
+  Alcotest.(check bool) "keys sorted" true (contains "\"a.first\":1,\"z.last\":3" a);
+  Alcotest.(check bool) "nan observation counted" true (contains "\"nan\":1" a)
+
+(* ---- Trace ---- *)
+
+let trace_disabled_by_default () =
+  let tr = Trace.create () in
+  Trace.add_ring tr ~capacity:8;
+  Alcotest.(check bool) "disabled" false (Trace.enabled tr);
+  Trace.instant tr ~ts:1.0 ~cat:"x" ~name:"dropped" ();
+  Alcotest.(check int) "emit is a no-op" 0 (List.length (Trace.ring_events tr))
+
+let trace_ring_and_spans () =
+  let tr = Trace.create () in
+  Trace.enable tr;
+  Trace.add_ring tr ~capacity:3;
+  (* A nested pair of spans: the outer covers the inner. *)
+  Trace.span tr ~node:2 ~round:5 ~step:1 ~start_ts:1.0 ~ts:2.0 ~cat:"step" ~name:"inner" ();
+  Trace.span tr ~node:2 ~round:5 ~start_ts:0.0 ~ts:3.0 ~cat:"round" ~name:"outer" ();
+  (match Trace.ring_events tr with
+  | [ inner; outer ] ->
+    Alcotest.(check (float 1e-9)) "inner dur" 1.0 (Trace.duration inner);
+    Alcotest.(check (float 1e-9)) "outer dur" 3.0 (Trace.duration outer);
+    Alcotest.(check bool) "nesting" true
+      (outer.start_ts <= inner.start_ts && inner.ts <= outer.ts);
+    Alcotest.(check int) "step tagged" 1 inner.step;
+    Alcotest.(check int) "step absent" (-1) outer.step
+  | evs -> Alcotest.fail (Printf.sprintf "expected 2 events, got %d" (List.length evs)));
+  (* The ring keeps only the most recent [capacity] events. *)
+  for i = 1 to 5 do
+    Trace.instant tr ~ts:(float_of_int i) ~cat:"x" ~name:(string_of_int i) ()
+  done;
+  Alcotest.(check (list string)) "ring evicts oldest" [ "3"; "4"; "5" ]
+    (List.map (fun (e : Trace.event) -> e.name) (Trace.ring_events tr))
+
+let trace_json_shape () =
+  let tr = Trace.create () in
+  Trace.enable tr;
+  Trace.add_ring tr ~capacity:2;
+  Trace.instant tr ~node:1 ~ts:0.5 ~cat:"gossip" ~name:"drop" ~detail:[ ("why", "dup") ] ();
+  Trace.span tr ~start_ts:1.0 ~ts:2.5 ~cat:"phase" ~name:"proposal" ();
+  (match Trace.ring_events tr with
+  | [ i; s ] ->
+    Alcotest.(check string) "instant json"
+      "{\"ts\":0.500000,\"cat\":\"gossip\",\"name\":\"drop\",\"node\":1,\"detail\":{\"why\":\"dup\"}}"
+      (Trace.event_to_json i);
+    Alcotest.(check string) "span json"
+      "{\"ts\":2.500000,\"start\":1.000000,\"dur\":1.500000,\"cat\":\"phase\",\"name\":\"proposal\"}"
+      (Trace.event_to_json s)
+  | _ -> Alcotest.fail "expected 2 events")
+
+let trace_disabled_zero_allocation () =
+  (* The whole point of the [if Trace.enabled tr then ...] discipline:
+     a disabled trace must cost nothing on the hot path. Run many
+     guarded emission sites and check the minor heap barely moves (the
+     epsilon absorbs the boxed floats from Gc.minor_words itself). *)
+  let tr = Trace.create () in
+  Trace.add_ring tr ~capacity:64;
+  let emit_site i =
+    if Trace.enabled tr then
+      Trace.instant tr ~node:i ~round:i ~ts:(float_of_int i) ~cat:"hot" ~name:"site" ()
+  in
+  (* Warm up so any one-time allocation is done. *)
+  emit_site 0;
+  let before = Gc.minor_words () in
+  for i = 1 to 100_000 do
+    emit_site i
+  done;
+  let after = Gc.minor_words () in
+  Alcotest.(check bool) "no per-site allocation" true (after -. before < 256.0)
+
+(* ---- Metrics: catch-up records and the per-round index ---- *)
+
+let metrics_skips_catchup_records () =
+  let m = Metrics.create ~users:2 () in
+  let r1 = Metrics.start_round m ~user:0 ~round:1 ~now:0.0 in
+  r1.proposal_done <- 1.0;
+  r1.ba_done <- 2.0;
+  r1.final_done <- 3.0;
+  (* A catch-up graft: the round completed, but the node never ran the
+     proposal or BinaryBA* phases, so the intermediates stay NaN. *)
+  let r2 = Metrics.start_round m ~user:1 ~round:1 ~now:0.0 in
+  r2.final_done <- 4.0;
+  Alcotest.(check (list (float 1e-9))) "proposal excludes graft" [ 1.0 ]
+    (Metrics.phase_times m Metrics.Block_proposal);
+  Alcotest.(check (list (float 1e-9))) "ba excludes graft" [ 1.0 ]
+    (Metrics.phase_times m Metrics.Ba_no_final);
+  Alcotest.(check (list (float 1e-9))) "final excludes graft" [ 1.0 ]
+    (Metrics.phase_times m Metrics.Ba_final);
+  Alcotest.(check int) "graft counted" 1 (Metrics.incomplete_phase_records m);
+  (* Total round time is still measurable for the graft. *)
+  Alcotest.(check (list (float 1e-9))) "completion keeps both" [ 3.0; 4.0 ]
+    (List.sort Float.compare (Metrics.round_completion_times m ~round:1));
+  Alcotest.(check int) "both completed" 2 (Metrics.completed_rounds m)
+
+let metrics_round_index () =
+  let m = Metrics.create ~users:1 () in
+  for round = 1 to 50 do
+    let r = Metrics.start_round m ~user:0 ~round ~now:0.0 in
+    r.final_done <- float_of_int round
+  done;
+  Alcotest.(check (list (float 1e-9))) "indexed lookup" [ 17.0 ]
+    (Metrics.round_completion_times m ~round:17);
+  Alcotest.(check (list (float 1e-9))) "absent round" []
+    (Metrics.round_completion_times m ~round:99);
+  Alcotest.(check int) "record count" 50 (Metrics.record_count m)
+
+(* ---- Figure 7 golden output ---- *)
+
+let fig7_deterministic () =
+  let run () = Figures.fig7_run ~users:8 ~rounds:2 ~seed:3 ~block_bytes:50_000 () in
+  let a = run () and b = run () in
+  Alcotest.(check string) "bit-identical across runs" a b;
+  let bare = String.lowercase_ascii (strip_quoted a) in
+  Alcotest.(check bool) "no nan value" false (contains "nan" bare);
+  Alcotest.(check bool) "no inf value" false (contains "inf" bare);
+  List.iter
+    (fun key -> Alcotest.(check bool) key true (contains (Printf.sprintf "\"%s\"" key) a))
+    [
+      "figure"; "seed"; "users"; "rounds"; "completed_records"; "skipped_incomplete_records";
+      "nan_values_dropped"; "block_proposal"; "ba_no_final"; "ba_final"; "round_total";
+    ]
+
+let suite =
+  [
+    ( "obs",
+      [
+        t "stats: empty summary" stats_empty;
+        t "stats: singleton" stats_singleton;
+        t "stats: two-element interpolation" stats_two_element_interpolation;
+        t "stats: NaN quarantine" stats_nan_quarantine;
+        t "registry: counters and gauges" registry_counters_and_gauges;
+        t "registry: histogram NaN quarantine" registry_histogram_nan;
+        t "registry: histogram buckets" registry_histogram_buckets;
+        t "registry: deterministic NaN-free json" registry_json_deterministic;
+        t "trace: disabled by default" trace_disabled_by_default;
+        t "trace: ring buffer and span nesting" trace_ring_and_spans;
+        t "trace: json shape" trace_json_shape;
+        t "trace: disabled mode allocates nothing" trace_disabled_zero_allocation;
+        t "metrics: catch-up records quarantined" metrics_skips_catchup_records;
+        t "metrics: per-round index" metrics_round_index;
+        ts "figure 7: deterministic and NaN-free" fig7_deterministic;
+      ] );
+  ]

@@ -117,7 +117,7 @@ let stats_summary () =
   Alcotest.(check bool) "empty gives nan" true (Float.is_nan (Stats.summarize []).median)
 
 let metrics_phases () =
-  let m = Metrics.create ~users:2 in
+  let m = Metrics.create ~users:2 () in
   let r = Metrics.start_round m ~user:0 ~round:1 ~now:10.0 in
   r.proposal_done <- 12.0;
   r.ba_done <- 15.0;
@@ -189,7 +189,7 @@ let engine_reorder_hook () =
     [ "second"; "first"; "child" ] (List.rev !log)
 
 let metrics_bandwidth () =
-  let m = Metrics.create ~users:3 in
+  let m = Metrics.create ~users:3 () in
   Metrics.record_bytes_sent m ~user:1 500;
   Metrics.record_bytes_sent m ~user:1 250;
   Metrics.record_bytes_received m ~user:2 100;

@@ -9,7 +9,8 @@
      algorand-check --mode dfs  --nodes 3 --depth 300
      algorand-check --mode fuzz --nodes 4 --seeds 50
      algorand-check --mode fuzz --scenario split --t-step 0.3   # negative control
-     algorand-check --mode sim  --seeds 10   # whole-harness schedule fuzz *)
+     algorand-check --mode sim  --seeds 10   # whole-harness schedule fuzz
+     algorand-check --mode fuzz-wire --mutations 10000   # codec mutation fuzz *)
 
 open Cmdliner
 module World = Algorand_check.World
@@ -141,14 +142,42 @@ let run_sim_mode ~nodes ~seeds =
   rowi "double finals" !bad;
   if !bad > 0 then exit 1
 
+(* ------------------------- fuzz-wire mode ------------------------- *)
+
+(* Codec mutation fuzz: mutate valid encodings and hold the decoder to
+   its contract (no exception, bounded allocation, self-consistency).
+   Any failure prints a shrunk hex reproducer and exits nonzero. *)
+let run_fuzz_wire ~seed ~mutations =
+  Printf.printf "algorand-check mode=fuzz-wire seed=%d mutations=%d\n" seed mutations;
+  let report = Algorand_check.Wirefuzz.run ~seed ~mutations () in
+  rowi "mutations" report.mutations;
+  rowi "rejected" report.rejected;
+  rowi "still decoded" report.decoded;
+  rowi "failures" (List.length report.failures);
+  List.iter
+    (fun (f : Algorand_check.Wirefuzz.failure) ->
+      Printf.printf "\n  FAIL via %s: %s\n  frame (%d bytes): %s\n" f.mutation
+        f.reason f.frame_len f.frame_hex)
+    report.failures;
+  if report.failures <> [] then exit 1
+
 (* ----------------------------- CLI -------------------------------- *)
 
 let cmd =
   let mode =
     Arg.(
       value
-      & opt (enum [ ("dfs", `Dfs); ("fuzz", `Fuzz); ("fifo", `Fifo); ("sim", `Sim) ]) `Fuzz
-      & info [ "mode" ] ~doc:"Exploration mode: dfs, fuzz, fifo or sim.")
+      & opt
+          (enum
+             [
+               ("dfs", `Dfs);
+               ("fuzz", `Fuzz);
+               ("fifo", `Fifo);
+               ("sim", `Sim);
+               ("fuzz-wire", `Fuzz_wire);
+             ])
+          `Fuzz
+      & info [ "mode" ] ~doc:"Exploration mode: dfs, fuzz, fifo, sim or fuzz-wire.")
   in
   let nodes = Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"Cluster size.") in
   let seeds =
@@ -176,9 +205,19 @@ let cmd =
   let no_shrink =
     Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report raw violation traces without shrinking.")
   in
-  let go mode nodes seeds depth max_states scenario t_step t_final no_shrink =
+  let mutations =
+    Arg.(
+      value & opt int 10_000
+      & info [ "mutations" ] ~doc:"Mutant frames to run (fuzz-wire mode).")
+  in
+  let fuzz_seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Fuzzer seed (fuzz-wire mode).")
+  in
+  let go mode nodes seeds depth max_states scenario t_step t_final no_shrink mutations
+      fuzz_seed =
     match mode with
     | `Sim -> run_sim_mode ~nodes ~seeds
+    | `Fuzz_wire -> run_fuzz_wire ~seed:fuzz_seed ~mutations
     | (`Dfs | `Fuzz | `Fifo) as mode ->
       run_world_mode ~mode ~nodes ~seeds ~depth ~max_states ~scenario ~t_step ~t_final
         ~shrink:(not no_shrink)
@@ -188,6 +227,6 @@ let cmd =
        ~doc:"Schedule-exploring model checker for BA* with invariant audits")
     Term.(
       const go $ mode $ nodes $ seeds $ depth $ max_states $ scenario $ t_step
-      $ t_final $ no_shrink)
+      $ t_final $ no_shrink $ mutations $ fuzz_seed)
 
 let () = exit (Cmd.eval cmd)

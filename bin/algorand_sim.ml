@@ -48,10 +48,33 @@ let run_cmd =
                ("dos", `Dos);
                ("delay-votes", `Delay_votes);
                ("churn", `Churn);
+               ("flood", `Flood);
+               ("corrupt", `Corrupt);
              ])
           `None
       & info [ "attack" ]
-          ~doc:"Adversary: none, equivocate, partition, dos, delay-votes or churn.")
+          ~doc:"Adversary: none, equivocate, partition, dos, delay-votes, churn, \
+                flood or corrupt.")
+  in
+  let wire =
+    Arg.(
+      value
+      & opt (enum [ ("typed", `Typed); ("bytes", `Bytes) ]) `Typed
+      & info [ "wire" ]
+          ~doc:"Transport: typed OCaml values, or bytes (every message runs \
+                through the codec at each hop).")
+  in
+  let flood_rate =
+    Arg.(value & opt float 200.0
+         & info [ "flood-rate" ] ~doc:"Garbage frames/s per flooder (for flood).")
+  in
+  let flood_fraction =
+    Arg.(value & opt float 0.1
+         & info [ "flood-fraction" ] ~doc:"Fraction of users that turn flooder.")
+  in
+  let corrupt_p =
+    Arg.(value & opt float 0.05
+         & info [ "corrupt-p" ] ~doc:"Per-frame corruption probability (for corrupt).")
   in
   let loss =
     Arg.(value & opt float 0.0 & info [ "loss" ] ~doc:"Uniform message-loss probability.")
@@ -99,7 +122,7 @@ let run_cmd =
   in
   let run users rounds block_bytes seed attack malicious bandwidth fanout tx_rate
       recovery real_crypto verbose save_dir loss churn_fraction churn_period churn_down
-      churn_until trace_out metrics_out =
+      churn_until trace_out metrics_out wire flood_rate flood_fraction corrupt_p =
     setup_logs verbose;
     let trace, trace_oc =
       match trace_out with
@@ -112,7 +135,7 @@ let run_cmd =
         (Some tr, Some oc)
     in
     let params =
-      if recovery || attack = `Churn then
+      if recovery || attack = `Churn || attack = `Flood || attack = `Corrupt then
         { Params.paper with
           lambda_priority = 1.0; lambda_stepvar = 1.0; lambda_block = 10.0;
           lambda_step = 5.0; max_steps = 6; recovery_interval = 150.0 }
@@ -139,6 +162,17 @@ let run_cmd =
                  until = churn_until;
                }),
           0.0 )
+      | `Flood ->
+        ( Harness.Flood
+            {
+              flooders = flood_fraction;
+              rate_per_s = flood_rate;
+              frame_bytes = 512;
+              from_ = 2.0;
+              until = 1_000.0;
+            },
+          0.0 )
+      | `Corrupt -> (Harness.Corrupt { p = corrupt_p; from_ = 0.0; until = 60.0 }, 0.0)
     in
     let config =
       {
@@ -158,6 +192,7 @@ let run_cmd =
         max_sim_time = 3_600.0;
         loss;
         trace;
+        wire;
       }
     in
     let r = Harness.run config in
@@ -184,6 +219,13 @@ let run_cmd =
       r.safety.agreement_rounds
       (String.concat "," (List.map string_of_int r.safety.forked_rounds))
       (String.concat "," (List.map string_of_int r.safety.double_final));
+    if
+      wire = `Bytes || r.wire.decode_failures > 0 || r.wire.quota_drops > 0
+      || r.wire.banned_links > 0
+    then
+      Printf.printf "wire: %d decode failures, %d quota drops, %d banned links (nodes %s)\n"
+        r.wire.decode_failures r.wire.quota_drops r.wire.banned_links
+        (String.concat "," (List.map string_of_int r.wire.banned_nodes));
     let recoveries =
       Array.fold_left (fun a n -> a + Node.recoveries_completed n) 0 r.harness.nodes
     in
@@ -242,7 +284,7 @@ let run_cmd =
       const run $ users $ rounds $ block_bytes $ seed $ attack $ malicious $ bandwidth
       $ fanout $ tx_rate $ recovery $ real_crypto $ verbose $ save_dir $ loss
       $ churn_fraction $ churn_period $ churn_down $ churn_until $ trace_out
-      $ metrics_out)
+      $ metrics_out $ wire $ flood_rate $ flood_fraction $ corrupt_p)
 
 (* ------------------------------------------------------------------ *)
 (* committee                                                           *)

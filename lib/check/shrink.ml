@@ -24,12 +24,11 @@ let reproduces ~(config : World.config) ~(invariant : string)
 let drop_nth (lst : 'a list) (n : int) : 'a list =
   List.filteri (fun i _ -> i <> n) lst
 
-(* One pass of single-event deletions, last event first (later events
-   are most often dead weight: everything after the violation already
-   got truncated by the recorder). Returns the shrunk trace and whether
-   anything was removed. *)
-let delete_pass ~(keep : World.trace_event list -> bool)
-    (trace : World.trace_event list) : World.trace_event list * bool =
+(* One pass of single-element deletions, last element first (later
+   elements are most often dead weight: everything after the violation
+   already got truncated by the recorder). Returns the shrunk sequence
+   and whether anything was removed. *)
+let delete_pass ~(keep : 'a list -> bool) (items : 'a list) : 'a list * bool =
   let changed = ref false in
   let rec go i tr =
     if i < 0 then tr
@@ -42,13 +41,15 @@ let delete_pass ~(keep : World.trace_event list -> bool)
       else go (i - 1) tr
     end
   in
-  let tr = go (List.length trace - 1) trace in
+  let tr = go (List.length items - 1) items in
   (tr, !changed)
 
-let minimize ?(max_passes = 16) ~(config : World.config) ~(invariant : string)
-    (trace : World.trace_event list) : World.trace_event list =
-  let keep = reproduces ~config ~invariant in
-  if not (keep trace) then trace
+(* Generic greedy delta debugging: repeated deletion passes until no
+   single deletion preserves [keep] (1-minimal). Schedule traces and
+   the wire fuzzer's byte sequences both shrink through this. *)
+let minimize_seq ?(max_passes = 16) ~(keep : 'a list -> bool) (items : 'a list) :
+    'a list =
+  if not (keep items) then items
   else begin
     let rec fixpoint tr passes =
       if passes >= max_passes then tr
@@ -57,8 +58,12 @@ let minimize ?(max_passes = 16) ~(config : World.config) ~(invariant : string)
         if changed then fixpoint tr' (passes + 1) else tr'
       end
     in
-    fixpoint trace 0
+    fixpoint items 0
   end
+
+let minimize ?max_passes ~(config : World.config) ~(invariant : string)
+    (trace : World.trace_event list) : World.trace_event list =
+  minimize_seq ?max_passes ~keep:(reproduces ~config ~invariant) trace
 
 (* Render the minimal reproducer: the replayable delivery script plus
    the violation it ends in. *)

@@ -7,6 +7,11 @@ val reproduces :
 (** Replay the trace against a fresh world; true iff the named
     invariant fires again. *)
 
+val minimize_seq : ?max_passes:int -> keep:('a list -> bool) -> 'a list -> 'a list
+(** Generic greedy delta debugging: repeated single-element deletion
+    passes until no deletion preserves [keep] (1-minimal). Returns the
+    input unchanged if [keep] does not hold on it. *)
+
 val minimize :
   ?max_passes:int ->
   config:World.config ->

@@ -1,0 +1,305 @@
+(* Structure-aware mutation fuzzing of the wire codec - the
+   untrusted-ingress surface that every bytes-on-the-wire delivery
+   runs through.
+
+   A corpus of valid encodings (one per message kind, plus structural
+   variants) is mutated with byte-level and structure-aware operators:
+   bit flips, truncations, extensions, splices of two corpus frames,
+   length-field bombs (an 8-byte window overwritten with a huge
+   declared length - frames are length-prefixed, so random offsets hit
+   real length fields often), and field swaps within the
+   length-prefixed framing.
+
+   Oracles, per mutant:
+   - the decoder must not raise - any exception is a finding;
+   - the decoder must not allocate more than a small multiple of its
+     input (a 16-byte frame claiming 2^60 bytes must be rejected, not
+     materialized);
+   - a mutant that still decodes must re-encode to something that
+     decodes back to the same message id (codec self-consistency).
+
+   Failures shrink through {!Shrink.minimize_seq} over the frame's
+   bytes to a 1-minimal reproducer. *)
+
+open Algorand_crypto
+module Codec = Algorand_core.Codec
+module Message = Algorand_core.Message
+module Certificate = Algorand_core.Certificate
+module Block = Algorand_ledger.Block
+module Transaction = Algorand_ledger.Transaction
+module Wire = Algorand_ledger.Wire
+module Vote = Algorand_ba.Vote
+module Rng = Algorand_sim.Rng
+
+(* ------------------------------ corpus ----------------------------- *)
+
+(* Deterministic sample values, sim crypto: the fuzzer needs valid
+   encodings to mutate, not valid signatures. *)
+let corpus () : string list =
+  let sig_scheme = Signature_scheme.sim in
+  let signer, pk = sig_scheme.generate ~seed:"wirefuzz" in
+  let _, pk2 = sig_scheme.generate ~seed:"wirefuzz2" in
+  let h32 s = Sha256.digest s in
+  let tx n =
+    Transaction.make ~signer ~sender:pk ~recipient:pk2 ~amount:(n * 7) ~nonce:n
+  in
+  let vote step : Vote.t =
+    {
+      round = 11;
+      step;
+      voter_pk = pk ^ pk2;
+      sorthash = h32 "sort";
+      sortproof = "proofbytes";
+      prev_hash = h32 "prev";
+      value = h32 "value";
+      signature = "sig";
+    }
+  in
+  let block ~txs ~padding : Block.t =
+    {
+      header =
+        {
+          round = 12;
+          prev_hash = h32 "p";
+          timestamp = 99.25;
+          seed = h32 "s";
+          seed_proof = "sp";
+          proposer_pk = pk ^ pk2;
+          proposer_vrf_hash = h32 "v";
+          proposer_vrf_proof = "vp";
+        };
+      txs;
+      padding;
+    }
+  in
+  let cert =
+    Certificate.make ~round:5 ~step:(Vote.Bin 3) ~block_hash:(h32 "b")
+      ~votes:(List.init 4 (fun i -> { (vote (Vote.Bin 3)) with round = i }))
+  in
+  List.map Codec.encode
+    [
+      Message.Tx (tx 1);
+      Message.Priority
+        {
+          round = 4;
+          proposer_pk = pk ^ pk2;
+          prev_hash = h32 "p";
+          vrf_hash = h32 "v";
+          vrf_proof = "vp";
+          priority = h32 "pr";
+        };
+      Message.Block_gossip (block ~txs:[ tx 1; tx 2; tx 3 ] ~padding:2048);
+      Message.Block_gossip (block ~txs:[] ~padding:0);
+      Message.Block_reply (block ~txs:[ tx 4 ] ~padding:100);
+      Message.Ba_vote (vote Vote.Reduction_one);
+      Message.Ba_vote (vote Vote.Reduction_two);
+      Message.Ba_vote (vote (Vote.Bin 1));
+      Message.Ba_vote (vote (Vote.Bin 150));
+      Message.Ba_vote (vote Vote.Final);
+      Message.Block_request
+        { round = 6; block_hash = h32 "b"; requester = 3; attempt = 1 };
+      Message.Fork_proposal
+        {
+          attempt = 1;
+          proposer_pk = pk ^ pk2;
+          vrf_hash = h32 "v";
+          vrf_proof = "vp";
+          priority = h32 "pr";
+          suffix = [ block ~txs:[ tx 5 ] ~padding:16 ];
+          tip_hash = h32 "tip";
+        };
+      Message.Round_request { from_round = 2; requester = 7; attempt = 0 };
+      Message.Round_reply
+        {
+          to_ = 7;
+          current_round = 9;
+          items = [ (block ~txs:[ tx 6 ] ~padding:0, cert) ];
+        };
+    ]
+
+(* ----------------------------- mutators ---------------------------- *)
+
+let random_bytes (rng : Rng.t) (len : int) : string =
+  String.init len (fun _ -> Char.chr (Rng.int rng 256))
+
+let bit_flip (rng : Rng.t) (s : string) : string =
+  if s = "" then s
+  else begin
+    let b = Bytes.of_string s in
+    let pos = Rng.int rng (Bytes.length b) in
+    let bit = Rng.int rng 8 in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+    Bytes.to_string b
+  end
+
+let byte_set (rng : Rng.t) (s : string) : string =
+  if s = "" then s
+  else begin
+    let b = Bytes.of_string s in
+    Bytes.set b (Rng.int rng (Bytes.length b)) (Char.chr (Rng.int rng 256));
+    Bytes.to_string b
+  end
+
+let truncate (rng : Rng.t) (s : string) : string =
+  if s = "" then s else String.sub s 0 (Rng.int rng (String.length s))
+
+let extend (rng : Rng.t) (s : string) : string =
+  s ^ random_bytes rng (1 + Rng.int rng 32)
+
+(* Overwrite an 8-byte window with a huge big-endian value. The wire
+   format is length-prefixed u64s, so this lands on real length (and
+   round/step/padding) fields often - the declared-length-bomb shape. *)
+let length_bomb (rng : Rng.t) (s : string) : string =
+  if String.length s < 8 then s
+  else begin
+    let b = Bytes.of_string s in
+    let off = Rng.int rng (Bytes.length b - 7) in
+    let v =
+      match Rng.int rng 4 with
+      | 0 -> Int64.shift_left 1L 60
+      | 1 -> Int64.max_int
+      | 2 -> Int64.minus_one (* top bit set: negative as an OCaml 63-bit int *)
+      | _ -> Int64.of_int (1 lsl 40)
+    in
+    Bytes.set_int64_be b off v;
+    Bytes.to_string b
+  end
+
+(* Swap two top-level length-prefixed fields, keeping the framing
+   valid: exercises decoders against structurally well-formed frames
+   whose field order (hence meaning) is wrong. *)
+let field_swap (rng : Rng.t) (s : string) : string =
+  match Wire.split s with
+  | exception _ -> byte_set rng s
+  | fields when List.length fields >= 2 ->
+    let arr = Array.of_list fields in
+    let i = Rng.int rng (Array.length arr) in
+    let j = Rng.int rng (Array.length arr) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp;
+    Wire.concat (Array.to_list arr)
+  | _ -> byte_set rng s
+
+let splice (rng : Rng.t) (a : string) (b : string) : string =
+  let head = if a = "" then "" else String.sub a 0 (Rng.int rng (String.length a)) in
+  let tail =
+    if b = "" then ""
+    else begin
+      let off = Rng.int rng (String.length b) in
+      String.sub b off (String.length b - off)
+    end
+  in
+  head ^ tail
+
+let mutators : (string * (Rng.t -> string list -> string -> string)) list =
+  [
+    ("bit-flip", fun rng _ s -> bit_flip rng s);
+    ("byte-set", fun rng _ s -> byte_set rng s);
+    ("truncate", fun rng _ s -> truncate rng s);
+    ("extend", fun rng _ s -> extend rng s);
+    ("length-bomb", fun rng _ s -> length_bomb rng s);
+    ("field-swap", fun rng _ s -> field_swap rng s);
+    ( "splice",
+      fun rng corpus s ->
+        splice rng s (List.nth corpus (Rng.int rng (List.length corpus))) );
+    ("garbage", fun rng _ _ -> random_bytes rng (Rng.int rng 256));
+  ]
+
+(* ------------------------------ oracles ---------------------------- *)
+
+(* Allocation budget for one decode: linear in the input with a
+   constant floor. The multiplier covers the nested copying of the
+   framing (frame -> fields -> sub-fields, one copy per layer); what
+   it must never cover is a declared length the input did not pay
+   for. *)
+let alloc_budget (len : int) : float = (64.0 *. float_of_int len) +. 65_536.0
+
+let check_frame ~(limits : Codec.limits) (frame : string) :
+    ([ `Rejected | `Decoded ], string) result =
+  (* Empty the minor heap first: on OCaml 5 the allocation counters
+     flush at collection boundaries, so a minor GC landing inside the
+     measured window would attribute the whole minor heap to this
+     decode. Starting from an empty nursery, an in-budget decode
+     cannot trigger one. *)
+  Gc.minor ();
+  let before = Gc.allocated_bytes () in
+  match Codec.decode ~limits frame with
+  | exception e -> Error ("decode raised: " ^ Printexc.to_string e)
+  | decoded -> (
+    let allocated = Gc.allocated_bytes () -. before in
+    if allocated > alloc_budget (String.length frame) then
+      Error
+        (Printf.sprintf "over-allocation: %.0f bytes for a %d-byte frame" allocated
+           (String.length frame))
+    else
+      match decoded with
+      | None -> Ok `Rejected
+      | Some m -> (
+        (* Self-consistency: whatever decoded must survive its own
+           re-encoding with an identical message id. *)
+        match Codec.decode ~limits (Codec.encode m) with
+        | exception e -> Error ("re-decode raised: " ^ Printexc.to_string e)
+        | Some m' when String.equal (Message.id m) (Message.id m') -> Ok `Decoded
+        | Some _ -> Error "re-decode changed the message id"
+        | None -> Error "re-encoding of a decoded mutant does not decode"))
+
+(* ------------------------------- run ------------------------------- *)
+
+type failure = {
+  mutation : string;
+  frame_hex : string;  (** shrunk reproducer, hex *)
+  frame_len : int;
+  reason : string;
+}
+
+type report = {
+  mutations : int;
+  rejected : int;  (** mutants the decoder dropped (the normal case) *)
+  decoded : int;  (** mutants that still decoded to a message *)
+  failures : failure list;
+}
+
+let explode (s : string) : char list = List.init (String.length s) (String.get s)
+let implode (cs : char list) : string = String.init (List.length cs) (List.nth cs)
+
+let shrink_frame ~(limits : Codec.limits) (frame : string) : string =
+  let failing cs = Result.is_error (check_frame ~limits (implode cs)) in
+  implode (Shrink.minimize_seq ~max_passes:8 ~keep:failing (explode frame))
+
+let run ?(limits = Codec.default_limits) ?(seed = 1) ~(mutations : int) () : report =
+  let rng = Rng.split (Rng.create seed) "wirefuzz" in
+  let corpus = corpus () in
+  let n_corpus = List.length corpus in
+  let n_mutators = List.length mutators in
+  let rejected = ref 0 and decoded = ref 0 and failures = ref [] in
+  for _ = 1 to mutations do
+    let base = List.nth corpus (Rng.int rng n_corpus) in
+    let name, mutate = List.nth mutators (Rng.int rng n_mutators) in
+    (* Stack 1-3 mutations: single corruptions are the common case,
+       compounding catches decoders that only guard the first layer. *)
+    let rounds = 1 + Rng.int rng 3 in
+    let mutant = ref (mutate rng corpus base) in
+    for _ = 2 to rounds do
+      mutant := mutate rng corpus !mutant
+    done;
+    match check_frame ~limits !mutant with
+    | Ok `Rejected -> incr rejected
+    | Ok `Decoded -> incr decoded
+    | Error reason ->
+      let shrunk = shrink_frame ~limits !mutant in
+      failures :=
+        {
+          mutation = name;
+          frame_hex = Hex.of_string shrunk;
+          frame_len = String.length shrunk;
+          reason;
+        }
+        :: !failures
+  done;
+  {
+    mutations;
+    rejected = !rejected;
+    decoded = !decoded;
+    failures = List.rev !failures;
+  }

@@ -1,0 +1,34 @@
+(** Structure-aware mutation fuzzing of the wire codec: a corpus of
+    valid encodings is mutated (bit flips, truncation, splices,
+    length-field bombs, field swaps, stacked 1-3 deep) and every
+    mutant is pushed through [Codec.decode] under three oracles — no
+    exception, allocation linear in the input, and re-encode/re-decode
+    self-consistency for mutants that still parse. Failing frames
+    shrink to 1-minimal reproducers via {!Shrink.minimize_seq}. *)
+
+module Codec = Algorand_core.Codec
+
+type failure = {
+  mutation : string;  (** mutator that produced the frame *)
+  frame_hex : string;  (** shrunk reproducer, hex *)
+  frame_len : int;
+  reason : string;
+}
+
+type report = {
+  mutations : int;
+  rejected : int;  (** mutants the decoder dropped (the normal case) *)
+  decoded : int;  (** mutants that still decoded to a message *)
+  failures : failure list;  (** must be empty *)
+}
+
+val corpus : unit -> string list
+(** The valid encodings the mutators start from: every message kind,
+    deterministically constructed. *)
+
+val check_frame :
+  limits:Codec.limits -> string -> ([ `Rejected | `Decoded ], string) result
+(** One frame through the three oracles. *)
+
+val run : ?limits:Codec.limits -> ?seed:int -> mutations:int -> unit -> report
+(** Deterministic for a given [seed]. *)

@@ -1,10 +1,24 @@
 (* Binary wire codecs for every gossip message.
 
-   The simulator moves OCaml values between nodes directly (copying
-   would only burn memory), but a real deployment needs a canonical
-   wire format; this module provides it, built on the same
-   length-prefixed framing as the ledger structures. Every encoder has
-   a decoder inverse, property-tested in test/test_codec.ml.
+   This is the only layer that ever faces attacker-controlled bytes: in
+   the harness's bytes-on-the-wire mode every delivery is decoded from
+   the frame the sender encoded, so each decoder here must treat its
+   input as hostile. Three rules keep decoding resource-bounded:
+
+   - every declared length is validated against the bytes actually
+     present (Wire.split) before anything is allocated, so a 16-byte
+     frame can never claim 2^60 bytes;
+   - every declared *quantity* (block padding, vote step index, list
+     lengths, rounds) is clamped by a {!limits} record tied to the
+     protocol parameters, so a decoded value cannot smuggle an absurd
+     number into downstream arithmetic or buffering;
+   - integers are read through {!ru64}, which rejects short fields and
+     the negative encodings a 64-bit big-endian word can surface in a
+     63-bit OCaml int.
+
+   Decode failure is always [None], never an exception: the gossip
+   layer counts and drops malformed frames (and scores the sending
+   peer), it does not crash.
 
    Block padding is declared-length on the wire: the simulator's
    synthetic payload bytes are represented by their count. A production
@@ -14,8 +28,91 @@ module Block = Algorand_ledger.Block
 module Transaction = Algorand_ledger.Transaction
 module Wire = Algorand_ledger.Wire
 module Vote = Algorand_ba.Vote
+module Params = Algorand_ba.Params
 
 let ( let* ) = Option.bind
+
+(* ------------------------------------------------------------------ *)
+(* Decoder resource limits.                                            *)
+(* ------------------------------------------------------------------ *)
+
+type limits = {
+  max_frame_bytes : int;  (** reject longer frames before parsing anything *)
+  max_round : int;  (** cap on round numbers (recovery vote rounds included) *)
+  max_step : int;  (** cap on the BinaryBA* [Bin] step index *)
+  max_padding : int;  (** cap on a block's declared padding byte count *)
+  max_txs : int;  (** transactions per block *)
+  max_votes : int;  (** votes per certificate *)
+  max_suffix : int;  (** blocks per recovery fork proposal *)
+  max_items : int;  (** (block, certificate) pairs per catch-up reply *)
+}
+
+(* Generous but strictly bounded: shaped around [Params.paper] and a
+   multi-megabyte block. Every cap is far above anything an honest
+   encoder produces and far below anything that could hurt. *)
+(* A decider at step s broadcasts votes for steps s+1..s+3 so laggards
+   can count them (the vote-next-three arm of Algorithm 8); honest
+   step indices therefore reach max_steps + 3, and the decoder must
+   admit exactly that far. *)
+let step_overshoot = 3
+
+let default_limits : limits =
+  {
+    max_frame_bytes = 1 lsl 30;
+    max_round = 1 lsl 40;
+    max_step = Params.paper.max_steps + step_overshoot;
+    max_padding = 1 lsl 30;
+    max_txs = 1 lsl 20;
+    max_votes = 1 lsl 16;
+    max_suffix = 64;
+    max_items = 32;
+  }
+
+(* Limits an experiment derives from its own configuration: step index
+   from [max_steps], padding and transaction count from the configured
+   block size. Recovery votes run in a shifted round namespace
+   (1_000_000 * attempt + round), so the round cap stays generous. *)
+let limits_of_params ?(block_bytes = 1_000_000) (p : Params.t) : limits =
+  {
+    default_limits with
+    max_step = p.max_steps + step_overshoot;
+    max_padding = (4 * block_bytes) + 4096;
+    max_txs = (block_bytes / 32) + 1024;
+    max_votes = (4 * int_of_float (Float.max p.tau_step p.tau_final)) + 64;
+  }
+
+(* Read an 8-byte big-endian integer from a field, rejecting short
+   fields and values outside [0, cap]. [Wire.read_u64] alone would
+   raise on a short field and can return a negative int for a 64-bit
+   word with the top bit set - both attacker-reachable. *)
+let ru64 ?(cap = max_int) (s : string) : int option =
+  if String.length s <> 8 then None
+  else begin
+    let v = Wire.read_u64 s 0 in
+    if v < 0 || v > cap then None else Some v
+  end
+
+(* Split a frame into at most [max_fields] fields; [Wire.split] already
+   guarantees every field's declared length is backed by real bytes. *)
+let split_opt ?(max_fields = max_int) (s : string) : string list option =
+  match Wire.split s with
+  | fields -> if List.length fields > max_fields then None else Some fields
+  | exception Invalid_argument _ -> None
+
+(* Decode each element of a split list, failing the whole list on the
+   first bad element or when the count exceeds [cap]. *)
+let decode_list ~(cap : int) (decode_one : string -> 'a option) (raw : string) :
+    'a list option =
+  let* fields = split_opt raw in
+  if List.length fields > cap then None
+  else
+    List.fold_left
+      (fun acc f ->
+        match (acc, decode_one f) with
+        | Some l, Some v -> Some (v :: l)
+        | _ -> None)
+      (Some []) fields
+    |> Option.map List.rev
 
 (* ------------------------------------------------------------------ *)
 (* Steps.                                                              *)
@@ -28,16 +125,19 @@ let encode_step (s : Vote.step) : string =
   | Vote.Final -> Wire.u64 2
   | Vote.Bin i -> Wire.u64 (16 + i)
 
-let decode_step (s : string) : Vote.step option =
-  if String.length s <> 8 then None
-  else begin
-    match Wire.read_u64 s 0 with
-    | 0 -> Some Vote.Reduction_one
-    | 1 -> Some Vote.Reduction_two
-    | 2 -> Some Vote.Final
-    | n when n >= 16 -> Some (Vote.Bin (n - 16))
-    | _ -> None
-  end
+(* BinaryBA* runs at most [max_steps] steps (Algorithm 8 hangs there),
+   so a step index above the cap can only be hostile - without the
+   clamp a vote could carry [Bin (max_int - 16)] into every per-step
+   table downstream. *)
+let decode_step ?(limits = default_limits) (s : string) : Vote.step option =
+  let* n = ru64 s in
+  match n with
+  | 0 -> Some Vote.Reduction_one
+  | 1 -> Some Vote.Reduction_two
+  | 2 -> Some Vote.Final
+  | n when n >= 16 && n - 16 >= 1 && n - 16 <= limits.max_step ->
+    Some (Vote.Bin (n - 16))
+  | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Votes.                                                              *)
@@ -56,22 +156,14 @@ let encode_vote (v : Vote.t) : string =
       v.signature;
     ]
 
-let decode_vote (s : string) : Vote.t option =
-  match Wire.split s with
-  | [ round; step; voter_pk; sorthash; sortproof; prev_hash; value; signature ] ->
-    let* step = decode_step step in
+let decode_vote ?(limits = default_limits) (s : string) : Vote.t option =
+  match split_opt s with
+  | Some [ round; step; voter_pk; sorthash; sortproof; prev_hash; value; signature ] ->
+    let* round = ru64 ~cap:limits.max_round round in
+    let* step = decode_step ~limits step in
     Some
-      {
-        Vote.round = Wire.read_u64 round 0;
-        step;
-        voter_pk;
-        sorthash;
-        sortproof;
-        prev_hash;
-        value;
-        signature;
-      }
-  | _ | (exception Invalid_argument _) -> None
+      { Vote.round; step; voter_pk; sorthash; sortproof; prev_hash; value; signature }
+  | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Blocks.                                                             *)
@@ -92,27 +184,24 @@ let encode_block (b : Block.t) : string =
       Wire.concat (List.map Transaction.serialize b.txs);
     ]
 
-let decode_block (s : string) : Block.t option =
-  match Wire.split s with
-  | [ round; prev_hash; ts; seed; seed_proof; pk; vrf_hash; vrf_proof; padding; txs ] ->
-    let* tx_list =
-      try
-        Wire.split txs
-        |> List.map Transaction.deserialize
-        |> List.fold_left
-             (fun acc tx ->
-               match (acc, tx) with Some l, Some tx -> Some (tx :: l) | _ -> None)
-             (Some [])
-        |> Option.map List.rev
-      with Invalid_argument _ -> None
-    in
+let decode_block ?(limits = default_limits) (s : string) : Block.t option =
+  match split_opt s with
+  | Some [ round; prev_hash; ts; seed; seed_proof; pk; vrf_hash; vrf_proof; padding; txs ]
+    ->
+    let* round = ru64 ~cap:limits.max_round round in
+    let* ts = ru64 ts in
+    (* The declared padding feeds the bandwidth model (wire_size_bytes)
+       and block-size accounting: uncapped, one 16-byte claim of 2^60
+       pretend-bytes would wedge the receiver's modeled uplink forever. *)
+    let* padding = ru64 ~cap:limits.max_padding padding in
+    let* tx_list = decode_list ~cap:limits.max_txs Transaction.deserialize txs in
     Some
       {
         Block.header =
           {
-            round = Wire.read_u64 round 0;
+            round;
             prev_hash;
-            timestamp = float_of_int (Wire.read_u64 ts 0) /. 1000.0;
+            timestamp = float_of_int ts /. 1000.0;
             seed;
             seed_proof;
             proposer_pk = pk;
@@ -120,9 +209,9 @@ let decode_block (s : string) : Block.t option =
             proposer_vrf_proof = vrf_proof;
           };
         txs = tx_list;
-        padding = Wire.read_u64 padding 0;
+        padding;
       }
-  | _ | (exception Invalid_argument _) -> None
+  | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Priorities, certificates, fork proposals.                           *)
@@ -132,19 +221,13 @@ let encode_priority (p : Proposal.priority_msg) : string =
   Wire.concat
     [ Wire.u64 p.round; p.proposer_pk; p.prev_hash; p.vrf_hash; p.vrf_proof; p.priority ]
 
-let decode_priority (s : string) : Proposal.priority_msg option =
-  match Wire.split s with
-  | [ round; proposer_pk; prev_hash; vrf_hash; vrf_proof; priority ] ->
-    Some
-      {
-        Proposal.round = Wire.read_u64 round 0;
-        proposer_pk;
-        prev_hash;
-        vrf_hash;
-        vrf_proof;
-        priority;
-      }
-  | _ | (exception Invalid_argument _) -> None
+let decode_priority ?(limits = default_limits) (s : string) :
+    Proposal.priority_msg option =
+  match split_opt s with
+  | Some [ round; proposer_pk; prev_hash; vrf_hash; vrf_proof; priority ] ->
+    let* round = ru64 ~cap:limits.max_round round in
+    Some { Proposal.round; proposer_pk; prev_hash; vrf_hash; vrf_proof; priority }
+  | _ -> None
 
 let encode_certificate (c : Certificate.t) : string =
   Wire.concat
@@ -155,23 +238,14 @@ let encode_certificate (c : Certificate.t) : string =
       Wire.concat (List.map encode_vote c.votes);
     ]
 
-let decode_certificate (s : string) : Certificate.t option =
-  match Wire.split s with
-  | [ round; step; block_hash; votes ] ->
-    let* step = decode_step step in
-    let* vote_list =
-      try
-        Wire.split votes
-        |> List.map decode_vote
-        |> List.fold_left
-             (fun acc v ->
-               match (acc, v) with Some l, Some v -> Some (v :: l) | _ -> None)
-             (Some [])
-        |> Option.map List.rev
-      with Invalid_argument _ -> None
-    in
-    Some (Certificate.make ~round:(Wire.read_u64 round 0) ~step ~block_hash ~votes:vote_list)
-  | _ | (exception Invalid_argument _) -> None
+let decode_certificate ?(limits = default_limits) (s : string) : Certificate.t option =
+  match split_opt s with
+  | Some [ round; step; block_hash; votes ] ->
+    let* round = ru64 ~cap:limits.max_round round in
+    let* step = decode_step ~limits step in
+    let* vote_list = decode_list ~cap:limits.max_votes (decode_vote ~limits) votes in
+    Some (Certificate.make ~round ~step ~block_hash ~votes:vote_list)
+  | _ -> None
 
 let encode_fork_proposal (f : Message.fork_proposal) : string =
   Wire.concat
@@ -185,23 +259,15 @@ let encode_fork_proposal (f : Message.fork_proposal) : string =
       f.tip_hash;
     ]
 
-let decode_fork_proposal (s : string) : Message.fork_proposal option =
-  match Wire.split s with
-  | [ attempt; proposer_pk; vrf_hash; vrf_proof; priority; suffix; tip_hash ] ->
-    let* blocks =
-      try
-        Wire.split suffix
-        |> List.map decode_block
-        |> List.fold_left
-             (fun acc b ->
-               match (acc, b) with Some l, Some b -> Some (b :: l) | _ -> None)
-             (Some [])
-        |> Option.map List.rev
-      with Invalid_argument _ -> None
-    in
+let decode_fork_proposal ?(limits = default_limits) (s : string) :
+    Message.fork_proposal option =
+  match split_opt s with
+  | Some [ attempt; proposer_pk; vrf_hash; vrf_proof; priority; suffix; tip_hash ] ->
+    let* attempt = ru64 ~cap:limits.max_round attempt in
+    let* blocks = decode_list ~cap:limits.max_suffix (decode_block ~limits) suffix in
     Some
       {
-        Message.attempt = Wire.read_u64 attempt 0;
+        Message.attempt;
         proposer_pk;
         vrf_hash;
         vrf_proof;
@@ -209,7 +275,7 @@ let decode_fork_proposal (s : string) : Message.fork_proposal option =
         suffix = blocks;
         tip_hash;
       }
-  | _ | (exception Invalid_argument _) -> None
+  | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Top-level messages.                                                 *)
@@ -246,79 +312,60 @@ let encode (m : Message.t) : string =
           Wire.u64 current_round;
           Wire.concat
             (List.map
-               (fun (b, c) ->
-                 Wire.concat [ encode_block b; encode_certificate c ])
+               (fun (b, c) -> Wire.concat [ encode_block b; encode_certificate c ])
                items);
         ]
   in
   Wire.concat [ Wire.u64 (tag_of m); body ]
 
-let decode (s : string) : Message.t option =
-  match Wire.split s with
-  | [ tag; body ] -> (
-    match Wire.read_u64 tag 0 with
-    | 1 -> Option.map (fun tx -> Message.Tx tx) (Transaction.deserialize body)
-    | 2 -> Option.map (fun p -> Message.Priority p) (decode_priority body)
-    | 3 -> Option.map (fun b -> Message.Block_gossip b) (decode_block body)
-    | 4 -> Option.map (fun v -> Message.Ba_vote v) (decode_vote body)
-    | 5 -> (
-      match Wire.split body with
-      | [ round; block_hash; requester; attempt ] ->
-        Some
-          (Message.Block_request
-             {
-               round = Wire.read_u64 round 0;
-               block_hash;
-               requester = Wire.read_u64 requester 0;
-               attempt = Wire.read_u64 attempt 0;
-             })
-      | _ | (exception Invalid_argument _) -> None)
-    | 6 -> Option.map (fun b -> Message.Block_reply b) (decode_block body)
-    | 7 -> Option.map (fun f -> Message.Fork_proposal f) (decode_fork_proposal body)
-    | 8 -> (
-      match Wire.split body with
-      | [ from_round; requester; attempt ] ->
-        Some
-          (Message.Round_request
-             {
-               from_round = Wire.read_u64 from_round 0;
-               requester = Wire.read_u64 requester 0;
-               attempt = Wire.read_u64 attempt 0;
-             })
-      | _ | (exception Invalid_argument _) -> None)
-    | 9 -> (
-      match Wire.split body with
-      | [ to_; current_round; items ] -> (
-        let decoded =
-          try
-            Wire.split items
-            |> List.map (fun item ->
-                   match Wire.split item with
-                   | [ braw; craw ] -> (
-                     match (decode_block braw, decode_certificate craw) with
-                     | Some b, Some c -> Some (b, c)
-                     | _ -> None)
-                   | _ -> None)
-            |> List.fold_left
-                 (fun acc i ->
-                   match (acc, i) with Some l, Some i -> Some (i :: l) | _ -> None)
-                 (Some [])
-            |> Option.map List.rev
-          with Invalid_argument _ -> None
-        in
-        match decoded with
-        | Some items ->
-          Some
-            (Message.Round_reply
-               {
-                 to_ = Wire.read_u64 to_ 0;
-                 current_round = Wire.read_u64 current_round 0;
-                 items;
-               })
-        | None -> None)
-      | _ | (exception Invalid_argument _) -> None)
+let decode_item ~(limits : limits) (item : string) : (Block.t * Certificate.t) option =
+  match split_opt item with
+  | Some [ braw; craw ] -> (
+    match (decode_block ~limits braw, decode_certificate ~limits craw) with
+    | Some b, Some c -> Some (b, c)
     | _ -> None)
-  | _ | (exception Invalid_argument _) -> None
+  | _ -> None
+
+let decode ?(limits = default_limits) (s : string) : Message.t option =
+  if String.length s > limits.max_frame_bytes then None
+  else
+    match split_opt ~max_fields:2 s with
+    | Some [ tag; body ] -> (
+      let* tag = ru64 tag in
+      match tag with
+      | 1 -> Option.map (fun tx -> Message.Tx tx) (Transaction.deserialize body)
+      | 2 -> Option.map (fun p -> Message.Priority p) (decode_priority ~limits body)
+      | 3 -> Option.map (fun b -> Message.Block_gossip b) (decode_block ~limits body)
+      | 4 -> Option.map (fun v -> Message.Ba_vote v) (decode_vote ~limits body)
+      | 5 -> (
+        match split_opt body with
+        | Some [ round; block_hash; requester; attempt ] ->
+          let* round = ru64 ~cap:limits.max_round round in
+          let* requester = ru64 requester in
+          let* attempt = ru64 ~cap:limits.max_round attempt in
+          Some (Message.Block_request { round; block_hash; requester; attempt })
+        | _ -> None)
+      | 6 -> Option.map (fun b -> Message.Block_reply b) (decode_block ~limits body)
+      | 7 ->
+        Option.map (fun f -> Message.Fork_proposal f) (decode_fork_proposal ~limits body)
+      | 8 -> (
+        match split_opt body with
+        | Some [ from_round; requester; attempt ] ->
+          let* from_round = ru64 ~cap:limits.max_round from_round in
+          let* requester = ru64 requester in
+          let* attempt = ru64 ~cap:limits.max_round attempt in
+          Some (Message.Round_request { from_round; requester; attempt })
+        | _ -> None)
+      | 9 -> (
+        match split_opt body with
+        | Some [ to_; current_round; items ] ->
+          let* to_ = ru64 to_ in
+          let* current_round = ru64 ~cap:limits.max_round current_round in
+          let* items = decode_list ~cap:limits.max_items (decode_item ~limits) items in
+          Some (Message.Round_reply { to_; current_round; items })
+        | _ -> None)
+      | _ -> None)
+    | _ -> None
 
 (* True on-wire size: encoded framing plus the declared padding bytes a
    production encoder would stream. *)

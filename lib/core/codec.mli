@@ -1,0 +1,63 @@
+(** Binary wire codecs for every gossip message — the untrusted-ingress
+    surface. In bytes-on-the-wire mode every delivery runs through
+    [decode], so decoders treat input as attacker-controlled: no decode
+    raises, no decode allocates beyond a small multiple of its input,
+    and every declared quantity is clamped by a {!limits} record tied
+    to the protocol parameters. *)
+
+module Block = Algorand_ledger.Block
+module Vote = Algorand_ba.Vote
+module Params = Algorand_ba.Params
+
+(** {1 Decoder resource limits} *)
+
+type limits = {
+  max_frame_bytes : int;  (** reject longer frames before parsing anything *)
+  max_round : int;  (** cap on round numbers (recovery vote rounds included) *)
+  max_step : int;  (** cap on the BinaryBA* [Bin] step index *)
+  max_padding : int;  (** cap on a block's declared padding byte count *)
+  max_txs : int;  (** transactions per block *)
+  max_votes : int;  (** votes per certificate *)
+  max_suffix : int;  (** blocks per recovery fork proposal *)
+  max_items : int;  (** (block, certificate) pairs per catch-up reply *)
+}
+
+val default_limits : limits
+(** Shaped around [Params.paper] and a multi-megabyte block: generous
+    for any honest encoder, strict against declared-length bombs. *)
+
+val limits_of_params : ?block_bytes:int -> Params.t -> limits
+(** Limits derived from an experiment's own configuration: step cap
+    from [max_steps], padding and transaction caps from [block_bytes],
+    vote caps from the committee sizes. *)
+
+(** {1 Codecs}
+
+    Every encoder has a decoder inverse; decoders return [None] on any
+    malformed, truncated, oversized or limit-violating input. *)
+
+val encode_step : Vote.step -> string
+val decode_step : ?limits:limits -> string -> Vote.step option
+(** Rejects [Bin] indices outside [1, limits.max_step] — a hostile vote
+    may not carry a step index near [max_int]. Derived limits set the
+    cap to [max_steps + 3]: deciders vote three steps ahead (the
+    vote-next-three arm of Algorithm 8), so those indices are honest. *)
+
+val encode_vote : Vote.t -> string
+val decode_vote : ?limits:limits -> string -> Vote.t option
+val encode_block : Block.t -> string
+val decode_block : ?limits:limits -> string -> Block.t option
+val encode_priority : Proposal.priority_msg -> string
+val decode_priority : ?limits:limits -> string -> Proposal.priority_msg option
+val encode_certificate : Certificate.t -> string
+val decode_certificate : ?limits:limits -> string -> Certificate.t option
+val encode_fork_proposal : Message.fork_proposal -> string
+val decode_fork_proposal : ?limits:limits -> string -> Message.fork_proposal option
+
+val tag_of : Message.t -> int
+val encode : Message.t -> string
+val decode : ?limits:limits -> string -> Message.t option
+
+val wire_size_bytes : Message.t -> int
+(** Encoded framing plus the declared padding bytes a production
+    encoder would stream. *)

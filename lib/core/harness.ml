@@ -56,6 +56,25 @@ type attack =
       (** crash-restart fault injection: victims lose all in-memory
           state, reload their durable checkpoint, and rejoin via live
           catch-up while the rest of the network keeps going *)
+  | Flood of {
+      flooders : float;  (** fraction of users that turn flooder *)
+      rate_per_s : float;  (** garbage frames per second per flooder *)
+      frame_bytes : int;
+      from_ : float;
+      until : float;
+    }
+      (** malicious nodes pump garbage frames at their peers; the
+          overlay's per-peer flood defense must contain them *)
+  | Corrupt of { p : float; from_ : float; until : float }
+      (** on-path byte corruption: each frame independently mangled
+          with probability [p] during the window *)
+
+(* Wire mode: [`Typed] ships OCaml values through the simulated WAN
+   (the fast path); [`Bytes] encodes every message via Codec at the
+   sender and decodes it at each receiving hop - the hostile-wire
+   configuration where corruption and garbage are survivable events
+   rather than type errors. *)
+type wire = [ `Typed | `Bytes ]
 
 type config = {
   users : int;
@@ -90,6 +109,10 @@ type config = {
   trace : Algorand_obs.Trace.t option;
       (** structured event trace shared by harness, nodes, gossip and
           retries; [None] builds a disabled trace internally *)
+  wire : wire;
+  gossip_limits : Gossip.limits option;
+      (** per-peer flood defense (ingress queues, quotas, bans);
+          [None] disables it. [Flood] runs supply a default. *)
 }
 
 let default =
@@ -118,6 +141,8 @@ let default =
     store_root = None;
     checkpoint_every = 1;
     trace = None;
+    wire = `Typed;
+    gossip_limits = None;
   }
 
 type t = {
@@ -127,7 +152,7 @@ type t = {
   identities : Identity.t array;
   nodes : Node.t array;
   gossip : Message.t Gossip.t;
-  network : Message.t Network.t;
+  network : Message.t Gossip.packet Network.t;
   genesis : Genesis.t;
   store_root : string option;  (** resolved checkpoint root, if any *)
   owns_store : bool;  (** the root is a temp dir this harness created *)
@@ -156,6 +181,18 @@ type churn_report = {
           must be [] when every crash gets a restart *)
 }
 
+(* Post-run accounting of the hostile-wire machinery: what the ingress
+   pipeline dropped and who got disconnected for it. All zeros on a
+   clean typed run. *)
+type wire_report = {
+  decode_failures : int;
+  quota_drops : int;
+  banned_links : int;
+  banned_nodes : int list;  (** nodes banned by at least one peer *)
+  invalid_dropped : int;
+  duplicates_dropped : int;
+}
+
 type result = {
   harness : t;
   sim_time : float;
@@ -165,6 +202,7 @@ type result = {
   final_rounds : int;  (** rounds that reached final consensus somewhere *)
   tentative_rounds : int;
   churn : churn_report;
+  wire : wire_report;
 }
 
 let schemes (c : crypto) : Signature_scheme.scheme * Vrf.scheme =
@@ -300,9 +338,40 @@ let build (config : config) : t =
         | _ -> false);
     }
   in
+  (* Hostile-wire mode: every message crosses the WAN as Codec bytes,
+     decoded under limits derived from this experiment's own
+     parameters. The decoder closure is what every receiving hop runs
+     on untrusted ingress. *)
+  let codec_limits = Codec.limits_of_params ~block_bytes:config.block_bytes config.params in
+  let codec : Message.t Gossip.codec option =
+    match config.wire with
+    | `Typed -> None
+    | `Bytes ->
+      Some { Gossip.enc = Codec.encode; dec = Codec.decode ~limits:codec_limits }
+  in
+  (* Flood runs get the defense on by default; explicit limits win.
+     Honest relay traffic grows with the deployment (every message
+     crosses every link, bursting at step boundaries), so the
+     auto-enabled quota and drain scale with the user count - a flat
+     quota at 50 users has honest peers banning each other. Garbage
+     floods are still caught immediately by the decode-fail score. *)
+  let gossip_limits =
+    match (config.gossip_limits, config.attack) with
+    | (Some _ as l), _ -> l
+    | None, Flood _ ->
+      Some
+        {
+          Gossip.default_limits with
+          quota_msgs = max Gossip.default_limits.quota_msgs (20 * config.users);
+          drain_per_s =
+            Float.max Gossip.default_limits.drain_per_s
+              (100.0 *. float_of_int config.users);
+        }
+    | None, _ -> None
+  in
   let gossip =
-    Gossip.create ~registry ~trace ~net:network ~rng:(Rng.split rng "gossip") ~weights
-      gossip_config
+    Gossip.create ~registry ~trace ?codec ?limits:gossip_limits ~net:network
+      ~rng:(Rng.split rng "gossip") ~weights gossip_config
   in
   Array.iter (fun n -> Node.set_gossip n gossip) nodes;
   (* Replace gossip peers each round (section 8.4), keyed off node 0's
@@ -311,17 +380,31 @@ let build (config : config) : t =
       Gossip.redraw gossip ~weights);
   (* Network adversary: the configured attack composed with the uniform
      loss and duplication faults (first non-Deliver verdict wins). *)
-  let base_adversary : Message.t Network.adversary option =
+  (* The in-flight adversaries now see packets; content-directed ones
+     (Delay_votes) peek inside, decoding Raw frames the same way a
+     receiver would. *)
+  let msg_of_packet : Message.t Gossip.packet -> Message.t option = function
+    | Gossip.Plain m -> Some m
+    | Gossip.Raw s -> Codec.decode ~limits:codec_limits s
+  in
+  let base_adversary : Message.t Gossip.packet Network.adversary option =
     match config.attack with
-    | No_attack | Equivocate | Crash_churn _ -> None
+    | No_attack | Equivocate | Crash_churn _ | Flood _ -> None
+    | Corrupt { p; from_; until } ->
+      let corrupt = Adversary.corrupt ~rng:(Rng.split rng "corrupt") ~p in
+      Some
+        (fun ~now ~src ~dst pkt ->
+          if now >= from_ && now < until then corrupt ~now ~src ~dst pkt
+          else Network.Deliver)
     | Delay_votes { delay; from_; until } ->
       Some
-        (fun ~now ~src:_ ~dst:_ msg ->
-          match msg with
-          | Message.Ba_vote { step = Algorand_ba.Vote.Bin _; _ }
-            when now >= from_ && now < until ->
-            Network.Delay delay
-          | _ -> Network.Deliver)
+        (fun ~now ~src:_ ~dst:_ pkt ->
+          if now < from_ || now >= until then Network.Deliver
+          else
+            match msg_of_packet pkt with
+            | Some (Message.Ba_vote { step = Algorand_ba.Vote.Bin _; _ }) ->
+              Network.Delay delay
+            | _ -> Network.Deliver)
     | Partition { from_; until } ->
       let group_of i = if i < config.users / 2 then 0 else 1 in
       Some
@@ -355,6 +438,25 @@ let build (config : config) : t =
   | [] -> ()
   | [ a ] -> Network.set_adversary network a
   | many -> Network.set_adversary network (Adversary.compose many));
+  (* Flood attack: a random subset of users starts pumping garbage
+     frames at its peers for the window. Flooders keep running the
+     protocol normally otherwise - the worst case for detection, since
+     their honest traffic is interleaved with the garbage. *)
+  (match config.attack with
+  | Flood { flooders; rate_per_s; frame_bytes; from_; until } ->
+    let k =
+      min (config.users - 1)
+        (max 1 (int_of_float (Float.round (flooders *. float_of_int config.users))))
+    in
+    let chosen = Rng.sample_indices (Rng.split rng "flooders") ~n:config.users ~k in
+    let flood_rng = Rng.split rng "flood" in
+    Engine.at engine ~time:from_ (fun () ->
+        List.iter
+          (fun node ->
+            Adversary.flood ~engine ~rng:(Rng.split flood_rng (string_of_int node))
+              ~gossip ~node ~rate_per_s ~bytes:frame_bytes ~until)
+          chosen)
+  | _ -> ());
   (* Crash-restart churn: crash takes the node's network interface down
      too (in-flight packets to it are lost); restart re-links the node
      into the gossip overlay with fresh peers before it resyncs. *)
@@ -554,6 +656,24 @@ let audit_churn (t : t) : churn_report =
     unfinished = List.sort compare !unfinished;
   }
 
+(* Hostile-wire accounting: ingress drops and who got banned.
+   [banned_nodes] inverts the per-node ban lists - a node appears if
+   any peer disconnected it. *)
+let audit_wire (t : t) : wire_report =
+  let banned = Hashtbl.create 8 in
+  Array.iteri
+    (fun node _ ->
+      List.iter (fun p -> Hashtbl.replace banned p ()) (Gossip.banned_by t.gossip node))
+    t.nodes;
+  {
+    decode_failures = Gossip.decode_failures t.gossip;
+    quota_drops = Gossip.quota_drops t.gossip;
+    banned_links = Gossip.banned_links t.gossip;
+    banned_nodes = Hashtbl.fold (fun p () acc -> p :: acc) banned [] |> List.sort compare;
+    invalid_dropped = Gossip.invalid_dropped t.gossip;
+    duplicates_dropped = Gossip.duplicates_dropped t.gossip;
+  }
+
 let run (config : config) : result =
   let t = build config in
   install_workload t;
@@ -602,4 +722,5 @@ let run (config : config) : result =
     final_rounds = !final_rounds;
     tentative_rounds = !tentative_rounds;
     churn = audit_churn t;
+    wire = audit_wire t;
   }

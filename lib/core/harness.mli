@@ -34,6 +34,23 @@ type attack =
       (** crash-restart fault injection: victims lose all in-memory
           state, reload their durable checkpoint, rejoin via live
           catch-up *)
+  | Flood of {
+      flooders : float;  (** fraction of users that turn flooder *)
+      rate_per_s : float;  (** garbage frames per second per flooder *)
+      frame_bytes : int;
+      from_ : float;
+      until : float;
+    }
+      (** malicious nodes pump garbage frames at their peers; the
+          overlay's per-peer flood defense must contain them *)
+  | Corrupt of { p : float; from_ : float; until : float }
+      (** on-path byte corruption: each frame independently mangled
+          with probability [p] during the window *)
+
+type wire = [ `Typed | `Bytes ]
+(** [`Typed] ships OCaml values across the simulated WAN; [`Bytes]
+    encodes every message via {!Codec} at the sender and decodes it at
+    each receiving hop (hostile-wire mode). *)
 
 type config = {
   users : int;
@@ -65,6 +82,10 @@ type config = {
   trace : Algorand_obs.Trace.t option;
       (** structured event trace shared by harness, nodes, gossip and
           retries; [None] builds a disabled trace internally *)
+  wire : wire;
+  gossip_limits : Gossip.limits option;
+      (** per-peer flood defense (ingress queues, quotas, bans);
+          [None] disables it. [Flood] runs supply a default. *)
 }
 
 val default : config
@@ -76,7 +97,7 @@ type t = {
   identities : Identity.t array;
   nodes : Node.t array;
   gossip : Message.t Gossip.t;
-  network : Message.t Network.t;
+  network : Message.t Gossip.packet Network.t;
   genesis : Genesis.t;
   store_root : string option;  (** resolved checkpoint root, if any *)
   owns_store : bool;  (** the root is a temp dir this harness created *)
@@ -103,6 +124,18 @@ type churn_report = {
           quiescence: must be [] when every crash gets a restart *)
 }
 
+type wire_report = {
+  decode_failures : int;
+  quota_drops : int;
+  banned_links : int;
+  banned_nodes : int list;  (** nodes banned by at least one peer *)
+  invalid_dropped : int;
+  duplicates_dropped : int;
+}
+(** Post-run accounting of the hostile-wire machinery: what the
+    ingress pipeline dropped and who got disconnected for it. All
+    zeros on a clean typed run. *)
+
 type result = {
   harness : t;
   sim_time : float;
@@ -112,6 +145,7 @@ type result = {
   final_rounds : int;
   tentative_rounds : int;
   churn : churn_report;
+  wire : wire_report;
 }
 
 val build : config -> t
@@ -121,6 +155,7 @@ val build : config -> t
 val install_workload : t -> unit
 val audit_safety : t -> safety_report
 val audit_churn : t -> churn_report
+val audit_wire : t -> wire_report
 
 val cleanup_stores : t -> unit
 (** Remove the temp checkpoint root, when this harness created one

@@ -24,7 +24,15 @@ let generate ~(sig_scheme : Signature_scheme.scheme) ~(vrf_scheme : Vrf.scheme)
     invalid_arg "Identity.generate: unexpected key length";
   { pk = sig_pk ^ vrf_pk; signer; prover }
 
-let sig_pk (pk : string) : string = String.sub pk 0 sig_pk_length
-let vrf_pk (pk : string) : string = String.sub pk sig_pk_length vrf_pk_length
+(* Total on hostile input: a decoded message may carry a voter_pk of
+   any length, and the projections run during validation. A malformed
+   composite key projects to "", which verifies against nothing and
+   owns no stake. *)
+let sig_pk (pk : string) : string =
+  if String.length pk < sig_pk_length then "" else String.sub pk 0 sig_pk_length
 
-let short (pk : string) : string = Hex.of_string (String.sub pk 0 4)
+let vrf_pk (pk : string) : string =
+  if String.length pk < pk_length then "" else String.sub pk sig_pk_length vrf_pk_length
+
+let short (pk : string) : string =
+  Hex.of_string (String.sub pk 0 (min 4 (String.length pk)))

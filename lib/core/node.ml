@@ -95,7 +95,7 @@ type round_state = {
   proposed_blocks : (string, Block.t) Hashtbl.t;  (** block hash -> block *)
   blocks_by_proposer : (string, string) Hashtbl.t;  (** proposer pk -> block hash *)
   equivocators : (string, unit) Hashtbl.t;
-  vote_weight_cache : (string, int) Hashtbl.t;  (** gossip id -> weighted votes *)
+  vote_weight_cache : (string, int) Hashtbl.t;  (** vote content digest -> weighted votes *)
   mutable best_priority : Proposal.priority_msg option;
   mutable first_priority_at : float option;
   mutable ba : Ba_star.t option;
@@ -407,12 +407,16 @@ let send_vote (t : t) (rs : round_state) (v : Vote.t) : unit =
 (* ------------------------------------------------------------------ *)
 
 let vote_weight (_t : t) (rs : round_state) (v : Vote.t) : int =
-  let id = Vote.gossip_id v in
-  match Hashtbl.find_opt rs.vote_weight_cache id with
+  (* The cache key covers the full vote content, not just the gossip
+     id (round, step, voter): a corrupted variant sharing an id with
+     an honest vote must not poison the cache with weight 0 and
+     suppress the honest copy when it arrives later. *)
+  let key = Sha256.digest_concat [ Vote.signed_body v; v.voter_pk; v.signature ] in
+  match Hashtbl.find_opt rs.vote_weight_cache key with
   | Some w -> w
   | None ->
     let w = Vote.validate rs.vctx v in
-    Hashtbl.replace rs.vote_weight_cache id w;
+    Hashtbl.replace rs.vote_weight_cache key w;
     w
 
 let rec apply_ba_actions (t : t) (rs : round_state) (actions : Ba_star.action list) : unit =
@@ -1443,6 +1447,17 @@ and process_recovery_message (t : t) (rs : recovery_state) (msg : Message.t) : u
   | Message.Block_request _ | Message.Round_request _ | Message.Round_reply _ ->
     ()
 
+(* Stateless plausibility check for votes we cannot fully validate yet
+   (future rounds, resync, recovery): the signature must at least
+   verify. Without this, blind-relay paths would mark a corrupted
+   variant as seen - poisoning the dedup cache and suppressing the
+   honest original, which shares its gossip id. Byzantine equivocation
+   is unaffected: a double-vote is validly signed. *)
+let vote_plausible (t : t) (v : Vote.t) : bool =
+  t.config.sig_scheme.verify
+    ~pk:(Identity.sig_pk v.voter_pk)
+    ~msg:(Vote.signed_body v) ~signature:v.signature
+
 (* Gossip relay gating (section 8.4): validate what can be validated at
    our current round; relay plausible near-future messages so laggards
    do not partition the overlay; drop stale rounds. *)
@@ -1454,6 +1469,7 @@ let gossip_validate (t : t) (msg : Message.t) : bool =
     (* Point-to-point catch-up traffic: never relayed by the overlay,
        but delivery still requires passing validation. *)
     true
+  | Message.Ba_vote v when t.resync <> None -> vote_plausible t v
   | _ when t.resync <> None ->
     (* We are behind: everything current is plausibly ahead of us.
        Relay it rather than partition the overlay around a laggard. *)
@@ -1464,7 +1480,8 @@ let gossip_validate (t : t) (msg : Message.t) : bool =
     (* During recovery, relay recovery traffic and anything we cannot
        judge yet; regular-round traffic is stale by construction. *)
     (match msg with
-    | Message.Tx _ | Message.Fork_proposal _ | Message.Ba_vote _
+    | Message.Ba_vote v -> vote_plausible t v
+    | Message.Tx _ | Message.Fork_proposal _
     | Message.Block_request _ | Message.Block_reply _
     | Message.Round_request _ | Message.Round_reply _ ->
       true
@@ -1496,7 +1513,7 @@ let gossip_validate (t : t) (msg : Message.t) : bool =
             | None -> true
             | Some best -> String.equal b.header.proposer_pk best.proposer_pk)
     | Message.Ba_vote v ->
-      if v.round > rs.round then true
+      if v.round > rs.round then vote_plausible t v
       else if v.round = rs.round then vote_weight t rs v > 0
       else (
         match t.previous with

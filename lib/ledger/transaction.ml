@@ -25,17 +25,17 @@ let make ~(signer : Signature_scheme.signer) ~sender ~recipient ~amount ~nonce :
 let serialize (t : t) : string =
   Wire.concat [ t.sender; t.recipient; Wire.u64 t.amount; Wire.u64 t.nonce; t.signature ]
 
+(* Hostile-input safe: integer fields must be exactly 8 bytes (a short
+   field would make [read_u64] raise outside the exception guard, which
+   only covers the [Wire.split] scrutinee) and non-negative, matching
+   the invariant [make] enforces. *)
 let deserialize (s : string) : t option =
   match Wire.split s with
-  | [ sender; recipient; amount; nonce; signature ] ->
-    Some
-      {
-        sender;
-        recipient;
-        amount = Wire.read_u64 amount 0;
-        nonce = Wire.read_u64 nonce 0;
-        signature;
-      }
+  | [ sender; recipient; amount; nonce; signature ]
+    when String.length amount = 8 && String.length nonce = 8 ->
+    let amount = Wire.read_u64 amount 0 and nonce = Wire.read_u64 nonce 0 in
+    if amount < 0 || nonce < 0 then None
+    else Some { sender; recipient; amount; nonce; signature }
   | _ | (exception Invalid_argument _) -> None
 
 let id (t : t) : string = Sha256.digest (serialize t)

@@ -16,7 +16,11 @@ let field (s : string) : string = u64 (String.length s) ^ s
 
 let concat (fields : string list) : string = String.concat "" (List.map field fields)
 
-(* Inverse of [concat]. *)
+(* Inverse of [concat]. Length prefixes are attacker-controlled on the
+   untrusted-ingress path, so the declared length is validated against
+   the bytes actually present BEFORE any arithmetic that could overflow
+   (a 16-byte frame may claim 2^60 bytes; [read_u64] can even surface a
+   negative OCaml int). No allocation ever exceeds the input size. *)
 let split (s : string) : string list =
   let n = String.length s in
   let rec go off acc =
@@ -24,7 +28,7 @@ let split (s : string) : string list =
     else if off + 8 > n then invalid_arg "Wire.split: truncated length"
     else begin
       let len = read_u64 s off in
-      if off + 8 + len > n then invalid_arg "Wire.split: truncated field"
+      if len < 0 || len > n - off - 8 then invalid_arg "Wire.split: truncated field"
       else go (off + 8 + len) (String.sub s (off + 8) len :: acc)
     end
   in

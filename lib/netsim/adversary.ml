@@ -59,6 +59,64 @@ let reorder ~(rng : Algorand_sim.Rng.t) ~(window : float) : 'msg Network.adversa
   if window <= 0.0 then Network.Deliver
   else Network.Delay (Algorand_sim.Rng.float rng window)
 
+(* Random bytes for corruption and garbage injection. *)
+let random_bytes (rng : Algorand_sim.Rng.t) (len : int) : string =
+  String.init len (fun _ -> Char.chr (Algorand_sim.Rng.int rng 256))
+
+(* Flip [n] bytes of [s] at random positions to random values. *)
+let flip_bytes (rng : Algorand_sim.Rng.t) (s : string) (n : int) : string =
+  let b = Bytes.of_string s in
+  for _ = 1 to n do
+    let pos = Algorand_sim.Rng.int rng (Bytes.length b) in
+    Bytes.set b pos (Char.chr (Algorand_sim.Rng.int rng 256))
+  done;
+  Bytes.to_string b
+
+(* On-path corruption: with probability [p], the bytes that arrive are
+   not the bytes that were sent. Raw frames get flipped bytes or a
+   truncation; typed (Plain) packets are replaced outright with
+   garbage bytes - a corrupted typed message has no meaningful partial
+   value, so it arrives as an unparseable frame either way. Receivers
+   must survive this at their ingress (decode failure, counted). *)
+let corrupt ~(rng : Algorand_sim.Rng.t) ~(p : float) :
+    'msg Gossip.packet Network.adversary =
+ fun ~now:_ ~src:_ ~dst:_ pkt ->
+  if Algorand_sim.Rng.float rng 1.0 >= p then Network.Deliver
+  else
+    match pkt with
+    | Gossip.Raw s when String.length s > 0 ->
+      let s' =
+        match Algorand_sim.Rng.int rng 3 with
+        | 0 -> flip_bytes rng s (1 + Algorand_sim.Rng.int rng 4)
+        | 1 -> String.sub s 0 (Algorand_sim.Rng.int rng (String.length s))
+        | _ -> s ^ random_bytes rng (1 + Algorand_sim.Rng.int rng 16)
+      in
+      Network.Tamper (Gossip.Raw s')
+    | Gossip.Raw _ | Gossip.Plain _ ->
+      Network.Tamper (Gossip.Raw (random_bytes rng (8 + Algorand_sim.Rng.int rng 64)))
+
+(* Flooding: a malicious node pumps garbage frames at its peers at
+   [rate_per_s] until [until]. This is an origination behavior, not an
+   in-flight one, so it is driven off the engine rather than the
+   per-message hook; the frames go through the normal uplink and
+   ingress paths, which is exactly what the flood defense meters. *)
+let flood ~(engine : Algorand_sim.Engine.t) ~(rng : Algorand_sim.Rng.t)
+    ~(gossip : 'msg Gossip.t) ~(node : int) ~(rate_per_s : float) ~(bytes : int)
+    ~(until : float) : unit =
+  if rate_per_s > 0.0 then begin
+    let period = 1.0 /. rate_per_s in
+    let rec tick () =
+      if Algorand_sim.Engine.now engine < until then begin
+        let len = max 1 (min bytes (8 + Algorand_sim.Rng.int rng (max 1 bytes))) in
+        Gossip.inject_raw gossip ~node ~bytes (random_bytes rng len);
+        Algorand_sim.Engine.at engine
+          ~time:(Algorand_sim.Engine.now engine +. period)
+          tick
+      end
+    in
+    Algorand_sim.Engine.at engine ~time:(Algorand_sim.Engine.now engine +. period) tick
+  end
+
 (* Chain adversaries: the first non-Deliver verdict wins. *)
 let compose (advs : 'msg Network.adversary list) : 'msg Network.adversary =
  fun ~now ~src ~dst msg ->

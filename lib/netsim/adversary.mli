@@ -26,5 +26,27 @@ val reorder : rng:Algorand_sim.Rng.t -> window:float -> 'msg Network.adversary
     [\[0, window)]: lossless adversarial reordering within a bounded
     horizon (the checker's harness-level schedule perturbation). *)
 
+val corrupt :
+  rng:Algorand_sim.Rng.t -> p:float -> 'msg Gossip.packet Network.adversary
+(** On-path byte corruption: with probability [p], [Raw] frames arrive
+    with flipped bytes, truncated, or extended with junk; [Plain]
+    packets are replaced with garbage frames. Receivers must drop and
+    count these at ingress. *)
+
+val flood :
+  engine:Algorand_sim.Engine.t ->
+  rng:Algorand_sim.Rng.t ->
+  gossip:'msg Gossip.t ->
+  node:int ->
+  rate_per_s:float ->
+  bytes:int ->
+  until:float ->
+  unit
+(** Schedule [node] to pump garbage frames at its peers at
+    [rate_per_s] (each at most [bytes] long) until sim-time [until].
+    Frames traverse the normal uplink and ingress paths, so the
+    overlay's flood defense (quotas, ban scores) is what contains
+    them. *)
+
 val compose : 'msg Network.adversary list -> 'msg Network.adversary
 (** First non-Deliver verdict wins. *)

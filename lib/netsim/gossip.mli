@@ -1,7 +1,42 @@
 (** The gossip overlay (section 4): stake-weighted bidirectional peer
-    links, validate-before-relay, at-most-once relay per message id. *)
+    links, validate-before-relay, at-most-once relay per message id.
+
+    With a {!codec} installed, the overlay runs bytes-on-the-wire:
+    every message is encoded at the sender and decoded at each
+    receiving hop before anything else looks at it; undecodable frames
+    are dropped and counted. With {!limits}, each node meters its
+    ingress per peer (bounded leaky-bucket queue, per-peer window
+    quotas) and bans peers whose ban score — fed by undecodable frames
+    and quota violations — crosses the threshold. *)
 
 open Algorand_sim
+
+type 'msg packet = Plain of 'msg | Raw of string
+    (** What travels through {!Network}: typed values in the classic
+        mode, encoded bytes in bytes-on-the-wire mode. [Raw] frames
+        without an installed codec count as decode failures. *)
+
+type 'msg codec = {
+  enc : 'msg -> string;
+  dec : string -> 'msg option;
+}
+
+type limits = {
+  queue_capacity : int;  (** max ingress-queue depth per node *)
+  drain_per_s : float;  (** ingress-queue service rate, messages/second *)
+  quota_window_s : float;  (** per-peer quota window length *)
+  quota_msgs : int;  (** max messages accepted from one peer per window *)
+  ban_threshold : int;  (** ban score at which a peer is disconnected *)
+  decode_fail_score : int;  (** score added per undecodable frame *)
+  quota_score : int;
+      (** score added per per-peer quota violation (queue tail drops are
+          counted but unscored: shared-queue overflow does not
+          implicate the frame's sender) *)
+}
+
+val default_limits : limits
+(** Generous for honest traffic at paper scale; a deliberate flooder
+    crosses the ban threshold within a few simulated seconds. *)
 
 type 'msg config = {
   msg_id : 'msg -> string;
@@ -19,7 +54,9 @@ type 'msg t
 val create :
   ?registry:Algorand_obs.Registry.t ->
   ?trace:Algorand_obs.Trace.t ->
-  net:'msg Network.t ->
+  ?codec:'msg codec ->
+  ?limits:limits ->
+  net:'msg packet Network.t ->
   rng:Rng.t ->
   weights:float array ->
   'msg config ->
@@ -27,14 +64,26 @@ val create :
 (** With [registry], the overlay maintains "gossip.delivered",
     "gossip.duplicates_dropped", "gossip.invalid_dropped",
     "gossip.relayed" (fan-out sends while relaying),
-    "gossip.originated" and "gossip.p2p_sends" counters. With an
-    enabled [trace], peer-graph changes ({!redraw}, {!relink}) emit
-    instant events. *)
+    "gossip.originated", "gossip.p2p_sends", "gossip.decode_fail",
+    "gossip.quota_drops" and "gossip.banned_peers" counters plus a
+    "gossip.ingress_queue_depth" histogram. With an enabled [trace],
+    peer-graph changes ({!redraw}, {!relink}, bans) emit instant
+    events. Ingress pipeline order: ban check, flood admission,
+    decode, dedup, validate, deliver + relay (a hop relays the [Raw]
+    bytes it received — no re-encode). *)
 
 val broadcast : 'msg t -> node:int -> bytes:int -> 'msg -> unit
-(** Originate a message at [node]. *)
+(** Originate a message at [node] (encoded first when in wire mode). *)
+
+val inject_raw : 'msg t -> node:int -> bytes:int -> string -> unit
+(** Send an arbitrary frame from [node] to all its peers, bypassing
+    the codec: the flood/garbage attack primitive. Receivers treat it
+    as untrusted ingress like anything else. *)
 
 val peers : 'msg t -> int -> int list
+
+val banned_by : 'msg t -> int -> int list
+(** Peers that [node] has disconnected for misbehavior, sorted. *)
 
 val send_to : 'msg t -> src:int -> dst:int -> bytes:int -> 'msg -> unit
 (** Point-to-point send outside the overlay (block-fetch replies,
@@ -44,13 +93,18 @@ val mark_seen : 'msg t -> node:int -> 'msg -> unit
 
 val redraw : 'msg t -> weights:float array -> unit
 (** Replace every node's peers (section 8.4: peers are re-drawn each
-    round, healing disconnected components). *)
+    round, healing disconnected components). Banned pairs are never
+    re-linked. *)
 
 val relink : 'msg t -> node:int -> weights:float array -> unit
 (** Re-link a single rejoining node: sever its old links, clear its
-    dedup state, and draw it fresh weighted bidirectional peers.
-    Everyone else's links are untouched. *)
+    dedup state (and, as a restart, its own ban list and ingress
+    meters), and draw it fresh weighted bidirectional peers. Everyone
+    else's links — and their bans against it — are untouched. *)
 
 val flush_seen : 'msg t -> unit
 val duplicates_dropped : 'msg t -> int
 val invalid_dropped : 'msg t -> int
+val decode_failures : 'msg t -> int
+val quota_drops : 'msg t -> int
+val banned_links : 'msg t -> int

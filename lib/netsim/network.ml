@@ -16,6 +16,9 @@ type 'msg action =
   | Delay of float
   | Duplicate of { first : float; second : float }
       (** deliver two copies, each with its own extra delay *)
+  | Tamper of 'msg
+      (** deliver a substituted payload at the normal arrival time: an
+          on-path adversary corrupting bytes in flight *)
 
 type 'msg adversary = now:float -> src:int -> dst:int -> 'msg -> 'msg action
 
@@ -82,7 +85,7 @@ let send (t : 'msg t) ~(src : int) ~(dst : int) ~(bytes : int) (msg : 'msg) : un
     (match t.on_send with Some f -> f ~src ~bytes | None -> ());
     let latency = Topology.latency t.topology ~src ~dst in
     let base_arrival = start +. tx_time +. latency in
-    let deliver () =
+    let deliver_msg msg () =
       if t.up.(dst) then begin
         match t.handlers.(dst) with
         | Some h ->
@@ -91,6 +94,7 @@ let send (t : 'msg t) ~(src : int) ~(dst : int) ~(bytes : int) (msg : 'msg) : un
         | None -> ()
       end
     in
+    let deliver = deliver_msg msg in
     match t.adversary ~now ~src ~dst msg with
     | Drop -> ()
     | Deliver -> Engine.at t.engine ~time:base_arrival deliver
@@ -98,4 +102,5 @@ let send (t : 'msg t) ~(src : int) ~(dst : int) ~(bytes : int) (msg : 'msg) : un
     | Duplicate { first; second } ->
       Engine.at t.engine ~time:(base_arrival +. first) deliver;
       Engine.at t.engine ~time:(base_arrival +. second) deliver
+    | Tamper msg' -> Engine.at t.engine ~time:base_arrival (deliver_msg msg')
   end

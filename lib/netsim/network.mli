@@ -10,6 +10,9 @@ type 'msg action =
   | Delay of float
   | Duplicate of { first : float; second : float }
       (** deliver two copies, each with its own extra delay *)
+  | Tamper of 'msg
+      (** deliver a substituted payload at the normal arrival time: an
+          on-path adversary corrupting bytes in flight *)
 
 type 'msg adversary = now:float -> src:int -> dst:int -> 'msg -> 'msg action
 

@@ -338,22 +338,30 @@ let retry_cancel_stops () =
 
 (* --------------------------- torture ----------------------------- *)
 
+(* The torture sweeps run in bytes-on-the-wire mode: every message in
+   every churn/catch-up path crosses the WAN as Codec bytes and is
+   decoded at each hop, so any message a restart path can produce that
+   the codec cannot carry shows up here as a divergence or hang. *)
 let torture ~(seeds : int) ~(loss : float) () =
   for seed = 1 to seeds do
     let r =
       Harness.run
-        (base ~seed:(9_000 + seed) ~users:8 ~rounds:3
-           ~attack:
-             (Harness.Crash_churn
-                (Harness.Periodic
-                   {
-                     start = 4.0;
-                     period = 10.0;
-                     fraction = 0.3;
-                     down_for = 8.0;
-                     until = 60.0;
-                   }))
-           ~loss)
+        {
+          (base ~seed:(9_000 + seed) ~users:8 ~rounds:3
+             ~attack:
+               (Harness.Crash_churn
+                  (Harness.Periodic
+                     {
+                       start = 4.0;
+                       period = 10.0;
+                       fraction = 0.3;
+                       down_for = 8.0;
+                       until = 60.0;
+                     }))
+             ~loss)
+          with
+          wire = `Bytes;
+        }
     in
     Fun.protect
       ~finally:(fun () -> Harness.cleanup_stores r.harness)
@@ -367,7 +375,12 @@ let torture ~(seeds : int) ~(loss : float) () =
                (List.map string_of_int r.churn.divergent_restarted));
         if r.churn.unfinished <> [] then
           Alcotest.failf "seed %d: nodes %s never finished (down/resync/hung)" seed
-            (String.concat "," (List.map string_of_int r.churn.unfinished)))
+            (String.concat "," (List.map string_of_int r.churn.unfinished));
+        (* Nothing corrupts the wire here: every frame honest nodes
+           produce must decode at every hop. *)
+        if r.wire.decode_failures > 0 then
+          Alcotest.failf "seed %d: %d decode failures on a clean wire" seed
+            r.wire.decode_failures)
   done
 
 let suite =

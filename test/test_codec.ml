@@ -128,6 +128,87 @@ let garbage_rejected () =
     | None -> ()
   done
 
+(* Hostile declared quantities must be rejected by the decoder limits,
+   not crash it or survive into downstream arithmetic. *)
+let limits_enforced () =
+  let max_step = Codec.default_limits.max_step in
+  (* Step indices: Bin is clamped to [1, max_steps]; a vote carrying a
+     step near max_int must not decode. *)
+  Alcotest.(check bool) "bin at cap ok" true
+    (Codec.decode_step (Codec.encode_step (Vote.Bin max_step)) = Some (Vote.Bin max_step));
+  Alcotest.(check bool) "bin above cap rejected" true
+    (Codec.decode_step (Codec.encode_step (Vote.Bin (max_step + 1))) = None);
+  Alcotest.(check bool) "bin 0 rejected" true
+    (Codec.decode_step (Codec.encode_step (Vote.Bin 0)) = None);
+  Alcotest.(check bool) "bin near max_int rejected" true
+    (Codec.decode_step (Codec.encode_step (Vote.Bin (max_int - 20))) = None);
+  (* A vote whose step field survived the clamp still roundtrips. *)
+  let v = sample_vote (Vote.Bin max_step) in
+  Alcotest.(check bool) "vote at cap ok" true
+    (Codec.decode_vote (Codec.encode_vote v) = Some v);
+  Alcotest.(check bool) "vote above cap rejected" true
+    (Codec.decode_vote (Codec.encode_vote { v with step = Vote.Bin (max_step + 1) })
+    = None);
+  (* Padding is a declared byte count: a small frame claiming 2^60
+     pretend-bytes would wedge the receiver's modeled uplink. *)
+  let bomb = sample_block ~txs:[] ~padding:(1 lsl 60) in
+  Alcotest.(check bool) "padding bomb rejected" true
+    (Codec.decode_block (Codec.encode_block bomb) = None);
+  Alcotest.(check bool) "padding at cap ok" true
+    (Codec.decode_block
+       (Codec.encode_block
+          (sample_block ~txs:[] ~padding:Codec.default_limits.max_padding))
+    <> None);
+  (* Tighter experiment-derived limits bite earlier. *)
+  let tight = Codec.limits_of_params ~block_bytes:10_000 Algorand_ba.Params.paper in
+  Alcotest.(check bool) "tight padding cap" true
+    (Codec.decode_block ~limits:tight
+       (Codec.encode_block (sample_block ~txs:[] ~padding:1_000_000))
+    = None);
+  (* Short integer fields must not raise out of the decoder: a vote
+     frame whose round field is 3 bytes used to crash decode_vote. *)
+  let short_round =
+    Algorand_ledger.Wire.concat
+      [ "abc"; Codec.encode_step (Vote.Bin 1); "pk"; "sh"; "sp"; "ph"; "v"; "sig" ]
+  in
+  Alcotest.(check bool) "short round field rejected" true
+    (Codec.decode_vote short_round = None);
+  (* Negative (top-bit-set) u64s are rejected everywhere. *)
+  let neg = String.make 1 '\xff' ^ String.make 7 '\x00' in
+  let neg_round_vote =
+    Algorand_ledger.Wire.concat
+      [ neg; Codec.encode_step (Vote.Bin 1); "pk"; "sh"; "sp"; "ph"; "v"; "sig" ]
+  in
+  Alcotest.(check bool) "negative round rejected" true
+    (Codec.decode_vote neg_round_vote = None);
+  (* Oversized frames are rejected before parsing. *)
+  let small = { Codec.default_limits with max_frame_bytes = 64 } in
+  let big = Codec.encode (Message.Block_gossip (sample_block ~txs:[] ~padding:0)) in
+  Alcotest.(check bool) "frame cap" true (Codec.decode ~limits:small big = None)
+
+(* The catch-up reply item list is capped; an attacker cannot claim an
+   absurd number of (block, certificate) pairs. *)
+let list_caps_enforced () =
+  let tight = { Codec.default_limits with max_items = 2; max_votes = 3 } in
+  let votes n = List.init n (fun i -> { (sample_vote (Vote.Bin 2)) with round = i }) in
+  let cert n = Certificate.make ~round:1 ~step:(Vote.Bin 2) ~block_hash:(h32 "b") ~votes:(votes n) in
+  Alcotest.(check bool) "votes at cap ok" true
+    (Codec.decode_certificate ~limits:tight (Codec.encode_certificate (cert 3)) <> None);
+  Alcotest.(check bool) "votes above cap rejected" true
+    (Codec.decode_certificate ~limits:tight (Codec.encode_certificate (cert 4)) = None);
+  let reply n =
+    Message.Round_reply
+      {
+        to_ = 1;
+        current_round = 5;
+        items = List.init n (fun _ -> (sample_block ~txs:[] ~padding:0, cert 1));
+      }
+  in
+  Alcotest.(check bool) "items at cap ok" true
+    (Codec.decode ~limits:tight (Codec.encode (reply 2)) <> None);
+  Alcotest.(check bool) "items above cap rejected" true
+    (Codec.decode ~limits:tight (Codec.encode (reply 3)) = None)
+
 let wire_size_includes_padding () =
   let b = sample_block ~txs:[] ~padding:10_000 in
   let m = Message.Block_gossip b in
@@ -145,6 +226,8 @@ let suite =
         t "vote fields survive" vote_fields_survive;
         t "certificate roundtrip" certificate_roundtrip;
         t "garbage rejected" garbage_rejected;
+        t "decoder limits enforced" limits_enforced;
+        t "list caps enforced" list_caps_enforced;
         t "wire size includes padding" wire_size_includes_padding;
         qt "tx roundtrips" QCheck2.Gen.(pair (int_range 0 100000) (int_range 0 1000))
           (fun (amount, nonce) ->
@@ -153,7 +236,10 @@ let suite =
             | Some (Message.Tx tx') -> Transaction.id tx = Transaction.id tx'
             | _ -> false);
         qt "votes roundtrip"
-          QCheck2.Gen.(triple (int_range 0 10000) (int_range 1 200) string)
+          QCheck2.Gen.(
+            triple (int_range 0 10000)
+              (int_range 1 Algorand_ba.Params.paper.max_steps)
+              string)
           (fun (round, bin, value) ->
             let v = { (sample_vote (Vote.Bin bin)) with round; value } in
             Codec.decode_vote (Codec.encode_vote v) = Some v);

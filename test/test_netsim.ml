@@ -209,7 +209,7 @@ let adversary_reorder_bounded () =
     List.init 50 (fun i ->
         match adv ~now:0.0 ~src:0 ~dst:1 i with
         | Network.Delay d -> d
-        | Network.Deliver | Network.Drop | Network.Duplicate _ ->
+        | Network.Deliver | Network.Drop | Network.Duplicate _ | Network.Tamper _ ->
           Alcotest.fail "reorder must only delay")
   in
   let ds = sample 21 in
@@ -449,10 +449,171 @@ let topology_jitter_varies () =
   (* Jitter makes successive samples differ (with overwhelming prob). *)
   Alcotest.(check bool) "samples differ" true (a <> b)
 
+(* ---------------------- flood defense units ----------------------- *)
+
+(* A tiny identity codec over strings: "frames" are the strings
+   themselves, anything starting with '!' fails to decode. *)
+let string_codec : string Gossip.codec =
+  {
+    enc = (fun m -> m);
+    dec = (fun s -> if String.length s > 0 && s.[0] = '!' then None else Some s);
+  }
+
+let flood_net ~nodes ~seed =
+  let engine = Engine.create () in
+  let topo = Topology.create ~nodes (Rng.create seed) in
+  let net = Network.create ~engine ~topology:topo () in
+  (engine, net)
+
+let counting_config counts : string Gossip.config =
+  {
+    msg_id = (fun m -> m);
+    validate = (fun _ _ -> true);
+    deliver = (fun node ~src:_ _ -> counts.(node) <- counts.(node) + 1);
+    fanout = 4;
+    point_to_point = (fun _ -> false);
+  }
+
+let gossip_wire_mode_roundtrip () =
+  let n = 20 in
+  let engine, net = flood_net ~nodes:n ~seed:41 in
+  let got = Array.make n 0 in
+  let g =
+    Gossip.create ~codec:string_codec ~net ~rng:(Rng.create 42)
+      ~weights:(Array.make n 1.0) (counting_config got)
+  in
+  Gossip.broadcast g ~node:0 ~bytes:64 "typed-through-bytes";
+  ignore (Engine.run engine ());
+  let reached = Array.fold_left (fun a c -> if c > 0 then a + 1 else a) 0 got in
+  Alcotest.(check bool) "reached nearly everyone" true (reached >= n - 2);
+  Alcotest.(check int) "clean wire" 0 (Gossip.decode_failures g)
+
+let gossip_garbage_banned () =
+  let n = 20 in
+  let engine, net = flood_net ~nodes:n ~seed:43 in
+  let got = Array.make n 0 in
+  let limits =
+    { Gossip.default_limits with ban_threshold = 50; decode_fail_score = 10 }
+  in
+  let g =
+    Gossip.create ~codec:string_codec ~limits ~net ~rng:(Rng.create 44)
+      ~weights:(Array.make n 1.0) (counting_config got)
+  in
+  let flooder = 0 in
+  let victims_before = Gossip.peers g flooder in
+  let degree_before = List.map (fun p -> List.length (Gossip.peers g p)) victims_before in
+  (* Pump undecodable frames, spaced out so the leaky bucket never
+     tail-drops them: every one must reach the decoder and score. *)
+  for k = 0 to 99 do
+    Engine.at engine
+      ~time:(0.01 *. float_of_int k)
+      (fun () -> Gossip.inject_raw g ~node:flooder ~bytes:32 (Printf.sprintf "!junk-%d" k))
+  done;
+  ignore (Engine.run engine ());
+  Alcotest.(check bool)
+    (Printf.sprintf "decode failures counted (%d)" (Gossip.decode_failures g))
+    true
+    (Gossip.decode_failures g > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "flooder banned (%d links)" (Gossip.banned_links g))
+    true
+    (Gossip.banned_links g >= 1);
+  (* Every victim that banned the flooder severed the link both ways
+     and drew a replacement peer: degree is preserved. *)
+  let banners = List.filter (fun p -> List.mem flooder (Gossip.banned_by g p)) victims_before in
+  Alcotest.(check bool) "someone banned it" true (banners <> []);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d dropped the flooder" p)
+        false
+        (List.mem flooder (Gossip.peers g p)))
+    banners;
+  List.iter2
+    (fun p d ->
+      if List.mem flooder (Gossip.banned_by g p) then
+        Alcotest.(check bool)
+          (Printf.sprintf "node %d kept its degree" p)
+          true
+          (List.length (Gossip.peers g p) >= d))
+    victims_before degree_before;
+  (* Banned pairs must survive a full peer redraw un-linked. *)
+  Gossip.redraw g ~weights:(Array.make n 1.0);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "redraw keeps node %d away from the flooder" p)
+        false
+        (List.mem flooder (Gossip.peers g p)))
+    banners
+
+let gossip_quota_drops () =
+  let n = 10 in
+  let engine, net = flood_net ~nodes:n ~seed:45 in
+  let got = Array.make n 0 in
+  let limits =
+    {
+      Gossip.default_limits with
+      quota_msgs = 5;
+      quota_window_s = 10.0;
+      (* Quota, not banning, is under test here. *)
+      ban_threshold = 1_000_000;
+    }
+  in
+  let g =
+    Gossip.create ~codec:string_codec ~limits ~net ~rng:(Rng.create 46)
+      ~weights:(Array.make n 1.0) (counting_config got)
+  in
+  (* 50 distinct valid messages from one node, spaced past the leaky
+     bucket: far over the 5-per-window per-peer quota. *)
+  for k = 0 to 49 do
+    Engine.at engine
+      ~time:(0.01 *. float_of_int k)
+      (fun () -> Gossip.broadcast g ~node:0 ~bytes:16 (Printf.sprintf "m-%d" k))
+  done;
+  ignore (Engine.run engine ());
+  Alcotest.(check bool)
+    (Printf.sprintf "quota drops counted (%d)" (Gossip.quota_drops g))
+    true
+    (Gossip.quota_drops g > 0);
+  Alcotest.(check int) "no bans at this threshold" 0 (Gossip.banned_links g)
+
+let gossip_queue_tail_drop () =
+  let n = 10 in
+  let engine, net = flood_net ~nodes:n ~seed:47 in
+  let got = Array.make n 0 in
+  let limits =
+    {
+      Gossip.default_limits with
+      queue_capacity = 3;
+      drain_per_s = 1.0;
+      quota_msgs = 1_000_000;
+      ban_threshold = 1_000_000;
+    }
+  in
+  let g =
+    Gossip.create ~codec:string_codec ~limits ~net ~rng:(Rng.create 48)
+      ~weights:(Array.make n 1.0) (counting_config got)
+  in
+  (* A burst at one instant: the 3-deep queue draining 1/s must
+     tail-drop most of it. *)
+  for k = 0 to 29 do
+    Gossip.broadcast g ~node:0 ~bytes:16 (Printf.sprintf "burst-%d" k)
+  done;
+  ignore (Engine.run engine ());
+  Alcotest.(check bool)
+    (Printf.sprintf "tail drops counted (%d)" (Gossip.quota_drops g))
+    true
+    (Gossip.quota_drops g > 0)
+
 let suite =
   [
     ( "netsim",
       [
+        t "gossip wire mode roundtrip" gossip_wire_mode_roundtrip;
+        t "gossip garbage gets you banned" gossip_garbage_banned;
+        t "gossip per-peer quota drops" gossip_quota_drops;
+        t "gossip ingress queue tail-drop" gossip_queue_tail_drop;
         t "adversary compose" adversary_compose;
         t "adversary compose ordering semantics" adversary_compose_ordering;
         t "adversary reorder bounded + deterministic" adversary_reorder_bounded;

@@ -159,7 +159,20 @@ let run_fuzz_wire ~seed ~mutations =
       Printf.printf "\n  FAIL via %s: %s\n  frame (%d bytes): %s\n" f.mutation
         f.reason f.frame_len f.frame_hex)
     report.failures;
-  if report.failures <> [] then exit 1
+  (* Transport layer below the codec: frame reassembly under
+     adversarial segmentation and stream corruption. *)
+  let streams = max 100 (mutations / 10) in
+  let rr = Algorand_check.Wirefuzz.reassembly_run ~seed ~streams () in
+  rowi "reassembly streams" rr.streams;
+  rowi "clean streams" rr.clean_streams;
+  rowi "poisoned streams" rr.poisoned_streams;
+  rowi "reassembly failures" (List.length rr.reassembly_failures);
+  List.iter
+    (fun (f : Algorand_check.Wirefuzz.failure) ->
+      Printf.printf "\n  FAIL via %s: %s\n  stream (%d bytes): %s\n" f.mutation
+        f.reason f.frame_len f.frame_hex)
+    rr.reassembly_failures;
+  if report.failures <> [] || rr.reassembly_failures <> [] then exit 1
 
 (* ----------------------------- CLI -------------------------------- *)
 

@@ -303,3 +303,136 @@ let run ?(limits = Codec.default_limits) ?(seed = 1) ~(mutations : int) () : rep
     decoded = !decoded;
     failures = List.rev !failures;
   }
+
+(* ------------------------- frame reassembly ------------------------ *)
+
+(* The transport's segmentation boundary: TCP delivers the same frame
+   stream cut at arbitrary byte offsets, so the reassembler must
+   recover exactly the encoded frames under every cut, and survive
+   (poisoned, not crashed) when the stream bytes themselves are
+   corrupted. *)
+
+module Frame = Algorand_transport.Frame
+
+type reassembly_report = {
+  streams : int;
+  clean_streams : int;  (** uncorrupted streams recovered exactly *)
+  poisoned_streams : int;  (** corrupted streams rejected via a framing error *)
+  reassembly_failures : failure list;
+}
+
+(* Cut [stream] into segments: 1-byte dribble, fixed small chunks,
+   random jitter, or one coalesced blob. *)
+let segment (rng : Rng.t) (stream : string) : string list =
+  let n = String.length stream in
+  if n = 0 then []
+  else
+    match Rng.int rng 4 with
+    | 0 -> List.init n (fun i -> String.sub stream i 1)
+    | 1 ->
+      let k = 2 + Rng.int rng 6 in
+      let rec cut off acc =
+        if off >= n then List.rev acc
+        else begin
+          let len = min k (n - off) in
+          cut (off + len) (String.sub stream off len :: acc)
+        end
+      in
+      cut 0 []
+    | 2 ->
+      let rec cut off acc =
+        if off >= n then List.rev acc
+        else begin
+          let len = min (1 + Rng.int rng 64) (n - off) in
+          cut (off + len) (String.sub stream off len :: acc)
+        end
+      in
+      cut 0 []
+    | _ -> [ stream ]
+
+let feed_all (r : Frame.Reassembler.t) (segments : string list) :
+    (string list, Frame.Reassembler.error) result =
+  List.fold_left
+    (fun acc seg ->
+      match acc with
+      | Error _ as e -> e
+      | Ok frames -> (
+        match Frame.Reassembler.feed r seg with
+        | Ok more -> Ok (frames @ more)
+        | Error _ as e -> e))
+    (Ok []) segments
+
+let reassembly_run ?(seed = 1) ~(streams : int) () : reassembly_report =
+  let rng = Rng.split (Rng.create seed) "reassembly" in
+  let corpus = corpus () in
+  let n_corpus = List.length corpus in
+  let max_frame = 1 lsl 20 in
+  let clean = ref 0 and poisoned = ref 0 and failures = ref [] in
+  let fail mutation reason stream =
+    failures :=
+      {
+        mutation;
+        frame_hex = Hex.of_string stream;
+        frame_len = String.length stream;
+        reason;
+      }
+      :: !failures
+  in
+  for _ = 1 to streams do
+    let payloads =
+      List.init
+        (1 + Rng.int rng 6)
+        (fun _ -> List.nth corpus (Rng.int rng n_corpus))
+    in
+    let stream = String.concat "" (List.map Frame.encode payloads) in
+    let corrupt = Rng.int rng 3 = 0 in
+    let stream' =
+      if not corrupt then stream
+      else
+        match Rng.int rng 3 with
+        | 0 -> length_bomb rng stream
+        | 1 -> bit_flip rng stream
+        | _ ->
+          (* Bomb the first header directly: random corruption rarely
+             lands on the 4 header bytes, and the oversized->poison
+             path deserves guaranteed coverage. *)
+          let b = Bytes.of_string stream in
+          Bytes.set_int32_be b 0 0xFFFFFF00l;
+          Bytes.to_string b
+    in
+    let r = Frame.Reassembler.create ~max_frame_bytes:max_frame in
+    match feed_all r (segment rng stream') with
+    | exception e ->
+      fail "segment" ("reassembler raised: " ^ Printexc.to_string e) stream'
+    | Ok frames when stream' = stream ->
+      (* Any segmentation of an intact stream must recover the exact
+         frame sequence. *)
+      if frames = payloads then incr clean
+      else fail "segment" "segmentation changed the recovered frames" stream'
+    | Ok frames ->
+      (* A corrupted length prefix reframes the stream; the recovered
+         payloads must still be bounded by what was fed (no invented
+         bytes), and decode-layer oracles take it from there. *)
+      let fed = String.length stream' in
+      let got = List.fold_left (fun a f -> a + String.length f) 0 frames in
+      if got <= fed then incr clean
+      else fail "corrupt" "reassembler emitted more bytes than were fed" stream'
+    | Error e ->
+      incr poisoned;
+      (* Poison is sticky: every later feed must keep failing. *)
+      (match Frame.Reassembler.feed r "x" with
+      | Error `Closed -> ()
+      | Ok _ | Error (`Oversized _) ->
+        fail "poison"
+          (Format.asprintf "feed after %a was not rejected as closed"
+             Frame.Reassembler.pp_error e)
+          stream');
+      if not corrupt then
+        fail "segment" "intact stream hit a framing error" stream'
+  done;
+  {
+    streams;
+    clean_streams = !clean;
+    poisoned_streams = !poisoned;
+    reassembly_failures = List.rev !failures;
+  }

@@ -32,3 +32,19 @@ val check_frame :
 
 val run : ?limits:Codec.limits -> ?seed:int -> mutations:int -> unit -> report
 (** Deterministic for a given [seed]. *)
+
+type reassembly_report = {
+  streams : int;
+  clean_streams : int;  (** uncorrupted streams recovered exactly *)
+  poisoned_streams : int;  (** corrupted streams rejected via a framing error *)
+  reassembly_failures : failure list;  (** must be empty *)
+}
+
+val reassembly_run : ?seed:int -> streams:int -> unit -> reassembly_report
+(** Fuzz the transport's {!Algorand_transport.Frame.Reassembler}:
+    corpus frames are concatenated into streams, cut at adversarial
+    segment boundaries (1-byte dribble, jittered chunks, coalesced
+    blobs) and sometimes byte-corrupted. Oracles: an intact stream
+    recovers exactly the encoded frames under every segmentation; the
+    reassembler never raises, never emits more bytes than it was fed,
+    and stays poisoned after a framing error. *)

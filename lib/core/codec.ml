@@ -380,3 +380,33 @@ let wire_size_bytes (m : Message.t) : int =
     | _ -> 0
   in
   String.length (encode m) + padding
+
+(* Canonical digest of the protocol configuration, carried in the
+   transport handshake: two processes that disagree on any parameter
+   (or on genesis) would silently diverge, so they must refuse to talk
+   instead. Floats are rendered with %.17g (round-trip exact), and a
+   leading version token lets the format evolve without colliding. *)
+let params_digest ?(genesis = "") (p : Params.t) : string =
+  let f = Printf.sprintf "%.17g" in
+  let fields =
+    [
+      "pdigest-v1";
+      f p.honest_fraction;
+      string_of_int p.seed_refresh_interval;
+      f p.tau_proposer;
+      f p.tau_step;
+      f p.t_step;
+      f p.tau_final;
+      f p.t_final;
+      string_of_int p.max_steps;
+      f p.lambda_priority;
+      f p.lambda_block;
+      f p.lambda_step;
+      f p.lambda_stepvar;
+      f p.lookback_b;
+      f p.recovery_interval;
+      (match p.ba_variant with Params.Vote_next_three -> "vote-next-three" | Params.Look_back -> "look-back");
+      genesis;
+    ]
+  in
+  Algorand_crypto.Sha256.digest (String.concat "|" fields)

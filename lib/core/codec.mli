@@ -61,3 +61,8 @@ val decode : ?limits:limits -> string -> Message.t option
 val wire_size_bytes : Message.t -> int
 (** Encoded framing plus the declared padding bytes a production
     encoder would stream. *)
+
+val params_digest : ?genesis:string -> Params.t -> string
+(** 32-byte canonical digest of the protocol parameters (plus,
+    optionally, the genesis hash) — the value the transport handshake
+    compares so differently-configured processes refuse to peer. *)

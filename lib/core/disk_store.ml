@@ -98,3 +98,10 @@ let size_bytes (dir : string) : int =
            let st = Unix.stat (Filename.concat dir f) in
            acc + st.Unix.st_size)
          0
+
+(* Per-identity state directory: N daemons sharing one --store root
+   must never collide, and a pk can contain bytes unfit for a path, so
+   the directory name is a hash of the identity. *)
+let node_dir ~(root : string) ~(pk : string) : string =
+  let tag = String.sub (Algorand_crypto.Sha256.digest_hex pk) 0 16 in
+  Filename.concat root ("node-" ^ tag)

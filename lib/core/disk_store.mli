@@ -26,3 +26,9 @@ val load : ?up_to_round:int -> string -> History.item list * load_error option
 val size_bytes : string -> int
 (** Total bytes on disk - the measured form of the section 10.3
     storage-cost accounting. *)
+
+val node_dir : root:string -> pk:string -> string
+(** The state directory for one identity under a shared root:
+    [root/node-<hex16 of sha256(pk)>]. Daemons derive their directory
+    from their own public key, so any number of processes can share
+    one [--store] root without colliding. *)

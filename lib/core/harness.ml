@@ -113,6 +113,10 @@ type config = {
   gossip_limits : Gossip.limits option;
       (** per-peer flood defense (ingress queues, quotas, bans);
           [None] disables it. [Flood] runs supply a default. *)
+  deterministic_ts : bool;
+      (** round-number block timestamps: makes the ledger independent
+          of the clock, so a sim run can be compared hash-for-hash with
+          a wall-clock wire run of the same seed *)
 }
 
 let default =
@@ -143,6 +147,7 @@ let default =
     trace = None;
     wire = `Typed;
     gossip_limits = None;
+    deterministic_ts = false;
   }
 
 type t = {
@@ -316,6 +321,7 @@ let build (config : config) : t =
           store_root;
       checkpoint_every = config.checkpoint_every;
       retry = retry_policy;
+      deterministic_ts = config.deterministic_ts;
     }
   in
   let nodes =

@@ -86,9 +86,19 @@ type config = {
   gossip_limits : Gossip.limits option;
       (** per-peer flood defense (ingress queues, quotas, bans);
           [None] disables it. [Flood] runs supply a default. *)
+  deterministic_ts : bool;
+      (** round-number block timestamps: makes the ledger independent
+          of the clock, so a sim run can be compared hash-for-hash with
+          a wall-clock wire run of the same seed *)
 }
 
 val default : config
+
+val schemes :
+  crypto -> Algorand_crypto.Signature_scheme.scheme * Algorand_crypto.Vrf.scheme
+(** The signature and VRF scheme pair behind a [crypto] choice - what
+    any out-of-harness deployment (the wire daemon) must use to derive
+    the same identities. *)
 
 type t = {
   config : config;

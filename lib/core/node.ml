@@ -62,6 +62,10 @@ type config = {
   checkpoint_every : int;
       (** checkpoint every k completed rounds (when [store_dir] is set) *)
   retry : Retry.policy;  (** backoff for block fetch and catch-up requests *)
+  deterministic_ts : bool;
+      (** stamp blocks with the round number instead of the clock, so
+          runs on different clocks (sim vs wall time) build
+          bit-identical ledgers *)
 }
 
 let default_config =
@@ -81,6 +85,7 @@ let default_config =
     store_dir = None;
     checkpoint_every = 1;
     retry = Retry.default_policy;
+    deterministic_ts = false;
   }
 
 type round_state = {
@@ -146,6 +151,19 @@ type resync_state = {
           so the divergence point must be rediscovered) *)
 }
 
+(* The node's entire view of the network. The four operations are all
+   the protocol ever needs, which is what lets one node core run over
+   the simulated overlay (lib/netsim Gossip) and over a real transport
+   (Wire_gossip) unchanged. Byte accounting happens inside the
+   closures; dst indices refer to the global roster. *)
+type net = {
+  net_broadcast : Message.t -> unit;  (** originate on the overlay *)
+  net_send_to : dst:int -> Message.t -> unit;  (** point-to-point *)
+  net_peers : unit -> int list;  (** current overlay neighbors *)
+  net_mark_seen : Message.t -> unit;
+      (** suppress our own relay of a message id (equivocation sends) *)
+}
+
 type t = {
   index : int;
   identity : Identity.t;
@@ -156,7 +174,7 @@ type t = {
   rng : Rng.t;  (** retry jitter; deterministic per node *)
   mutable chain : Chain.t;  (** replaced wholesale on crash/restart *)
   mutable txpool : Txpool.t;
-  mutable gossip : Message.t Gossip.t option;
+  mutable net : net option;
   mutable current : round_state option;
   pending : (int, Message.t list ref) Hashtbl.t;  (** future-round messages *)
   mutable previous : round_state option;
@@ -193,7 +211,7 @@ let create ~(index : int) ~(identity : Identity.t) ~(config : config)
     rng = (match rng with Some r -> r | None -> Rng.create ((1_000_003 * index) + 17));
     chain = Chain.create genesis;
     txpool = Txpool.create ();
-    gossip = None;
+    net = None;
     current = None;
     pending = Hashtbl.create 8;
     previous = None;
@@ -224,8 +242,24 @@ let trace_instant (t : t) ?round ?detail (name : string) : unit =
     Trace.instant tr ~node:t.index ~incarnation:t.incarnation ?round ?detail
       ~ts:(Engine.now t.engine) ~cat:"node" ~name ()
 
-let set_gossip (t : t) (g : Message.t Gossip.t) : unit = t.gossip <- Some g
-let gossip (t : t) : Message.t Gossip.t = Option.get t.gossip
+let set_net (t : t) (n : net) : unit = t.net <- Some n
+let net (t : t) : net = Option.get t.net
+
+(* The netsim overlay exposed through the [net] seam; harness and
+   tests keep calling this, the daemon installs a Wire_gossip-backed
+   [net] instead. *)
+let set_gossip (t : t) (g : Message.t Gossip.t) : unit =
+  set_net t
+    {
+      net_broadcast =
+        (fun msg ->
+          Gossip.broadcast g ~node:t.index ~bytes:(Message.size_bytes msg) msg);
+      net_send_to =
+        (fun ~dst msg ->
+          Gossip.send_to g ~src:t.index ~dst ~bytes:(Message.size_bytes msg) msg);
+      net_peers = (fun () -> Gossip.peers g t.index);
+      net_mark_seen = (fun msg -> Gossip.mark_seen g ~node:t.index msg);
+    }
 let pk (t : t) : string = t.identity.pk
 let chain (t : t) : Chain.t = t.chain
 let round (t : t) : int = match t.current with Some rs -> rs.round | None -> 0
@@ -241,8 +275,7 @@ let serves_round (t : t) ~(round : int) : bool =
   Algorand_ledger.Storage.stores ~shards:t.config.storage_shards ~pk:t.identity.pk
     ~round
 
-let broadcast (t : t) (msg : Message.t) : unit =
-  Gossip.broadcast (gossip t) ~node:t.index ~bytes:(Message.size_bytes msg) msg
+let broadcast (t : t) (msg : Message.t) : unit = (net t).net_broadcast msg
 
 (* Schedule a timer that dies with the node's current life: crash,
    restart and resync teardown bump [t.incarnation], so a closure armed
@@ -260,13 +293,12 @@ let cancel_fetch (rs : round_state) : unit =
    truncate what a restart can replay, so a round missing its
    certificate (e.g. adopted during fork recovery) blocks the
    checkpoint until resync backfills it. *)
-let maybe_checkpoint (t : t) : unit =
+let do_checkpoint (t : t) ~(min_new : int) : unit =
   match t.config.store_dir with
   | None -> ()
   | Some dir ->
-    let k = t.config.checkpoint_every in
     let tip = Chain.tip t.chain in
-    if k > 0 && tip.height >= t.last_checkpoint + k then begin
+    if tip.height >= t.last_checkpoint + min_new then begin
       let rec collect r acc =
         if r <= t.last_checkpoint then Some acc
         else begin
@@ -285,6 +317,14 @@ let maybe_checkpoint (t : t) : unit =
         t.last_checkpoint <- tip.height
       | Some _ | None -> ()
     end
+
+let maybe_checkpoint (t : t) : unit =
+  if t.config.checkpoint_every > 0 then
+    do_checkpoint t ~min_new:t.config.checkpoint_every
+
+(* Forced checkpoint, cadence ignored: what a daemon does on SIGTERM
+   so a drained process leaves its full certified prefix on disk. *)
+let checkpoint_now (t : t) : unit = do_checkpoint t ~min_new:1
 
 (* ------------------------------------------------------------------ *)
 (* Round context (seeds and look-back weights, sections 5.2-5.3).      *)
@@ -391,15 +431,10 @@ let send_vote (t : t) (rs : round_state) (v : Vote.t) : unit =
         (* Show the conflicting vote to half of our peers directly; the
            gossip id is shared, so each honest relay forwards whichever
            version reached it first (section 8.4's relay rule). *)
-        let g = gossip t in
-        let peers = Gossip.peers g t.index in
+        let nt = net t in
         List.iteri
-          (fun i dst ->
-            if i mod 2 = 1 then
-              Gossip.send_to g ~src:t.index ~dst
-                ~bytes:(Message.size_bytes (Message.Ba_vote v'))
-                (Message.Ba_vote v'))
-          peers))
+          (fun i dst -> if i mod 2 = 1 then nt.net_send_to ~dst (Message.Ba_vote v'))
+          (nt.net_peers ())))
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -545,12 +580,11 @@ and start_block_fetch (t : t) (rs : round_state) ~(value : string) : unit =
                else begin
                  Metrics.record_retry t.metrics;
                  let msg = request n in
-                 match Gossip.peers (gossip t) t.index with
+                 match (net t).net_peers () with
                  | [] -> broadcast t msg
                  | peers ->
                    let dst = List.nth peers ((n - 1) mod List.length peers) in
-                   Gossip.send_to (gossip t) ~src:t.index ~dst
-                     ~bytes:(Message.size_bytes msg) msg
+                   (net t).net_send_to ~dst msg
                end)
            ~name:"block_fetch" ~registry:(Metrics.registry t.metrics)
            ~trace:(Metrics.trace t.metrics) ())
@@ -708,7 +742,12 @@ and build_block (t : t) (rs : round_state) ~(variant : int) : Block.t =
       {
         round = rs.round;
         prev_hash = rs.prev_hash;
-        timestamp = Engine.now t.engine;
+        timestamp =
+          (* Round-number timestamps make the header independent of the
+             clock that ran the protocol: exact under the codec's ms
+             encoding, so sim and wire runs hash identically. *)
+          (if t.config.deterministic_ts then float_of_int rs.round
+           else Engine.now t.engine);
         seed;
         seed_proof;
         proposer_pk = t.identity.pk;
@@ -753,14 +792,13 @@ and try_propose (t : t) (rs : round_state) : unit =
          peers, version B to the other half. Relays forward whichever
          they saw first. *)
       let block_b = build_block t rs ~variant:1 in
-      let g = gossip t in
-      Gossip.mark_seen g ~node:t.index (Message.Block_gossip block);
+      let nt = net t in
+      nt.net_mark_seen (Message.Block_gossip block);
       List.iteri
         (fun i dst ->
           let b = if i mod 2 = 0 then block else block_b in
-          let msg = Message.Block_gossip b in
-          Gossip.send_to g ~src:t.index ~dst ~bytes:(Message.size_bytes msg) msg)
-        (Gossip.peers g t.index)
+          nt.net_send_to ~dst (Message.Block_gossip b))
+        (nt.net_peers ())
     end
 
 and consider_priority (t : t) (rs : round_state) (p : Proposal.priority_msg) : unit =
@@ -830,8 +868,10 @@ and validate_block (t : t) (rs : round_state) (b : Block.t) : bool =
   let tip = Chain.tip t.chain in
   Block.round b = rs.round
   && String.equal (Block.prev_hash b) rs.prev_hash
-  && b.header.timestamp > tip.block.header.timestamp
-  && b.header.timestamp <= Engine.now t.engine +. 1.0
+  && (if t.config.deterministic_ts then b.header.timestamp = float_of_int rs.round
+      else
+        b.header.timestamp > tip.block.header.timestamp
+        && b.header.timestamp <= Engine.now t.engine +. 1.0)
   && (match Algorand_ledger.Balances.apply_all tip.balances_after b.txs with
      | Ok _ -> true
      | Error _ -> false)
@@ -870,11 +910,7 @@ and process_message (t : t) (msg : Message.t) : unit =
          stopped (or moved on) must still answer a straggler's fetch,
          or the last round's late deciders can never learn the block
          they agreed on. *)
-      let reply b =
-        let m = Message.Block_reply b in
-        Gossip.send_to (gossip t) ~src:t.index ~dst:requester
-          ~bytes:(Message.size_bytes m) m
-      in
+      let reply b = (net t).net_send_to ~dst:requester (Message.Block_reply b) in
       (match t.current with
       | Some rs when round = rs.round -> (
         match Hashtbl.find_opt rs.proposed_blocks block_hash with
@@ -1048,12 +1084,12 @@ and send_round_request (t : t) (st : resync_state) : unit =
     Message.Round_request
       { from_round; requester = t.index; attempt = st.requests_sent }
   in
-  let g = gossip t in
-  match Gossip.peers g t.index with
+  let nt = net t in
+  match nt.net_peers () with
   | [] -> broadcast t msg
   | peers ->
     let dst = List.nth peers ((st.requests_sent - 1) mod List.length peers) in
-    Gossip.send_to g ~src:t.index ~dst ~bytes:(Message.size_bytes msg) msg
+    nt.net_send_to ~dst msg
 
 and serve_round_request (t : t) ~(from_round : int) ~(requester : int) : unit =
   if requester <> t.index then begin
@@ -1079,8 +1115,7 @@ and serve_round_request (t : t) ~(from_round : int) ~(requester : int) : unit =
       match t.current with Some rs -> rs.round | None -> tip.height + 1
     in
     let msg = Message.Round_reply { to_ = requester; current_round; items } in
-    Gossip.send_to (gossip t) ~src:t.index ~dst:requester
-      ~bytes:(Message.size_bytes msg) msg
+    (net t).net_send_to ~dst:requester msg
   end
 
 and process_round_reply (t : t) (st : resync_state) ~(current_round : int)

@@ -47,11 +47,29 @@ type config = {
       (** checkpoint every k completed rounds (when [store_dir] is set) *)
   retry : Retry.policy;
       (** backoff for block-fetch and catch-up requests *)
+  deterministic_ts : bool;
+      (** stamp blocks with the round number instead of the engine
+          clock (and validate them as such), making block hashes
+          independent of which clock ran the protocol - the flag behind
+          the sim-vs-wire ledger-equality audit *)
 }
 
 val default_config : config
 
 type t
+
+(** The node's entire view of the network: everything the protocol
+    sends goes through these four operations, so a [net] backed by the
+    simulated overlay and one backed by a real transport run the same
+    node core. Destinations are global roster indices; byte accounting
+    is the implementation's job. *)
+type net = {
+  net_broadcast : Message.t -> unit;  (** originate on the overlay *)
+  net_send_to : dst:int -> Message.t -> unit;  (** point-to-point *)
+  net_peers : unit -> int list;  (** current overlay neighbors *)
+  net_mark_seen : Message.t -> unit;
+      (** suppress our own relay of a message id (equivocation sends) *)
+}
 
 val create :
   index:int ->
@@ -64,8 +82,12 @@ val create :
   unit ->
   t
 
+val set_net : t -> net -> unit
+(** Install the node's network; must be called before [start]. *)
+
 val set_gossip : t -> Message.t Gossip.t -> unit
-(** Wire the node to its overlay; must be called before [start]. *)
+(** [set_net] with the simulated overlay: what the harness and every
+    in-sim experiment use. *)
 
 val start : t -> unit
 (** Begin round 1 (and, if enabled, schedule recovery clock ticks). *)
@@ -121,5 +143,9 @@ val deliver : t -> src:int -> Message.t -> unit
 
 val submit_tx : t -> Transaction.t -> unit
 (** Submit a transaction at this node, as a wallet would. *)
+
+val checkpoint_now : t -> unit
+(** Persist the certified prefix to [store_dir] immediately, ignoring
+    the [checkpoint_every] cadence - the daemon's SIGTERM drain. *)
 
 val set_on_round_complete : t -> (t -> round:int -> final:bool -> unit) -> unit

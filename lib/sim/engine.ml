@@ -75,3 +75,18 @@ let run (t : t) ?(until = infinity) ?(max_events = max_int) () : int =
   t.events_processed - processed_before
 
 let pending (t : t) : int = Event_queue.length t.queue
+
+let next_time (t : t) : float option = Event_queue.peek_time t.queue
+
+(* Move the clock forward without running anything: the real-time
+   driver advances virtual time to the wall-clock mapping between
+   polls, so callbacks invoked from socket readiness see an up-to-date
+   [now]. Never advances past a pending event (which would make its
+   later execution move the clock backwards) and never moves back. *)
+let advance_to (t : t) (time : float) : unit =
+  let ceiling =
+    match Event_queue.peek_time t.queue with
+    | Some next -> Float.min time next
+    | None -> time
+  in
+  if ceiling > t.now then t.now <- ceiling

@@ -26,3 +26,12 @@ val set_reorder_hook : t -> ((unit -> unit) array -> (unit -> unit) array) optio
     deterministic FIFO. *)
 
 val pending : t -> int
+
+val next_time : t -> float option
+(** Timestamp of the earliest pending event, if any. *)
+
+val advance_to : t -> float -> unit
+(** Move the virtual clock forward to [time] without running events -
+    clamped so it never passes a pending event and never moves
+    backwards. Used by real-time drivers that map wall-clock onto the
+    virtual clock between socket polls. *)

@@ -1,0 +1,111 @@
+(* Length-prefixed framing and incremental reassembly. The reassembler
+   is a tiny state machine - reading the 4-byte header, then reading
+   the declared payload - that makes no assumption about how the
+   stream is segmented: TCP may deliver a frame one byte at a time or
+   three frames in one read, and both must recover the same frames. *)
+
+let header_bytes = 4
+
+(* Well below Sys.max_string_length on any platform, far above any
+   honest block: declared lengths past this are length bombs. *)
+let max_payload = 1 lsl 27 (* 128 MB *)
+
+let encode (payload : string) : string =
+  let n = String.length payload in
+  if n > max_payload then invalid_arg "Frame.encode: payload too large";
+  let b = Bytes.create (header_bytes + n) in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 b header_bytes n;
+  Bytes.unsafe_to_string b
+
+module Reassembler = struct
+  type error = [ `Oversized of int | `Closed ]
+
+  type t = {
+    max_frame_bytes : int;
+    header : Bytes.t;  (** partial length prefix *)
+    mutable header_have : int;
+    mutable body : Bytes.t;  (** payload under assembly (len = declared) *)
+    mutable body_have : int;  (** -1: still reading the header *)
+    mutable closed : bool;
+  }
+
+  let create ~max_frame_bytes =
+    {
+      max_frame_bytes = min max_frame_bytes max_payload;
+      header = Bytes.create header_bytes;
+      header_have = 0;
+      body = Bytes.empty;
+      body_have = -1;
+      closed = false;
+    }
+
+  let buffered (t : t) : int = t.header_have + max 0 t.body_have
+
+  let declared (t : t) : int =
+    (Char.code (Bytes.get t.header 0) lsl 24)
+    lor (Char.code (Bytes.get t.header 1) lsl 16)
+    lor (Char.code (Bytes.get t.header 2) lsl 8)
+    lor Char.code (Bytes.get t.header 3)
+
+  let feed (t : t) ?(off = 0) ?len (chunk : string) :
+      (string list, error) result =
+    let len = match len with Some l -> l | None -> String.length chunk - off in
+    if off < 0 || len < 0 || off + len > String.length chunk then
+      invalid_arg "Reassembler.feed";
+    if t.closed then Error `Closed
+    else begin
+      let frames = ref [] in
+      let pos = ref off in
+      let remaining () = off + len - !pos in
+      let err = ref None in
+      while remaining () > 0 && !err = None do
+        if t.body_have < 0 then begin
+          (* Reading the length prefix. *)
+          let take = min (header_bytes - t.header_have) (remaining ()) in
+          Bytes.blit_string chunk !pos t.header t.header_have take;
+          t.header_have <- t.header_have + take;
+          pos := !pos + take;
+          if t.header_have = header_bytes then begin
+            let n = declared t in
+            if n > t.max_frame_bytes then begin
+              t.closed <- true;
+              err := Some (`Oversized n)
+            end
+            else begin
+              t.header_have <- 0;
+              t.body <- Bytes.create n;
+              t.body_have <- 0;
+              (* Zero-length frames complete immediately. *)
+              if n = 0 then begin
+                frames := "" :: !frames;
+                t.body <- Bytes.empty;
+                t.body_have <- -1
+              end
+            end
+          end
+        end
+        else begin
+          (* Reading the payload. *)
+          let want = Bytes.length t.body - t.body_have in
+          let take = min want (remaining ()) in
+          Bytes.blit_string chunk !pos t.body t.body_have take;
+          t.body_have <- t.body_have + take;
+          pos := !pos + take;
+          if t.body_have = Bytes.length t.body then begin
+            frames := Bytes.unsafe_to_string t.body :: !frames;
+            t.body <- Bytes.empty;
+            t.body_have <- -1
+          end
+        end
+      done;
+      match !err with Some e -> Error e | None -> Ok (List.rev !frames)
+    end
+
+  let pp_error fmt = function
+    | `Oversized n -> Format.fprintf fmt "declared frame length %d over limit" n
+    | `Closed -> Format.fprintf fmt "reassembler poisoned by earlier framing error"
+end

@@ -1,0 +1,44 @@
+(** Length-prefixed wire framing: every payload (handshake or encoded
+    gossip message) crosses a connection as a 4-byte big-endian length
+    followed by that many bytes. The {!Reassembler} is the only code
+    that touches raw socket bytes, and it treats them as
+    attacker-controlled: declared lengths are clamped before any
+    allocation, partial frames are buffered incrementally, and feeding
+    it one byte at a time, in jittered chunks, or across coalesced
+    frame boundaries recovers exactly the frames that were encoded. *)
+
+val header_bytes : int
+(** 4: the big-endian u32 length prefix. *)
+
+val encode : string -> string
+(** [encode payload] is the on-wire form: length prefix ++ payload. *)
+
+val max_payload : int
+(** Hard ceiling on a declared frame length (independent of the
+    per-reassembler limit): rejects length bombs near [max_int]. *)
+
+module Reassembler : sig
+  type t
+
+  type error =
+    [ `Oversized of int  (** declared length exceeded the limit *)
+    | `Closed  (** bytes fed after a framing error *) ]
+
+  val create : max_frame_bytes:int -> t
+  (** [max_frame_bytes] bounds the *payload* length a peer may declare;
+      anything larger poisons the connection (the caller should drop
+      it - there is no way to resynchronize a byte stream after a bad
+      length). *)
+
+  val feed : t -> ?off:int -> ?len:int -> string -> (string list, error) result
+  (** Consume a chunk of stream bytes and return the complete frames it
+      finished, in order. Partial header and partial payload bytes are
+      buffered across calls. After an error the reassembler is poisoned
+      and every further feed returns [`Closed]. *)
+
+  val buffered : t -> int
+  (** Bytes currently buffered (partial header + partial payload):
+      bounded by [header_bytes + max_frame_bytes]. *)
+
+  val pp_error : Format.formatter -> error -> unit
+end

@@ -1,0 +1,101 @@
+(* Handshake frames. Layout (after the Frame length prefix):
+
+     magic   4  "AWH1"
+     tag     1  0 = Hello, 1 = Reject
+   Hello:
+     version 2  big-endian u16
+     dlen    2  params-digest length (<= 64)
+     digest  dlen
+     klen    2  pk length (<= 256)
+     pk      klen
+   Reject:
+     reason  1  0 = version (followed by u16 our version), 1 = params, 2 = banned
+
+   Decoders never raise and never allocate beyond the input length. *)
+
+let version = 1
+let magic = "AWH1"
+let max_digest = 64
+let max_pk = 256
+
+type hello = { version : int; params_digest : string; pk : string }
+type reject_reason = [ `Version of int | `Params_digest | `Banned ]
+type t = Hello of hello | Reject of reject_reason
+
+let u16 (n : int) : string =
+  let b = Bytes.create 2 in
+  Bytes.set b 0 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 1 (Char.chr (n land 0xff));
+  Bytes.unsafe_to_string b
+
+let encode (t : t) : string =
+  match t with
+  | Hello h ->
+    if String.length h.params_digest > max_digest then
+      invalid_arg "Handshake.encode: digest too long";
+    if String.length h.pk > max_pk then invalid_arg "Handshake.encode: pk too long";
+    String.concat ""
+      [
+        magic; "\x00"; u16 h.version;
+        u16 (String.length h.params_digest); h.params_digest;
+        u16 (String.length h.pk); h.pk;
+      ]
+  | Reject r ->
+    let body =
+      match r with
+      | `Version v -> "\x00" ^ u16 v
+      | `Params_digest -> "\x01"
+      | `Banned -> "\x02"
+    in
+    magic ^ "\x01" ^ body
+
+(* Bounds-checked cursor reads; [None] on any shortfall. *)
+let ru16 (s : string) (pos : int) : (int * int) option =
+  if pos + 2 > String.length s then None
+  else Some ((Char.code s.[pos] lsl 8) lor Char.code s.[pos + 1], pos + 2)
+
+let rstr (s : string) (pos : int) (n : int) : (string * int) option =
+  if n < 0 || pos + n > String.length s then None
+  else Some (String.sub s pos n, pos + n)
+
+let decode (s : string) : t option =
+  if String.length s < 5 || not (String.equal (String.sub s 0 4) magic) then None
+  else begin
+    match s.[4] with
+    | '\x00' ->
+      Option.bind (ru16 s 5) (fun (ver, pos) ->
+          Option.bind (ru16 s pos) (fun (dlen, pos) ->
+              if dlen > max_digest then None
+              else
+                Option.bind (rstr s pos dlen) (fun (digest, pos) ->
+                    Option.bind (ru16 s pos) (fun (klen, pos) ->
+                        if klen > max_pk then None
+                        else
+                          Option.bind (rstr s pos klen) (fun (pk, pos) ->
+                              if pos <> String.length s then None
+                              else
+                                Some (Hello { version = ver; params_digest = digest; pk }))))))
+    | '\x01' ->
+      if String.length s < 6 then None
+      else begin
+        match s.[5] with
+        | '\x00' ->
+          Option.bind (ru16 s 6) (fun (v, pos) ->
+              if pos <> String.length s then None else Some (Reject (`Version v)))
+        | '\x01' -> if String.length s = 6 then Some (Reject `Params_digest) else None
+        | '\x02' -> if String.length s = 6 then Some (Reject `Banned) else None
+        | _ -> None
+      end
+    | _ -> None
+  end
+
+let check ~(ours : hello) ~(theirs : hello) : (unit, reject_reason) result =
+  if theirs.version <> ours.version then Error (`Version ours.version)
+  else if not (String.equal theirs.params_digest ours.params_digest) then
+    Error `Params_digest
+  else Ok ()
+
+let pp_reject fmt = function
+  | `Version v -> Format.fprintf fmt "version mismatch (peer wants %d)" v
+  | `Params_digest -> Format.fprintf fmt "params digest mismatch"
+  | `Banned -> Format.fprintf fmt "banned"

@@ -1,0 +1,31 @@
+(** The versioned transport handshake. The first frame on every
+    connection, in both directions, is a [Hello] carrying the protocol
+    version, a digest of the protocol parameters (and genesis) the
+    sender is configured with, and the sender's node identity (its
+    composite public key). A receiver that disagrees answers with an
+    explicit [Reject] and closes, so a misconfigured dialer learns
+    *why* instead of seeing a silent hangup. Decoding treats the frame
+    as attacker-controlled: bounded lengths, no exceptions. *)
+
+val version : int
+(** Current protocol version. *)
+
+type hello = {
+  version : int;
+  params_digest : string;  (** digest of protocol params + genesis *)
+  pk : string;  (** node identity (composite public key) *)
+}
+
+type reject_reason = [ `Version of int | `Params_digest | `Banned ]
+
+type t = Hello of hello | Reject of reject_reason
+
+val encode : t -> string
+val decode : string -> t option
+(** [None] on malformed, truncated, oversized or wrong-magic input. *)
+
+val check : ours:hello -> theirs:hello -> (unit, reject_reason) result
+(** Version first, then params digest; identity is the caller's to
+    judge (roster membership, bans). *)
+
+val pp_reject : Format.formatter -> reject_reason -> unit

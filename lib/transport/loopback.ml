@@ -1,0 +1,258 @@
+(* In-memory transport over the simulation engine. One [hub] models
+   the localhost loopback: endpoints register by address, connections
+   couple two conn records, and transmitted bytes arrive as scheduled
+   deliveries after a fixed latency, segmented per policy and fed
+   through the same Frame.Reassembler the TCP backend uses. *)
+
+open Algorand_sim
+
+type segmentation = [ `Whole | `Chunk of int | `Random ]
+
+type hub = {
+  engine : Engine.t;
+  latency : float;
+  seg : segmentation;
+  rng : Rng.t option;
+  endpoints : (string, endpoint) Hashtbl.t;
+  mutable next_id : int;
+}
+
+and endpoint = {
+  hub : hub;
+  addr_ : string;
+  hello : Handshake.hello;
+  handlers : Transport.handlers;
+  m : Transport.metrics;
+  conns_tbl : (int, conn) Hashtbl.t;
+  dialed : (int, string) Hashtbl.t;  (** conn id -> address we dialed *)
+  mutable closed : bool;
+}
+
+and conn = {
+  id : int;
+  owner : endpoint;
+  mutable peer : conn option;  (** None while dialing or after teardown *)
+  reasm : Frame.Reassembler.t;
+  dialer : bool;
+  mutable up : bool;  (** handshake complete *)
+  mutable alive : bool;
+}
+
+type t = endpoint
+
+let max_frame_bytes = Frame.max_payload
+
+let hub ~engine ?(latency = 0.01) ?(seg = `Whole) ?rng () : hub =
+  (match (seg, rng) with
+  | `Random, None -> invalid_arg "Loopback.hub: `Random segmentation needs an rng"
+  | _ -> ());
+  { engine; latency; seg; rng; endpoints = Hashtbl.create 16; next_id = 0 }
+
+let create ~hub:(h : hub) ~addr ~hello ?registry ~(handlers : Transport.handlers) () : t
+    =
+  if Hashtbl.mem h.endpoints addr then
+    invalid_arg (Printf.sprintf "Loopback.create: address %s taken" addr);
+  let registry =
+    match registry with Some r -> r | None -> Algorand_obs.Registry.create ()
+  in
+  let ep =
+    {
+      hub = h;
+      addr_ = addr;
+      hello;
+      handlers;
+      m = Transport.metrics registry;
+      conns_tbl = Hashtbl.create 8;
+      dialed = Hashtbl.create 8;
+      closed = false;
+    }
+  in
+  Hashtbl.replace h.endpoints addr ep;
+  ep
+
+let addr (t : t) : string = t.addr_
+
+let fresh_conn (t : t) ~dialer : conn =
+  let h = t.hub in
+  h.next_id <- h.next_id + 1;
+  let c =
+    {
+      id = h.next_id;
+      owner = t;
+      peer = None;
+      reasm = Frame.Reassembler.create ~max_frame_bytes;
+      dialer;
+      up = false;
+      alive = true;
+    }
+  in
+  Hashtbl.replace t.conns_tbl c.id c;
+  c
+
+(* Tear down one side; the peer (if still linked) observes a remote
+   close one latency later. [on_peer_down] fires before the dialed
+   table is cleaned, so a reconnecting layer can still resolve the
+   address it was dialing. *)
+let rec teardown (c : conn) (reason : Transport.reason) : unit =
+  if c.alive then begin
+    c.alive <- false;
+    let ep = c.owner in
+    Hashtbl.remove ep.conns_tbl c.id;
+    (match c.peer with
+    | Some p when p.alive ->
+      c.peer <- None;
+      p.peer <- None;
+      Engine.schedule ep.hub.engine ~delay:ep.hub.latency (fun () ->
+          teardown p Transport.Remote_closed)
+    | _ -> ());
+    if not ep.closed then begin
+      Algorand_obs.Registry.incr ep.m.peer_downs;
+      ep.handlers.on_peer_down ~conn:c.id reason
+    end;
+    Hashtbl.remove ep.dialed c.id
+  end
+
+(* Split [bytes] into delivery segments per the hub policy. *)
+let segments (h : hub) (bytes : string) : string list =
+  let n = String.length bytes in
+  match h.seg with
+  | `Whole -> [ bytes ]
+  | `Chunk k ->
+    let k = max 1 k in
+    let rec go i acc =
+      if i >= n then List.rev acc
+      else go (i + k) (String.sub bytes i (min k (n - i)) :: acc)
+    in
+    go 0 []
+  | `Random ->
+    let rng = Option.get h.rng in
+    let rec go i acc =
+      if i >= n then List.rev acc
+      else begin
+        let k = 1 + Rng.int rng (min 64 (n - i)) in
+        go (i + k) (String.sub bytes i k :: acc)
+      end
+    in
+    go 0 []
+
+let rec transmit (c : conn) (bytes : string) : unit =
+  match c.peer with
+  | None -> ()
+  | Some p ->
+    let h = c.owner.hub in
+    Algorand_obs.Registry.add c.owner.m.bytes_sent (String.length bytes);
+    List.iter
+      (fun seg ->
+        Engine.schedule h.engine ~delay:h.latency (fun () ->
+            if p.alive && not p.owner.closed then receive p seg))
+      (segments h bytes)
+
+and receive (c : conn) (seg : string) : unit =
+  let ep = c.owner in
+  Algorand_obs.Registry.add ep.m.bytes_received (String.length seg);
+  match Frame.Reassembler.feed c.reasm seg with
+  | Error _ -> teardown c Transport.Framing_error
+  | Ok frames -> List.iter (fun f -> if c.alive then handle_frame c f) frames
+
+and handle_frame (c : conn) (frame : string) : unit =
+  let ep = c.owner in
+  Algorand_obs.Registry.incr ep.m.frames_received;
+  if c.up then ep.handlers.on_frame ~conn:c.id frame
+  else begin
+    (* First frame: the handshake. *)
+    match Handshake.decode frame with
+    | None ->
+      Algorand_obs.Registry.incr ep.m.handshake_failures;
+      teardown c Transport.Handshake_garbage
+    | Some (Handshake.Reject r) ->
+      Algorand_obs.Registry.incr ep.m.handshake_failures;
+      teardown c (Transport.Handshake_rejected r)
+    | Some (Handshake.Hello theirs) ->
+      let reject r =
+        Algorand_obs.Registry.incr ep.m.handshake_failures;
+        transmit c (Frame.encode (Handshake.encode (Handshake.Reject r)));
+        teardown c Transport.(Handshake_rejected r)
+      in
+      if not (ep.handlers.accept_peer theirs) then reject `Banned
+      else begin
+        match Handshake.check ~ours:ep.hello ~theirs with
+        | Error r -> reject r
+        | Ok () ->
+          (* An acceptor answers with its own hello; a dialer already
+             sent one when the link came up. *)
+          if not c.dialer then begin
+            Algorand_obs.Registry.incr ep.m.accepts;
+            send_hello c
+          end;
+          c.up <- true;
+          ep.handlers.on_peer_up ~conn:c.id theirs
+      end
+  end
+
+and send_hello (c : conn) : unit =
+  Algorand_obs.Registry.incr c.owner.m.frames_sent;
+  transmit c (Frame.encode (Handshake.encode (Handshake.Hello c.owner.hello)))
+
+let connect (t : t) (addr : string) : unit =
+  if not t.closed then begin
+    let h = t.hub in
+    Algorand_obs.Registry.incr t.m.dials;
+    let c = fresh_conn t ~dialer:true in
+    Hashtbl.replace t.dialed c.id addr;
+    Engine.schedule h.engine ~delay:h.latency (fun () ->
+        if c.alive then begin
+          match Hashtbl.find_opt h.endpoints addr with
+          | Some remote when not remote.closed ->
+            let rc = fresh_conn remote ~dialer:false in
+            c.peer <- Some rc;
+            rc.peer <- Some c;
+            send_hello c
+          | _ -> teardown c Transport.Dial_failed
+        end)
+  end
+
+let send (t : t) ~(conn : int) (payload : string) : Transport.send_result =
+  match Hashtbl.find_opt t.conns_tbl conn with
+  | Some c when c.up && c.alive ->
+    Algorand_obs.Registry.incr t.m.frames_sent;
+    (* The loopback wire has no finite socket buffer; depth 1 keeps the
+       histogram alive so dashboards see the same metric family. *)
+    Algorand_obs.Registry.observe t.m.write_queue_depth 1.0;
+    transmit c (Frame.encode payload);
+    `Ok
+  | _ -> `No_conn
+
+let disconnect (t : t) ~(conn : int) : unit =
+  match Hashtbl.find_opt t.conns_tbl conn with
+  | Some c -> teardown c Transport.Local_close
+  | None -> ()
+
+let conns (t : t) : int list =
+  Hashtbl.fold (fun id c acc -> if c.up then id :: acc else acc) t.conns_tbl []
+  |> List.sort compare
+
+let peer (t : t) ~(conn : int) : Handshake.hello option =
+  match Hashtbl.find_opt t.conns_tbl conn with
+  | Some c when c.up -> (
+    match c.peer with Some p -> Some p.owner.hello | None -> None)
+  | _ -> None
+
+let dialed_addr (t : t) ~(conn : int) : string option = Hashtbl.find_opt t.dialed conn
+
+let kill (t : t) ~(conn : int) : unit =
+  match Hashtbl.find_opt t.conns_tbl conn with
+  | Some c -> teardown c Transport.Local_close
+  | None -> ()
+
+let inject (t : t) ~(conn : int) (bytes : string) : unit =
+  match Hashtbl.find_opt t.conns_tbl conn with
+  | Some c when c.alive -> transmit c bytes
+  | _ -> ()
+
+let shutdown (t : t) : unit =
+  if not t.closed then begin
+    t.closed <- true;
+    Hashtbl.remove t.hub.endpoints t.addr_;
+    let all = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns_tbl [] in
+    List.iter (fun c -> teardown c Transport.Local_close) all
+  end

@@ -1,0 +1,51 @@
+(** In-memory transport: endpoints register on a {!hub} keyed by
+    address, and every byte crosses as engine-scheduled deliveries with
+    a fixed latency - so a multi-node "wire" deployment runs inside
+    the deterministic simulator. Crucially this is not a shortcut
+    around the byte layer: frames are {!Frame}-encoded into a stream,
+    segmented per the hub's policy (whole frames, fixed-size chunks, or
+    random splits), and reassembled at the receiver - the exact code
+    path the TCP backend runs on socket reads. *)
+
+open Algorand_sim
+
+type segmentation =
+  [ `Whole  (** one delivery per frame *)
+  | `Chunk of int  (** fixed-size chunks (1 = byte-at-a-time dribble) *)
+  | `Random  (** random split points drawn from the hub rng *) ]
+
+type hub
+
+val hub :
+  engine:Engine.t ->
+  ?latency:float ->
+  ?seg:segmentation ->
+  ?rng:Rng.t ->
+  unit ->
+  hub
+(** Default latency 0.01s, segmentation [`Whole]. [`Random] requires
+    [rng]. *)
+
+type t
+
+val create :
+  hub:hub ->
+  addr:string ->
+  hello:Handshake.hello ->
+  ?registry:Algorand_obs.Registry.t ->
+  handlers:Transport.handlers ->
+  unit ->
+  t
+(** Register an endpoint at [addr].
+    @raise Invalid_argument if the address is taken. *)
+
+include Transport.S with type t := t
+
+val kill : t -> conn:int -> unit
+(** Abrupt death mid-stream, as a crashed process: no goodbye, the
+    peer observes [Remote_closed] one latency later, any partially
+    transmitted frame stays partial. *)
+
+val inject : t -> conn:int -> string -> unit
+(** Transmit raw bytes outside the framing layer (garbage, partial
+    frames): the adversarial-segmentation test primitive. *)

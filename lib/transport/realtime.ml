@@ -1,0 +1,18 @@
+open Algorand_sim
+
+let run ~(engine : Engine.t) ?(time_scale = 1.0) ?(max_poll = 0.05)
+    ~(poll : timeout:float -> unit) ~(until : unit -> bool) () : unit =
+  if time_scale <= 0.0 then invalid_arg "Realtime.run: time_scale must be positive";
+  let start = Unix.gettimeofday () in
+  let vnow () = (Unix.gettimeofday () -. start) *. time_scale in
+  while not (until ()) do
+    let v = vnow () in
+    ignore (Engine.run engine ~until:v ());
+    Engine.advance_to engine v;
+    let timeout =
+      match Engine.next_time engine with
+      | Some next -> Float.min max_poll (Float.max 0.0 ((next -. v) /. time_scale))
+      | None -> max_poll
+    in
+    poll ~timeout
+  done

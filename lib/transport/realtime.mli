@@ -1,0 +1,25 @@
+(** Wall-clock driver for the virtual-time engine. The node core and
+    all protocol timeouts are scheduled on {!Engine}'s virtual clock;
+    this loop maps wall time onto it - [virtual = (wall - start) *
+    time_scale] - interleaving engine events with socket polls. With
+    [time_scale > 1] the paper's step timeouts (tens of seconds)
+    elapse proportionally faster on the wire, which is what makes a
+    localhost deployment finish rounds in wall-seconds while running
+    the unmodified protocol constants. *)
+
+open Algorand_sim
+
+val run :
+  engine:Engine.t ->
+  ?time_scale:float ->
+  ?max_poll:float ->
+  poll:(timeout:float -> unit) ->
+  until:(unit -> bool) ->
+  unit ->
+  unit
+(** Loop until [until ()] is true: run engine events due by the
+    current virtual time, advance the clock, then [poll] sockets with
+    a timeout of min(wall time to the next engine event, [max_poll]).
+    Defaults: [time_scale = 1.0] (virtual seconds per wall second),
+    [max_poll = 0.05] so external stop conditions are noticed
+    promptly. [until] is checked between iterations. *)

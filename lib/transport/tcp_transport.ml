@@ -1,0 +1,369 @@
+(* Non-blocking TCP endpoint. All socket work happens inside [poll];
+   [connect] and [send] only mutate queues (plus an opportunistic
+   non-blocking flush on send). Connection lifecycle:
+
+     Dialing      connect(2) in flight; the socket sits in the write
+                  set until select reports it, then SO_ERROR decides
+     Handshaking  transport-level hello exchange
+     Up           frames flow to [on_frame]
+     Closing r    we rejected the peer: drain the queued Reject frame,
+                  then close and report [r]
+
+   Every teardown funnels through [teardown], which defers the
+   [on_peer_down] callback to the top of the next [poll] so no handler
+   ever runs inside [connect]/[send]. *)
+
+open Algorand_obs
+
+type state =
+  | Dialing
+  | Handshaking
+  | Up
+  | Closing of Transport.reason
+
+type conn = {
+  id : int;
+  fd : Unix.file_descr;
+  dialer : bool;
+  dial_addr : string option;
+  reasm : Frame.Reassembler.t;
+  outq : string Queue.t;
+  mutable out_off : int;  (** bytes of the queue head already written *)
+  mutable state : state;
+  mutable peer_hello : Handshake.hello option;
+  mutable alive : bool;
+}
+
+type t = {
+  listen_fd : Unix.file_descr;
+  bound : string;
+  hello : Handshake.hello;
+  handlers : Transport.handlers;
+  m : Transport.metrics;
+  max_frame_bytes : int;
+  write_queue_frames : int;
+  conns_tbl : (int, conn) Hashtbl.t;
+  mutable next_id : int;
+  mutable pending_down : (conn * Transport.reason) list;
+  mutable closed : bool;
+  read_buf : Bytes.t;
+}
+
+let parse_addr (s : string) : Unix.sockaddr =
+  match String.rindex_opt s ':' with
+  | None -> invalid_arg (Printf.sprintf "Tcp_transport: address %S lacks a port" s)
+  | Some i ->
+    let host = String.sub s 0 i in
+    let port =
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some p when p >= 0 && p < 65536 -> p
+      | _ -> invalid_arg (Printf.sprintf "Tcp_transport: bad port in %S" s)
+    in
+    let ip =
+      if String.equal host "localhost" then Unix.inet_addr_loopback
+      else
+        try Unix.inet_addr_of_string host
+        with Failure _ ->
+          invalid_arg (Printf.sprintf "Tcp_transport: bad host in %S" s)
+    in
+    Unix.ADDR_INET (ip, port)
+
+let format_addr : Unix.sockaddr -> string = function
+  | Unix.ADDR_INET (ip, port) ->
+    Printf.sprintf "%s:%d" (Unix.string_of_inet_addr ip) port
+  | Unix.ADDR_UNIX p -> p
+
+let create ~listen ~hello ?registry ?(max_frame_bytes = Frame.max_payload)
+    ?(write_queue_frames = 1024) ~(handlers : Transport.handlers) () : t =
+  (* A peer closing mid-write must surface as EPIPE, not kill the
+     process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let registry = match registry with Some r -> r | None -> Registry.create () in
+  let sa = parse_addr listen in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd sa;
+     Unix.listen fd 64;
+     Unix.set_nonblock fd
+   with e ->
+     Unix.close fd;
+     raise e);
+  {
+    listen_fd = fd;
+    bound = format_addr (Unix.getsockname fd);
+    hello;
+    handlers;
+    m = Transport.metrics registry;
+    max_frame_bytes;
+    write_queue_frames;
+    conns_tbl = Hashtbl.create 16;
+    next_id = 0;
+    pending_down = [];
+    closed = false;
+    read_buf = Bytes.create 65536;
+  }
+
+let addr (t : t) : string = t.bound
+
+let fresh_conn (t : t) ~fd ~dialer ~dial_addr ~state : conn =
+  t.next_id <- t.next_id + 1;
+  let c =
+    {
+      id = t.next_id;
+      fd;
+      dialer;
+      dial_addr;
+      reasm = Frame.Reassembler.create ~max_frame_bytes:t.max_frame_bytes;
+      outq = Queue.create ();
+      out_off = 0;
+      state;
+      peer_hello = None;
+      alive = true;
+    }
+  in
+  Hashtbl.replace t.conns_tbl c.id c;
+  c
+
+(* Close the socket now; the user-visible notification is deferred to
+   the next [poll] so teardown is safe from any call site. *)
+let teardown (t : t) (c : conn) (reason : Transport.reason) : unit =
+  if c.alive then begin
+    c.alive <- false;
+    Hashtbl.remove t.conns_tbl c.id;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    if not t.closed then t.pending_down <- (c, reason) :: t.pending_down
+  end
+
+let rec drain_pending_down (t : t) : unit =
+  match t.pending_down with
+  | [] -> ()
+  | pending ->
+    (* Each entry stays on the list until after its callback returns:
+       [dialed_addr]'s fallback reads it, and the reconnect layer asks
+       exactly during [on_peer_down]. Callbacks may tear down further
+       connections, so drain again until quiescent. *)
+    let downs = List.rev pending in
+    List.iter
+      (fun ((c, reason) as entry) ->
+        Registry.incr t.m.peer_downs;
+        t.handlers.on_peer_down ~conn:c.id reason;
+        t.pending_down <- List.filter (fun e -> e != entry) t.pending_down)
+      downs;
+    drain_pending_down t
+
+let enqueue (t : t) (c : conn) (frame_bytes : string) : unit =
+  Queue.push frame_bytes c.outq;
+  Registry.observe t.m.write_queue_depth (float_of_int (Queue.length c.outq))
+
+(* Write as much of the queue as the socket takes. *)
+let flush_out (t : t) (c : conn) : unit =
+  let progressing = ref true in
+  while c.alive && !progressing && not (Queue.is_empty c.outq) do
+    let head = Queue.peek c.outq in
+    let len = String.length head - c.out_off in
+    match Unix.write_substring c.fd head c.out_off len with
+    | n ->
+      Registry.add t.m.bytes_sent n;
+      if n = len then begin
+        ignore (Queue.pop c.outq);
+        c.out_off <- 0
+      end
+      else begin
+        c.out_off <- c.out_off + n;
+        progressing := false
+      end
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+      ->
+      progressing := false
+    | exception Unix.Unix_error _ -> teardown t c Transport.Remote_closed
+  done;
+  match c.state with
+  | Closing reason when c.alive && Queue.is_empty c.outq -> teardown t c reason
+  | _ -> ()
+
+let send_hello (t : t) (c : conn) : unit =
+  Registry.incr t.m.frames_sent;
+  enqueue t c (Frame.encode (Handshake.encode (Handshake.Hello t.hello)));
+  flush_out t c
+
+let handle_frame (t : t) (c : conn) (frame : string) : unit =
+  Registry.incr t.m.frames_received;
+  match c.state with
+  | Up -> t.handlers.on_frame ~conn:c.id frame
+  | Handshaking -> (
+    match Handshake.decode frame with
+    | None ->
+      Registry.incr t.m.handshake_failures;
+      teardown t c Transport.Handshake_garbage
+    | Some (Handshake.Reject r) ->
+      Registry.incr t.m.handshake_failures;
+      teardown t c (Transport.Handshake_rejected r)
+    | Some (Handshake.Hello theirs) ->
+      let reject r =
+        Registry.incr t.m.handshake_failures;
+        enqueue t c (Frame.encode (Handshake.encode (Handshake.Reject r)));
+        c.state <- Closing (Transport.Handshake_rejected r);
+        flush_out t c
+      in
+      if not (t.handlers.accept_peer theirs) then reject `Banned
+      else begin
+        match Handshake.check ~ours:t.hello ~theirs with
+        | Error r -> reject r
+        | Ok () ->
+          if not c.dialer then begin
+            Registry.incr t.m.accepts;
+            send_hello t c
+          end;
+          if c.alive then begin
+            c.state <- Up;
+            c.peer_hello <- Some theirs;
+            t.handlers.on_peer_up ~conn:c.id theirs
+          end
+      end)
+  | Dialing | Closing _ -> ()
+
+let handle_readable (t : t) (c : conn) : unit =
+  let progressing = ref true in
+  while c.alive && !progressing do
+    match Unix.read c.fd t.read_buf 0 (Bytes.length t.read_buf) with
+    | 0 ->
+      progressing := false;
+      teardown t c Transport.Remote_closed
+    | n ->
+      Registry.add t.m.bytes_received n;
+      let chunk = Bytes.sub_string t.read_buf 0 n in
+      (match Frame.Reassembler.feed c.reasm chunk with
+      | Error _ ->
+        (match c.state with
+        | Handshaking -> Registry.incr t.m.handshake_failures
+        | _ -> ());
+        teardown t c Transport.Framing_error
+      | Ok frames -> List.iter (fun f -> if c.alive then handle_frame t c f) frames);
+      if n < Bytes.length t.read_buf then progressing := false
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+      ->
+      progressing := false
+    | exception Unix.Unix_error _ ->
+      progressing := false;
+      teardown t c Transport.Remote_closed
+  done
+
+let finish_dial (t : t) (c : conn) : unit =
+  match Unix.getsockopt_error c.fd with
+  | Some _ -> teardown t c Transport.Dial_failed
+  | None ->
+    c.state <- Handshaking;
+    send_hello t c
+
+let handle_accept (t : t) : unit =
+  let progressing = ref true in
+  while !progressing do
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | fd, _peer_sa ->
+      Unix.set_nonblock fd;
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+      ignore (fresh_conn t ~fd ~dialer:false ~dial_addr:None ~state:Handshaking)
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+      ->
+      progressing := false
+    | exception Unix.Unix_error _ -> progressing := false
+  done
+
+let connect (t : t) (address : string) : unit =
+  if not t.closed then begin
+    Registry.incr t.m.dials;
+    let sa = parse_addr address in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.set_nonblock fd;
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+    let c = fresh_conn t ~fd ~dialer:true ~dial_addr:(Some address) ~state:Dialing in
+    match Unix.connect fd sa with
+    | () -> finish_dial t c
+    | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> teardown t c Transport.Dial_failed
+  end
+
+let send (t : t) ~(conn : int) (payload : string) : Transport.send_result =
+  match Hashtbl.find_opt t.conns_tbl conn with
+  | Some c when c.alive && c.state = Up ->
+    if Queue.length c.outq >= t.write_queue_frames then begin
+      Registry.incr t.m.backpressure_drops;
+      `Dropped
+    end
+    else begin
+      Registry.incr t.m.frames_sent;
+      enqueue t c (Frame.encode payload);
+      flush_out t c;
+      `Ok
+    end
+  | _ -> `No_conn
+
+let disconnect (t : t) ~(conn : int) : unit =
+  match Hashtbl.find_opt t.conns_tbl conn with
+  | Some c -> teardown t c Transport.Local_close
+  | None -> ()
+
+let conns (t : t) : int list =
+  Hashtbl.fold
+    (fun id c acc -> if c.state = Up then id :: acc else acc)
+    t.conns_tbl []
+  |> List.sort compare
+
+let peer (t : t) ~(conn : int) : Handshake.hello option =
+  match Hashtbl.find_opt t.conns_tbl conn with
+  | Some c -> c.peer_hello
+  | None -> None
+
+let dialed_addr (t : t) ~(conn : int) : string option =
+  match Hashtbl.find_opt t.conns_tbl conn with
+  | Some c -> c.dial_addr
+  | None ->
+    (* Torn down but not yet reported: the pending-down list still
+       knows the address, which is exactly when a reconnector asks. *)
+    List.fold_left
+      (fun acc (c, _) -> if c.id = conn then c.dial_addr else acc)
+      None t.pending_down
+
+let shutdown (t : t) : unit =
+  if not t.closed then begin
+    t.closed <- true;
+    let all = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns_tbl [] in
+    List.iter (fun c -> teardown t c Transport.Local_close) all;
+    t.pending_down <- [];
+    try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+  end
+
+let poll (t : t) ~(timeout : float) : unit =
+  if not t.closed then begin
+    drain_pending_down t;
+    let live = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns_tbl [] in
+    let read_fds =
+      t.listen_fd
+      :: List.filter_map
+           (fun c -> match c.state with Dialing -> None | _ -> Some c.fd)
+           live
+    in
+    let write_fds =
+      List.filter_map
+        (fun c ->
+          match c.state with
+          | Dialing -> Some c.fd
+          | _ when not (Queue.is_empty c.outq) -> Some c.fd
+          | _ -> None)
+        live
+    in
+    match Unix.select read_fds write_fds [] (Float.max 0.0 timeout) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, writable, _ ->
+      if List.memq t.listen_fd readable then handle_accept t;
+      List.iter
+        (fun c ->
+          if c.alive && List.memq c.fd writable then
+            match c.state with Dialing -> finish_dial t c | _ -> flush_out t c)
+        live;
+      List.iter
+        (fun c -> if c.alive && List.memq c.fd readable then handle_readable t c)
+        live;
+      drain_pending_down t
+  end

@@ -1,0 +1,36 @@
+(** TCP backend: non-blocking [Unix] sockets driven by a [select]
+    event loop the caller pumps via {!poll}. Each endpoint owns one
+    listening socket plus its connections; reads feed the same
+    {!Frame.Reassembler} the loopback uses, writes go through
+    per-connection bounded queues (a full queue drops the frame and
+    counts it in [transport.backpressure_drops]).
+
+    Nothing here blocks except {!poll}, and only up to its [timeout]:
+    dials are asynchronous (outcome arrives as [on_peer_up] /
+    [on_peer_down]), handshake rejections are flushed before the
+    socket closes, and all callbacks fire from inside {!poll} - never
+    from [connect] or [send] - so callers can re-dial from
+    [on_peer_down] without re-entrancy surprises. *)
+
+type t
+
+val create :
+  listen:string ->
+  hello:Handshake.hello ->
+  ?registry:Algorand_obs.Registry.t ->
+  ?max_frame_bytes:int ->
+  ?write_queue_frames:int ->
+  handlers:Transport.handlers ->
+  unit ->
+  t
+(** Bind and listen on [listen] ("host:port"; port 0 picks an
+    ephemeral port - read the result back with [addr]). Defaults:
+    [max_frame_bytes = Frame.max_payload], [write_queue_frames = 1024].
+    @raise Unix.Unix_error if the bind fails. *)
+
+include Transport.S with type t := t
+
+val poll : t -> timeout:float -> unit
+(** One event-loop iteration: select up to [timeout] seconds, then
+    accept, complete dials, read (dispatching complete frames) and
+    flush writes. All handler callbacks fire from here. *)

@@ -1,0 +1,80 @@
+(* Shared types of the transport boundary; see the interface. *)
+
+open Algorand_obs
+
+type reason =
+  | Handshake_rejected of Handshake.reject_reason
+  | Handshake_garbage
+  | Framing_error
+  | Remote_closed
+  | Dial_failed
+  | Local_close
+
+let pp_reason fmt = function
+  | Handshake_rejected r -> Format.fprintf fmt "handshake rejected: %a" Handshake.pp_reject r
+  | Handshake_garbage -> Format.fprintf fmt "handshake garbage"
+  | Framing_error -> Format.fprintf fmt "framing error"
+  | Remote_closed -> Format.fprintf fmt "remote closed"
+  | Dial_failed -> Format.fprintf fmt "dial failed"
+  | Local_close -> Format.fprintf fmt "local close"
+
+type handlers = {
+  mutable on_peer_up : conn:int -> Handshake.hello -> unit;
+  mutable on_frame : conn:int -> string -> unit;
+  mutable on_peer_down : conn:int -> reason -> unit;
+  mutable accept_peer : Handshake.hello -> bool;
+}
+
+let handlers () =
+  {
+    on_peer_up = (fun ~conn:_ _ -> ());
+    on_frame = (fun ~conn:_ _ -> ());
+    on_peer_down = (fun ~conn:_ _ -> ());
+    accept_peer = (fun _ -> true);
+  }
+
+type send_result = [ `Ok | `Dropped | `No_conn ]
+
+module type S = sig
+  type t
+
+  val addr : t -> string
+  val connect : t -> string -> unit
+  val send : t -> conn:int -> string -> send_result
+  val disconnect : t -> conn:int -> unit
+  val conns : t -> int list
+  val peer : t -> conn:int -> Handshake.hello option
+  val dialed_addr : t -> conn:int -> string option
+  val shutdown : t -> unit
+end
+
+type metrics = {
+  bytes_sent : Registry.counter;
+  bytes_received : Registry.counter;
+  frames_sent : Registry.counter;
+  frames_received : Registry.counter;
+  handshake_failures : Registry.counter;
+  backpressure_drops : Registry.counter;
+  reconnects : Registry.counter;
+  dials : Registry.counter;
+  accepts : Registry.counter;
+  peer_downs : Registry.counter;
+  write_queue_depth : Registry.histogram;
+}
+
+let metrics (r : Registry.t) : metrics =
+  {
+    bytes_sent = Registry.counter r "transport.bytes_sent";
+    bytes_received = Registry.counter r "transport.bytes_received";
+    frames_sent = Registry.counter r "transport.frames_sent";
+    frames_received = Registry.counter r "transport.frames_received";
+    handshake_failures = Registry.counter r "transport.handshake_failures";
+    backpressure_drops = Registry.counter r "transport.backpressure_drops";
+    reconnects = Registry.counter r "transport.reconnects";
+    dials = Registry.counter r "transport.dials";
+    accepts = Registry.counter r "transport.accepts";
+    peer_downs = Registry.counter r "transport.peer_downs";
+    write_queue_depth =
+      Registry.histogram r ~lo:1.0 ~growth:2.0 ~buckets:20
+        "transport.write_queue_depth";
+  }

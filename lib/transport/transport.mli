@@ -1,0 +1,102 @@
+(** The abstract transport boundary (TSUNAGI phasing: interface first,
+    sockets after the boundary is tested). A transport endpoint owns a
+    listen address and a set of connections; every connection carries
+    length-prefixed {!Frame}s and opens with a {!Handshake} exchange in
+    both directions. Implementations: {!Loopback} (in-memory, scheduled
+    on the deterministic simulation engine) and {!Tcp_transport}
+    (non-blocking [Unix] sockets). Everything above this boundary -
+    gossip relay, the node core, the daemon - is identical across the
+    two, which is what makes the in-sim and on-wire ledgers comparable
+    bit for bit. *)
+
+open Algorand_obs
+
+(** Why a connection went down. *)
+type reason =
+  | Handshake_rejected of Handshake.reject_reason
+      (** the peer told us why (version/params/ban) before closing *)
+  | Handshake_garbage  (** first frame was not a parseable handshake *)
+  | Framing_error  (** undecodable byte stream (oversized declared length) *)
+  | Remote_closed  (** orderly or abrupt close by the peer *)
+  | Dial_failed  (** connect could not reach the address *)
+  | Local_close  (** we closed it *)
+
+val pp_reason : Format.formatter -> reason -> unit
+
+(** Callbacks an endpoint invokes. Mutable so the layer above (which
+    needs the endpoint handle to exist first) can install itself after
+    construction; defaults are no-ops. [on_frame] only fires after
+    [on_peer_up] for the same connection - handshake frames are
+    consumed by the transport. *)
+type handlers = {
+  mutable on_peer_up : conn:int -> Handshake.hello -> unit;
+  mutable on_frame : conn:int -> string -> unit;
+  mutable on_peer_down : conn:int -> reason -> unit;
+  mutable accept_peer : Handshake.hello -> bool;
+      (** identity-level admission (roster membership, bans); a [false]
+          sends [Reject `Banned] and closes *)
+}
+
+val handlers : unit -> handlers
+
+type send_result = [ `Ok | `Dropped | `No_conn ]
+(** [`Dropped]: the per-connection write queue was full (backpressure)
+    and the frame was discarded, counted in
+    [transport.backpressure_drops]. *)
+
+(** What both backends implement. Connection ids are endpoint-local
+    and never reused. *)
+module type S = sig
+  type t
+
+  val addr : t -> string
+  (** Our listen address, as peers would dial it. *)
+
+  val connect : t -> string -> unit
+  (** Dial an address; asynchronous. Outcome arrives as [on_peer_up]
+      or [on_peer_down]. *)
+
+  val send : t -> conn:int -> string -> send_result
+  (** Enqueue one frame (payload; framing is the transport's job). *)
+
+  val disconnect : t -> conn:int -> unit
+  val conns : t -> int list
+  (** Connections that completed their handshake, ascending. *)
+
+  val peer : t -> conn:int -> Handshake.hello option
+
+  val dialed_addr : t -> conn:int -> string option
+  (** For dialed connections, the address given to [connect] - what a
+      reconnecting layer redials. [None] for accepted connections.
+      Survives until after the connection's [on_peer_down] returns. *)
+
+  val shutdown : t -> unit
+end
+
+(** {1 Shared observability}
+
+    Both backends maintain the same [transport.*] metrics in a
+    {!Registry.t}: [transport.bytes_sent], [transport.bytes_received],
+    [transport.frames_sent], [transport.frames_received],
+    [transport.handshake_failures], [transport.backpressure_drops],
+    [transport.reconnects], [transport.dials], [transport.accepts],
+    [transport.peer_downs] counters and a
+    [transport.write_queue_depth] histogram (queue depth in frames,
+    observed at every enqueue). *)
+
+type metrics = {
+  bytes_sent : Registry.counter;
+  bytes_received : Registry.counter;
+  frames_sent : Registry.counter;
+  frames_received : Registry.counter;
+  handshake_failures : Registry.counter;
+  backpressure_drops : Registry.counter;
+  reconnects : Registry.counter;  (** bumped by the layer that redials *)
+  dials : Registry.counter;
+  accepts : Registry.counter;
+  peer_downs : Registry.counter;
+  write_queue_depth : Registry.histogram;
+}
+
+val metrics : Registry.t -> metrics
+(** Get-or-create the [transport.*] family in [registry]. *)

@@ -10,11 +10,14 @@
    Experiments: micro micro-check fig3 fig4 fig5 fig6 fig7 fig8
                 throughput related-work costs timeouts analysis
                 ablation-committee ablation-pipeline ablation-fanout
+                sim sim-check
 
    `micro` re-measures the crypto primitives and refreshes
    results/BENCH_crypto.json; `micro-check` is the CI smoke gate that
    fails (exit 1) when ed25519/verify regresses >2x vs the committed
-   snapshot.
+   snapshot. `sim` sweeps the population engine to a million users and
+   refreshes results/BENCH_sim.json; `sim-check` is its CI gate (100k
+   users, fails on a >2x rounds/sec regression).
 
    The x-axes are scaled down from the paper's 1,000-VM deployment (see
    DESIGN.md section 2 and EXPERIMENTS.md): committee parameters stay at
@@ -157,11 +160,11 @@ let write_bench_json (rows : (string * float) list) : unit =
   output_string oc "}\n";
   close_out oc
 
-(* Pull one numeric field out of the committed JSON snapshot; the
+(* Pull one numeric field out of a committed flat-JSON snapshot; the
    format is the flat object written above, so a string scan does. *)
-let read_bench_field (key : string) : float option =
+let read_json_field ~(path : string) (key : string) : float option =
   try
-    let ic = open_in bench_json in
+    let ic = open_in path in
     let len = in_channel_length ic in
     let s = really_input_string ic len in
     close_in ic;
@@ -183,6 +186,8 @@ let read_bench_field (key : string) : float option =
     in
     find 0
   with Sys_error _ | End_of_file -> None
+
+let read_bench_field (key : string) : float option = read_json_field ~path:bench_json key
 
 (* Pre-engine numbers, measured on this codebase at the seed commit
    (naive double-and-add everywhere, one-by-one certificate
@@ -678,6 +683,202 @@ let ablation_fanout () =
     [ 2; 4; 8 ]
 
 (* ------------------------------------------------------------------ *)
+(* Figures 5-6 at paper-scale user counts: the population engine.      *)
+(* ------------------------------------------------------------------ *)
+
+let sim_bench_json = Filename.concat csv_dir "BENCH_sim.json"
+
+(* Like [write_bench_json] but with fractional precision: rounds/sec at
+   half a million users is well below 1. *)
+let write_sim_json (rows : (string * float) list) : unit =
+  (try if not (Sys.file_exists csv_dir) then Sys.mkdir csv_dir 0o755 with Sys_error _ -> ());
+  let oc = open_out sim_bench_json in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "  %S: %.4f%s\n" k v
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "}\n";
+  close_out oc
+
+(* Fixed committee parameters for the sweep: committee sizes stay
+   constant while the population grows - the paper's core scaling claim
+   (section 10.1). Scaled-down taus keep the materialized set (and the
+   O(committee^2) direct-delivery traffic) small so the population
+   sweep is sortition-bound, which is the cost that actually grows with
+   the user count. *)
+let sim_params = Params.scaled ~factor:0.01
+
+let sim_config ~(users : int) ~(rounds : int) : Algorand_core.Population.config =
+  {
+    Algorand_core.Population.default with
+    users;
+    rounds;
+    params = sim_params;
+    block_bytes = 1_000_000;
+    rng_seed = 2017;
+  }
+
+(* One sweep point: run, audit, and distill the numbers BENCH_sim
+   tracks. *)
+let sim_point ~(users : int) ~(rounds : int) :
+    (string * float) list * string * Algorand_core.Population.result =
+  let t0 = Unix.gettimeofday () in
+  let r = Algorand_core.Population.run (sim_config ~users ~rounds) in
+  let wall = Unix.gettimeofday () -. t0 in
+  if not r.agreement then begin
+    Printf.printf "!! population run at %d users failed its agreement audit\n" users;
+    exit 1
+  end;
+  let stats = r.round_stats in
+  let n_rounds = float_of_int (List.length stats) in
+  let mean f = List.fold_left (fun a s -> a +. f s) 0.0 stats /. n_rounds in
+  let latency = mean (fun (s : Algorand_core.Population.round_stat) -> s.latency_s) in
+  let bytes_per_user =
+    mean (fun (s : Algorand_core.Population.round_stat) -> s.modeled_bytes_per_user)
+  in
+  let rounds_per_s = float_of_int rounds /. wall in
+  (* RSS proxy: the OCaml heap high-water mark. Process-global and
+     monotone, so the sweep must visit user counts in ascending order
+     for per-point numbers to mean anything. *)
+  let top_heap_mb = float_of_int (Gc.quick_stat ()).top_heap_words *. 8e-6 in
+  let key fmt = Printf.sprintf "sim_users_%d_%s" users fmt in
+  let fields =
+    [
+      (key "rounds_per_s", rounds_per_s);
+      (key "latency_s", latency);
+      (key "events", float_of_int r.total_events);
+      (key "peak_events", float_of_int r.peak_pending);
+      (key "materialized", float_of_int r.max_materialized);
+      (key "bytes_per_user", bytes_per_user);
+      (key "top_heap_mb", top_heap_mb);
+    ]
+  in
+  let lat_min =
+    List.fold_left
+      (fun a (s : Algorand_core.Population.round_stat) -> Float.min a s.latency_s)
+      infinity stats
+  and lat_max =
+    List.fold_left
+      (fun a (s : Algorand_core.Population.round_stat) -> Float.max a s.latency_s)
+      0.0 stats
+  in
+  let csv_row =
+    Printf.sprintf "%d,%.3f,%.3f,%.3f,%d,%d,%.0f,%.1f" users lat_min latency lat_max
+      r.max_materialized r.peak_pending bytes_per_user top_heap_mb
+  in
+  Printf.printf
+    "  %-9d lat=%6.2fs materialized=%-6d peak_ev=%-8d %8.0f B/user  %6.2f rounds/s  heap=%.0f MB\n%!"
+    users latency r.max_materialized r.peak_pending bytes_per_user rounds_per_s
+    top_heap_mb;
+  (fields, csv_row, r)
+
+let sim_csv_header = "users,lat_min,lat_mean,lat_max,materialized,peak_events,bytes_per_user,top_heap_mb"
+
+let sim () =
+  header "Figures 5-6 at paper scale: population-engine user sweep";
+  Printf.printf
+    "  (committee params fixed at tau_proposer=%.0f tau_step=%.0f tau_final=%.0f;\n"
+    sim_params.tau_proposer sim_params.tau_step sim_params.tau_final;
+  Printf.printf "   only sortition-selected users are materialized per round)\n";
+  let rows = ref [] in
+  Printf.printf "  Figure 5 (scale): latency vs users, 20 Mbit/s\n";
+  let fig5_rows =
+    List.map
+      (fun users ->
+        let fields, csv_row, _ = sim_point ~users ~rounds:3 in
+        rows := !rows @ fields;
+        csv_row)
+      [ 5_000; 50_000; 100_000; 500_000; 1_000_000 ]
+  in
+  csv_out "fig5_scale" sim_csv_header fig5_rows;
+  Printf.printf "  Figure 6 (scale): latency vs users, 2 Mbit/s, lambda_step = 1 min\n";
+  let fig6_rows =
+    List.map
+      (fun users ->
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Algorand_core.Population.run
+            {
+              (sim_config ~users ~rounds:2) with
+              bandwidth_bps = 2e6;
+              params = { sim_params with lambda_step = 60.0 };
+            }
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        if not r.agreement then begin
+          Printf.printf "!! fig6-scale population run at %d users failed its audit\n" users;
+          exit 1
+        end;
+        let stats = r.round_stats in
+        let lat acc f = List.fold_left f acc stats in
+        let lat_min =
+          lat infinity (fun a (s : Algorand_core.Population.round_stat) ->
+              Float.min a s.latency_s)
+        and lat_max =
+          lat 0.0 (fun a (s : Algorand_core.Population.round_stat) ->
+              Float.max a s.latency_s)
+        in
+        let lat_mean =
+          lat 0.0 (fun a (s : Algorand_core.Population.round_stat) -> a +. s.latency_s)
+          /. float_of_int (List.length stats)
+        in
+        rows := !rows @ [ (Printf.sprintf "sim_fig6_users_%d_latency_s" users, lat_mean) ];
+        Printf.printf "  %-9d lat=%6.2fs (%.2f rounds/s wall)\n%!" users lat_mean
+          (float_of_int 2 /. wall);
+        Printf.sprintf "%d,%.3f,%.3f,%.3f,%d,%d,%.0f,%.1f" users lat_min lat_mean lat_max
+          r.max_materialized r.peak_pending 0.0
+          (float_of_int (Gc.quick_stat ()).top_heap_words *. 8e-6))
+      [ 5_000; 50_000; 100_000; 500_000 ]
+  in
+  csv_out "fig6_scale" sim_csv_header fig6_rows;
+  let rows =
+    !rows
+    @ [
+        ("sim_max_users", 1_000_000.0);
+        ("sim_sweep_rounds", 3.0);
+        ("sim_tau_step", sim_params.tau_step);
+        ("sim_tau_final", sim_params.tau_final);
+      ]
+  in
+  write_sim_json rows;
+  Printf.printf "  -> %s\n" sim_bench_json
+
+(* CI smoke gate: one budgeted 100k-user run against the committed
+   snapshot; fails (exit 1) when rounds/sec regresses more than 2x, or
+   when the run loses agreement or determinism. *)
+let sim_check () =
+  header "Population-engine smoke check: 100k users vs committed snapshot";
+  let committed =
+    match read_json_field ~path:sim_bench_json "sim_users_100000_rounds_per_s" with
+    | Some v -> v
+    | None ->
+      Printf.printf "  no committed %s; run `bench/main.exe -- sim` first\n" sim_bench_json;
+      exit 1
+  in
+  let users = 100_000 and rounds = 5 in
+  let t0 = Unix.gettimeofday () in
+  let r = Algorand_core.Population.run (sim_config ~users ~rounds) in
+  let wall = Unix.gettimeofday () -. t0 in
+  if not r.agreement then begin
+    Printf.printf "  FAIL: agreement audit failed\n";
+    exit 1
+  end;
+  if List.length r.block_hashes <> rounds then begin
+    Printf.printf "  FAIL: completed %d/%d rounds\n" (List.length r.block_hashes) rounds;
+    exit 1
+  end;
+  let measured = float_of_int rounds /. wall in
+  Printf.printf "  committed %8.4f rounds/s\n  measured  %8.4f rounds/s (%.2fx)\n%!"
+    committed measured (committed /. measured);
+  if measured < committed /. 2.0 then begin
+    Printf.printf "  FAIL: population engine regressed more than 2x\n";
+    exit 1
+  end
+  else Printf.printf "  OK (%d users, %d rounds, %.1fs wall)\n" users rounds wall
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -697,6 +898,8 @@ let experiments =
     ("ablation-committee", ablation_committee);
     ("ablation-pipeline", ablation_pipeline);
     ("ablation-fanout", ablation_fanout);
+    ("sim", sim);
+    ("sim-check", sim_check);
   ]
 
 let () =

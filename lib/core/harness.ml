@@ -698,6 +698,11 @@ let run (config : config) : result =
   let registry = Metrics.registry t.metrics in
   Registry.set (Registry.gauge registry "sim.time_s") (Engine.now t.engine);
   Registry.set (Registry.gauge registry "sim.events") (float_of_int events);
+  Registry.set (Registry.gauge registry "sim.population") (float_of_int config.users);
+  Registry.set (Registry.gauge registry "sim.events_live")
+    (float_of_int (Engine.pending t.engine));
+  Registry.set (Registry.gauge registry "sim.heap_peak")
+    (float_of_int (Engine.peak_pending t.engine));
   if Trace.enabled trace then
     Trace.span trace ~start_ts:0.0 ~ts:(Engine.now t.engine) ~cat:"harness"
       ~name:"run"

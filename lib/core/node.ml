@@ -1606,6 +1606,19 @@ let start (t : t) : unit =
   end;
   start_round t ~r:1
 
+(* Population-engine entry points: a per-round materialized node is
+   handed a clone of the canonical certified prefix and starts at the
+   round after its tip, instead of replaying from genesis. *)
+let adopt_chain (t : t) (chain : Chain.t) : unit =
+  if t.current <> None || t.stopped then
+    invalid_arg "Node.adopt_chain: node already running";
+  t.chain <- chain
+
+let start_from_tip (t : t) : unit =
+  let tip = Chain.tip t.chain in
+  if tip.height >= t.config.max_round then t.stopped <- true
+  else start_round t ~r:(tip.height + 1)
+
 let recoveries_completed (t : t) : int = t.recoveries_completed
 let is_recovering (t : t) : bool = t.recovering <> None
 

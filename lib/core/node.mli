@@ -92,6 +92,18 @@ val set_gossip : t -> Message.t Gossip.t -> unit
 val start : t -> unit
 (** Begin round 1 (and, if enabled, schedule recovery clock ticks). *)
 
+val adopt_chain : t -> Algorand_ledger.Chain.t -> unit
+(** Replace the node's chain with a preloaded one (a clone of a
+    certified canonical prefix) before it starts. The population
+    engine's join path: a node materialized for round r receives the
+    height-(r-1) prefix instead of replaying from genesis.
+    @raise Invalid_argument once the node is running. *)
+
+val start_from_tip : t -> unit
+(** Begin at the round after the current tip (recovery ticks are
+    [start]'s job; population rounds do not use them). Marks the node
+    stopped if the tip already reaches [max_round]. *)
+
 val pk : t -> string
 val chain : t -> Chain.t
 

@@ -157,3 +157,14 @@ let descends_from (t : t) ~(hash : string) ~(ancestor : string) : bool =
   go hash
 
 let size (t : t) : int = Smap.cardinal t.entries
+
+(* Structure-sharing copy: blocks, hashes and balance maps are
+   immutable and shared with the original; entry records are fresh
+   because [final] is mutable per holder. The population engine hands
+   each materialized node a clone of the canonical prefix, so a round's
+   worth of nodes costs O(rounds) entry records, not O(rounds) block
+   copies. *)
+let clone (t : t) : t =
+  { entries = Smap.map (fun e -> { e with final = e.final }) t.entries;
+    tip = t.tip;
+    genesis_hash = t.genesis_hash }

@@ -2,15 +2,26 @@
    thunks. Handlers run at their scheduled virtual time and may
    schedule further events. *)
 
+let noop () = ()
+
 type t = {
   queue : (unit -> unit) Event_queue.t;
   mutable now : float;
   mutable events_processed : int;
   mutable reorder_hook : ((unit -> unit) array -> (unit -> unit) array) option;
+  mutable scratch : (unit -> unit) array;
+      (* reusable batch buffer: grown on demand, cleared after use so a
+         drained batch does not pin its closures until the next one *)
 }
 
 let create () : t =
-  { queue = Event_queue.create (); now = 0.0; events_processed = 0; reorder_hook = None }
+  {
+    queue = Event_queue.create ();
+    now = 0.0;
+    events_processed = 0;
+    reorder_hook = None;
+    scratch = [||];
+  }
 
 let now (t : t) : float = t.now
 
@@ -26,17 +37,31 @@ let set_reorder_hook (t : t) hook = t.reorder_hook <- hook
 (* Pop every event sharing the minimal timestamp - a "batch" of
    simultaneous events whose FIFO order is an artifact of insertion
    order, not causality. Events the batch itself schedules at the same
-   time form a *later* batch (they are causally downstream). *)
+   time form a *later* batch (they are causally downstream). The batch
+   is collected into a reusable scratch buffer - no list cells, no
+   reverse, one exact-size array allocated for the caller. *)
 let pop_batch (t : t) ~(time : float) : (unit -> unit) array =
-  let rec collect acc =
+  let n = ref 0 in
+  let continue = ref true in
+  while !continue do
     match Event_queue.peek_time t.queue with
     | Some time' when time' = time -> (
       match Event_queue.pop t.queue with
-      | Some (_, f) -> collect (f :: acc)
-      | None -> acc)
-    | _ -> acc
-  in
-  Array.of_list (List.rev (collect []))
+      | Some (_, f) ->
+        if !n >= Array.length t.scratch then begin
+          let ncap = max 16 (2 * Array.length t.scratch) in
+          let s = Array.make ncap noop in
+          Array.blit t.scratch 0 s 0 !n;
+          t.scratch <- s
+        end;
+        t.scratch.(!n) <- f;
+        incr n
+      | None -> continue := false)
+    | _ -> continue := false
+  done;
+  let batch = Array.sub t.scratch 0 !n in
+  Array.fill t.scratch 0 !n noop;
+  batch
 
 (* Run until the queue drains or the clock passes [until]. Returns the
    number of events processed. With a reorder hook installed, events
@@ -75,6 +100,8 @@ let run (t : t) ?(until = infinity) ?(max_events = max_int) () : int =
   t.events_processed - processed_before
 
 let pending (t : t) : int = Event_queue.length t.queue
+let peak_pending (t : t) : int = Event_queue.peak t.queue
+let events_processed (t : t) : int = t.events_processed
 
 let next_time (t : t) : float option = Event_queue.peek_time t.queue
 

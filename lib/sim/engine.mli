@@ -27,6 +27,13 @@ val set_reorder_hook : t -> ((unit -> unit) array -> (unit -> unit) array) optio
 
 val pending : t -> int
 
+val peak_pending : t -> int
+(** High-water mark of simultaneously pending events over the engine's
+    lifetime (the queue's live-heap peak). *)
+
+val events_processed : t -> int
+(** Total events executed since creation. *)
+
 val next_time : t -> float option
 (** Timestamp of the earliest pending event, if any. *)
 

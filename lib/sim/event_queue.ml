@@ -1,68 +1,116 @@
-(* A binary min-heap of timestamped events. Ties are broken by
-   insertion sequence so the simulation is fully deterministic. *)
+(* An unboxed binary min-heap of timestamped events. Instead of a
+   record per entry (which costs an allocation per push and keeps every
+   popped payload reachable through the heap array), the heap is three
+   parallel flat arrays: an unboxed float array of times, an int array
+   of insertion sequence numbers, and an [Obj.t] array of payloads.
+   Pushing allocates nothing; popping clears the vacated payload slot
+   so dead closures are collectable. Ties are broken by insertion
+   sequence so the simulation is fully deterministic.
 
-type 'a entry = { time : float; seq : int; payload : 'a }
+   Safety of the [Obj.t] payload column: the array is created from an
+   immediate ([Obj.repr 0]) and its static type is [Obj.t array], so
+   the runtime representation is a generic (boxed) array - never the
+   flat-float form - and any value, boxed or immediate, can be stored
+   in it. Reads magic the slot back to ['a]; the only writers are
+   [push] (an ['a]) and the [nil] sentinel, which [pop]/[peek_time]
+   never expose. *)
 
 type 'a t = {
-  mutable heap : 'a entry array;  (* heap.(0) is a dummy slot *)
+  mutable times : float array;  (* slot 0 is a dummy; unboxed floats *)
+  mutable seqs : int array;
+  mutable payloads : Obj.t array;
   mutable size : int;
   mutable next_seq : int;
+  mutable peak : int;
 }
 
-let create () : 'a t = { heap = [||]; size = 0; next_seq = 0 }
+let nil : Obj.t = Obj.repr 0
+
+let create () : 'a t =
+  { times = [||]; seqs = [||]; payloads = [||]; size = 0; next_seq = 0; peak = 0 }
 
 let is_empty (t : 'a t) : bool = t.size = 0
 let length (t : 'a t) : int = t.size
+let peak (t : 'a t) : int = t.peak
 
-let before (a : 'a entry) (b : 'a entry) : bool =
-  a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let before (t : 'a t) (i : int) (j : int) : bool =
+  t.times.(i) < t.times.(j)
+  || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
 
-let grow (t : 'a t) (template : 'a entry) =
-  let cap = Array.length t.heap in
+let swap (t : 'a t) (i : int) (j : int) : unit =
+  let tm = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- tm;
+  let sq = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- sq;
+  let pl = t.payloads.(i) in
+  t.payloads.(i) <- t.payloads.(j);
+  t.payloads.(j) <- pl
+
+(* Template-free growth: fresh columns are seeded from constants, not
+   from a live entry, so an empty queue can grow and a grown queue
+   holds no stray reference to whichever payload happened to be pushed
+   first. *)
+let grow (t : 'a t) : unit =
+  let cap = Array.length t.times in
   if t.size + 1 >= cap then begin
     let ncap = max 16 (2 * cap) in
-    let h = Array.make ncap template in
-    Array.blit t.heap 0 h 0 cap;
-    t.heap <- h
+    let times = Array.make ncap 0.0 in
+    let seqs = Array.make ncap 0 in
+    let payloads = Array.make ncap nil in
+    Array.blit t.times 0 times 0 cap;
+    Array.blit t.seqs 0 seqs 0 cap;
+    Array.blit t.payloads 0 payloads 0 cap;
+    t.times <- times;
+    t.seqs <- seqs;
+    t.payloads <- payloads
   end
 
 let push (t : 'a t) ~(time : float) (payload : 'a) : unit =
-  let entry = { time; seq = t.next_seq; payload } in
-  t.next_seq <- t.next_seq + 1;
-  grow t entry;
+  grow t;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
   t.size <- t.size + 1;
+  if t.size > t.peak then t.peak <- t.size;
   let i = ref t.size in
-  t.heap.(!i) <- entry;
-  while !i > 1 && before t.heap.(!i) t.heap.(!i / 2) do
+  t.times.(!i) <- time;
+  t.seqs.(!i) <- seq;
+  t.payloads.(!i) <- Obj.repr payload;
+  while !i > 1 && before t !i (!i / 2) do
     let p = !i / 2 in
-    let tmp = t.heap.(p) in
-    t.heap.(p) <- t.heap.(!i);
-    t.heap.(!i) <- tmp;
+    swap t !i p;
     i := p
   done
 
 let pop (t : 'a t) : (float * 'a) option =
   if t.size = 0 then None
   else begin
-    let top = t.heap.(1) in
-    t.heap.(1) <- t.heap.(t.size);
-    t.size <- t.size - 1;
+    let time = t.times.(1) in
+    let payload : 'a = Obj.obj t.payloads.(1) in
+    let n = t.size in
+    t.times.(1) <- t.times.(n);
+    t.seqs.(1) <- t.seqs.(n);
+    t.payloads.(1) <- t.payloads.(n);
+    (* Clear the vacated slot: a popped payload must not stay pinned in
+       the array, invisible to the program but visible to the GC. *)
+    t.payloads.(n) <- nil;
+    t.size <- n - 1;
     let i = ref 1 in
     let continue = ref true in
     while !continue do
       let l = 2 * !i and r = (2 * !i) + 1 in
       let smallest = ref !i in
-      if l <= t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-      if r <= t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+      if l <= t.size && before t l !smallest then smallest := l;
+      if r <= t.size && before t r !smallest then smallest := r;
       if !smallest = !i then continue := false
       else begin
-        let tmp = t.heap.(!smallest) in
-        t.heap.(!smallest) <- t.heap.(!i);
-        t.heap.(!i) <- tmp;
+        swap t !smallest !i;
         i := !smallest
       end
     done;
-    Some (top.time, top.payload)
+    Some (time, payload)
   end
 
-let peek_time (t : 'a t) : float option = if t.size = 0 then None else Some t.heap.(1).time
+let peek_time (t : 'a t) : float option =
+  if t.size = 0 then None else Some t.times.(1)

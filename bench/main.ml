@@ -10,7 +10,7 @@
    Experiments: micro micro-check fig3 fig4 fig5 fig6 fig7 fig8
                 throughput related-work costs timeouts analysis
                 ablation-committee ablation-pipeline ablation-fanout
-                sim sim-check
+                sim sim-check ledger ledger-check
 
    `micro` re-measures the crypto primitives and refreshes
    results/BENCH_crypto.json; `micro-check` is the CI smoke gate that
@@ -879,6 +879,303 @@ let sim_check () =
   else Printf.printf "  OK (%d users, %d rounds, %.1fs wall)\n" users rounds wall
 
 (* ------------------------------------------------------------------ *)
+(* Sustained-TPS ledger benchmark: the sharded balance map under the   *)
+(* hostile workload generator (million-account population, Zipf        *)
+(* hot-key skew, invalid/duplicate/self-pay mixes), batch signature    *)
+(* checking of block transactions, and light-client proof serving.     *)
+(* Emits results/BENCH_ledger.json; `ledger-check` is its CI gate.     *)
+(* ------------------------------------------------------------------ *)
+
+module Balances = Algorand_ledger.Balances
+module Workload = Algorand_ledger.Workload
+module Transaction = Algorand_ledger.Transaction
+module Lblock = Algorand_ledger.Block
+module Lightclient = Algorand_core.Lightclient
+
+let ledger_bench_json = Filename.concat csv_dir "BENCH_ledger.json"
+
+let write_ledger_json (rows : (string * float) list) : unit =
+  (try if not (Sys.file_exists csv_dir) then Sys.mkdir csv_dir 0o755 with Sys_error _ -> ());
+  let oc = open_out ledger_bench_json in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "  %S: %.2f%s\n" k v
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "}\n";
+  close_out oc
+
+(* A pre-generated workload stream: same (seed, mix, skew) - and hence
+   the same transactions - for every shard count it is replayed
+   against. *)
+let ledger_stream ~(accounts : int) ~(zipf : float) ~(mix : Workload.mix)
+    ~(n_txs : int) : Workload.t * Transaction.t array =
+  let wl =
+    Workload.create
+      {
+        Workload.accounts = Workload.Synthetic { n = accounts; scheme = Signature_scheme.sim };
+        zipf_s = zipf;
+        mix;
+        burst = None;
+        amount = 1;
+        seed = 1009;
+      }
+  in
+  (wl, Array.init n_txs (fun _ -> fst (Workload.next wl)))
+
+(* One (shards, stream) point, both halves of the block path:
+   - assembly: sequential per-transaction apply over the raw stream,
+     filtering what does not apply (the proposer's dry run) and
+     chunking survivors into blocks;
+   - validation: [apply_block] over those blocks (per-shard parallel
+     conservative pass with sequential fallback), which must reproduce
+     the assembly-side final state. *)
+type ledger_point = {
+  lp_assembly_tps : float;  (** raw stream txs through the filter per second *)
+  lp_validate_tps : float;  (** committed txs through apply_block per second *)
+  lp_block_ms : float;  (** mean apply_block latency per block *)
+  lp_applied : int;
+  lp_rejected : int;
+}
+
+let ledger_point ?(parallel = true) ~(wl : Workload.t) ~(shards : int)
+    ~(block_txs : int) (stream : Transaction.t array) : ledger_point =
+  let b0 = Workload.initial_balances wl ~stake:1_000 ~shards in
+  let blocks = ref [] and cur = ref [] and cur_n = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let st = ref b0 and applied = ref 0 and rejected = ref 0 in
+  Array.iter
+    (fun tx ->
+      match Balances.apply_tx !st tx with
+      | Ok st' ->
+        st := st';
+        incr applied;
+        cur := tx :: !cur;
+        incr cur_n;
+        if !cur_n = block_txs then begin
+          blocks := List.rev !cur :: !blocks;
+          cur := [];
+          cur_n := 0
+        end
+      | Error _ -> incr rejected)
+    stream;
+  if !cur <> [] then blocks := List.rev !cur :: !blocks;
+  let assembly_wall = Unix.gettimeofday () -. t0 in
+  let blocks = List.rev !blocks in
+  let t1 = Unix.gettimeofday () in
+  let st_v =
+    List.fold_left
+      (fun acc b ->
+        match Balances.apply_block ~parallel acc b with
+        | Ok acc' -> acc'
+        | Error e ->
+          Format.kasprintf failwith "filtered block must apply: %a" Balances.pp_tx_error e)
+      b0 blocks
+  in
+  let validate_wall = Unix.gettimeofday () -. t1 in
+  (* The money-supply audit on both final states: catching an inflation
+     bug here is the whole point of running self-pays through. *)
+  if not (Balances.invariant !st) || not (Balances.invariant st_v) then
+    failwith "ledger bench: balance invariant violated";
+  if Balances.total st_v <> Balances.total b0 then
+    failwith "ledger bench: money supply changed";
+  {
+    lp_assembly_tps = float_of_int (Array.length stream) /. assembly_wall;
+    lp_validate_tps = float_of_int !applied /. validate_wall;
+    lp_block_ms =
+      (if blocks = [] then 0.0
+       else validate_wall /. float_of_int (List.length blocks) *. 1e3);
+    lp_applied = !applied;
+    lp_rejected = !rejected;
+  }
+
+(* Batch signature verification of a block's transactions (ed25519):
+   the per-signature cost of one verify_batch equation vs one verify
+   call per transaction, plus the bisection filter with a corruption. *)
+let ledger_sig_rows () : (string * float) list =
+  let scheme = Signature_scheme.ed25519 in
+  let n_signers = 64 and n_txs = 256 in
+  let signers =
+    Array.init n_signers (fun i ->
+        scheme.Signature_scheme.generate ~seed:(Printf.sprintf "ledger-sig-%d" i))
+  in
+  let txs =
+    List.init n_txs (fun i ->
+        let s = i mod n_signers in
+        let signer, pk = signers.(s) in
+        let _, recipient = signers.((s + 1) mod n_signers) in
+        Transaction.make ~signer ~sender:pk ~recipient ~amount:1 ~nonce:(i / n_signers))
+  in
+  let per_tx_ns =
+    manual_ns ~iters:5 (fun () ->
+        List.iter
+          (fun tx ->
+            if not (Transaction.verify_signature ~scheme tx) then
+              failwith "tx must verify")
+          txs)
+    /. float_of_int n_txs
+  in
+  let batch_ns =
+    manual_ns ~iters:5 (fun () ->
+        if not (Transaction.verify_batch ~scheme txs) then failwith "batch must verify")
+    /. float_of_int n_txs
+  in
+  (* One corrupt transaction: the filter must reject exactly it. *)
+  let corrupt = { (List.nth txs 37) with signature = String.make 64 '\000' } in
+  let mixed = List.mapi (fun i tx -> if i = 37 then corrupt else tx) txs in
+  let valid, rejected = Transaction.filter_valid_batch ~scheme mixed in
+  if List.length valid <> n_txs - 1 || List.length rejected <> 1 then
+    failwith "filter_valid_batch must isolate the corruption";
+  Printf.printf
+    "  block signature check (%d ed25519 txs): %8.0f ns/tx one-by-one, %8.0f ns/tx \
+     batched (%.1fx)\n%!"
+    n_txs per_tx_ns batch_ns (per_tx_ns /. batch_ns);
+  [
+    ("ledger_sig_per_tx_verify_ns", per_tx_ns);
+    ("ledger_sig_batch_per_tx_ns", batch_ns);
+    ("ledger_sig_batch_speedup_x", per_tx_ns /. batch_ns);
+  ]
+
+(* Light-client proof serving under load: k proofs over one hot block,
+   naive per-request tree rebuild vs the caching server. *)
+let ledger_lightclient_rows () : (string * float) list =
+  let signer, pk = Signature_scheme.sim.Signature_scheme.generate ~seed:"lc-bench" in
+  let txs =
+    List.init 4096 (fun i ->
+        Transaction.make ~signer ~sender:pk ~recipient:pk ~amount:1 ~nonce:i)
+  in
+  let block = { (Lblock.empty ~round:1 ~prev_hash:(String.make 32 'p')) with txs } in
+  let ids = Array.of_list (List.map Transaction.id txs) in
+  let n_queries = 200 in
+  let query i = ids.((i * 17) mod Array.length ids) in
+  let naive_s =
+    manual_ns ~warmup:1 ~iters:1 (fun () ->
+        for i = 0 to n_queries - 1 do
+          if Lblock.prove_tx block ~tx_id:(query i) = None then failwith "must prove"
+        done)
+    /. 1e9
+  in
+  let server = Lightclient.create_server () in
+  let served_s =
+    manual_ns ~warmup:1 ~iters:1 (fun () ->
+        for i = 0 to n_queries - 1 do
+          match Lightclient.serve_proof server ~block ~tx_id:(query i) with
+          | Some (s, proof) ->
+            if not (Lblock.summary_contains s ~tx_id:(query i) proof) then
+              failwith "served proof must verify"
+          | None -> failwith "must serve"
+        done)
+    /. 1e9
+  in
+  let naive_ps = float_of_int n_queries /. naive_s in
+  let served_ps = float_of_int n_queries /. served_s in
+  Printf.printf
+    "  light-client serving (4096-tx block, %d queries): %8.0f proofs/s naive, %8.0f \
+     proofs/s cached tree (%.0fx)\n%!"
+    n_queries naive_ps served_ps (served_ps /. naive_ps);
+  [
+    ("lightclient_naive_proofs_per_s", naive_ps);
+    ("lightclient_server_proofs_per_s", served_ps);
+  ]
+
+(* The gate-scale point, shared between `ledger` (which commits its
+   result) and `ledger-check` (which re-measures and compares). *)
+let ledger_check_point () : ledger_point =
+  let wl, stream =
+    ledger_stream ~accounts:100_000 ~zipf:1.1 ~mix:Workload.hostile ~n_txs:30_000
+  in
+  ledger_point ~wl ~shards:8 ~block_txs:1_024 stream
+
+let ledger () =
+  header "Sustained-TPS ledger: sharded accounts under the hostile workload";
+  let accounts = 1_000_000 and n_txs = 200_000 and block_txs = 1_024 in
+  let zipf = 1.1 in
+  Printf.printf
+    "  (%d accounts, %d-tx stream, Zipf %.1f hot-key skew, %d-tx blocks)\n%!" accounts
+    n_txs zipf block_txs;
+  let rows = ref [] and csv_rows = ref [] in
+  let mixes = [ ("clean", Workload.clean); ("hostile", Workload.hostile) ] in
+  List.iter
+    (fun (mix_name, mix) ->
+      Printf.printf "  generating %s stream...\n%!" mix_name;
+      let wl, stream = ledger_stream ~accounts ~zipf ~mix ~n_txs in
+      List.iter
+        (fun shards ->
+          let p = ledger_point ~wl ~shards ~block_txs stream in
+          Printf.printf
+            "  %-8s shards=%-3d assembly %8.0f tx/s  validate %8.0f tx/s  %6.2f \
+             ms/block  (%d applied, %d rejected)\n%!"
+            mix_name shards p.lp_assembly_tps p.lp_validate_tps p.lp_block_ms
+            p.lp_applied p.lp_rejected;
+          let key fmt = Printf.sprintf "ledger_%s_shards%d_%s" fmt shards mix_name in
+          rows :=
+            !rows
+            @ [
+                (key "tps_assembly", p.lp_assembly_tps);
+                (key "tps_validate", p.lp_validate_tps);
+                (key "block_ms", p.lp_block_ms);
+              ];
+          csv_rows :=
+            !csv_rows
+            @ [
+                Printf.sprintf "%s,%d,%d,%.0f,%.0f,%.3f,%d,%d" mix_name shards accounts
+                  p.lp_assembly_tps p.lp_validate_tps p.lp_block_ms p.lp_applied
+                  p.lp_rejected;
+              ])
+        [ 1; 8; 64 ])
+    mixes;
+  (* Parallel vs sequential validation at the default shard count. *)
+  let wl, stream = ledger_stream ~accounts ~zipf ~mix:Workload.hostile ~n_txs in
+  let seq = ledger_point ~parallel:false ~wl ~shards:8 ~block_txs stream in
+  Printf.printf "  hostile  shards=8   validate %8.0f tx/s sequential (no domains)\n%!"
+    seq.lp_validate_tps;
+  rows := !rows @ [ ("ledger_tps_validate_shards8_hostile_seq", seq.lp_validate_tps) ];
+  rows := !rows @ ledger_sig_rows ();
+  rows := !rows @ ledger_lightclient_rows ();
+  Printf.printf "  gate-scale point (100k accounts, 30k txs, shards=8, hostile)...\n%!";
+  let gate = ledger_check_point () in
+  Printf.printf "  gate      validate %8.0f tx/s\n%!" gate.lp_validate_tps;
+  rows :=
+    !rows
+    @ [
+        ("ledger_check_tps_validate", gate.lp_validate_tps);
+        ("ledger_accounts", float_of_int accounts);
+        ("ledger_stream_txs", float_of_int n_txs);
+        ("ledger_block_txs", float_of_int block_txs);
+        ("ledger_zipf_s", zipf);
+      ];
+  csv_out "ledger_tps" "mix,shards,accounts,assembly_tps,validate_tps,block_ms,applied,rejected"
+    !csv_rows;
+  write_ledger_json !rows;
+  Printf.printf "  -> %s\n" ledger_bench_json
+
+(* CI smoke gate: re-measure the gate-scale point and fail (exit 1) on
+   a >2x validate-TPS regression against the committed snapshot; the
+   point itself re-runs the conservation/invariant audits. *)
+let ledger_check () =
+  header "Ledger smoke check: 100k-account hostile workload vs committed snapshot";
+  let committed =
+    match read_json_field ~path:ledger_bench_json "ledger_check_tps_validate" with
+    | Some v -> v
+    | None ->
+      Printf.printf "  no committed %s; run `bench/main.exe -- ledger` first\n"
+        ledger_bench_json;
+      exit 1
+  in
+  let p = ledger_check_point () in
+  Printf.printf "  committed %10.0f tx/s\n  measured  %10.0f tx/s (%.2fx)\n%!" committed
+    p.lp_validate_tps
+    (committed /. p.lp_validate_tps);
+  if p.lp_validate_tps < committed /. 2.0 then begin
+    Printf.printf "  FAIL: ledger validate path regressed more than 2x\n";
+    exit 1
+  end
+  else
+    Printf.printf "  OK (%d applied, %d rejected, conservation + invariant hold)\n"
+      p.lp_applied p.lp_rejected
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -900,6 +1197,8 @@ let experiments =
     ("ablation-fanout", ablation_fanout);
     ("sim", sim);
     ("sim-check", sim_check);
+    ("ledger", ledger);
+    ("ledger-check", ledger_check);
   ]
 
 let () =

@@ -150,6 +150,8 @@ let run_daemon (o : opts) ~(index : int) ~(report_path : string option)
       store_dir = Some store_dir;
       checkpoint_every = 1;
       retry = retry_policy;
+      verify_tx_sigs = true;
+      txpool_retention_rounds = 8;
       deterministic_ts = true;
     }
   in

@@ -100,6 +100,30 @@ let run_cmd =
   in
   let fanout = Arg.(value & opt int 4 & info [ "fanout" ] ~doc:"Gossip connections initiated per user.") in
   let tx_rate = Arg.(value & opt float 2.0 & info [ "tx-rate" ] ~doc:"Transactions/s workload.") in
+  let tx_skew =
+    Arg.(value & opt float 0.0
+         & info [ "tx-skew" ] ~doc:"Zipf hot-key skew exponent for the workload (0 = uniform).")
+  in
+  let tx_invalid =
+    Arg.(value & opt float 0.0
+         & info [ "tx-invalid" ] ~doc:"Fraction of workload transactions that are invalid (bad nonce / overdraft).")
+  in
+  let tx_dup =
+    Arg.(value & opt float 0.0
+         & info [ "tx-dup" ] ~doc:"Fraction of workload transactions that are byte-identical duplicates.")
+  in
+  let tx_selfpay =
+    Arg.(value & opt float 0.0
+         & info [ "tx-selfpay" ] ~doc:"Fraction of workload transactions that are self-payments.")
+  in
+  let tx_burst_period =
+    Arg.(value & opt float 0.0
+         & info [ "tx-burst-period" ] ~doc:"Square-wave burst period in seconds (0 = no bursts).")
+  in
+  let tx_burst_mult =
+    Arg.(value & opt float 5.0
+         & info [ "tx-burst-mult" ] ~doc:"Arrival-rate multiplier inside the burst window.")
+  in
   let recovery = Arg.(value & flag & info [ "recovery" ] ~doc:"Enable the section 8.2 recovery protocol.") in
   let real_crypto =
     Arg.(value & flag & info [ "real-crypto" ] ~doc:"Use ed25519 + ECVRF instead of the simulation schemes (slow).")
@@ -122,8 +146,35 @@ let run_cmd =
   in
   let run users rounds block_bytes seed attack malicious bandwidth fanout tx_rate
       recovery real_crypto verbose save_dir loss churn_fraction churn_period churn_down
-      churn_until trace_out metrics_out wire flood_rate flood_fraction corrupt_p =
+      churn_until trace_out metrics_out wire flood_rate flood_fraction corrupt_p tx_skew
+      tx_invalid tx_dup tx_selfpay tx_burst_period tx_burst_mult =
     setup_logs verbose;
+    let tx_profile =
+      if
+        tx_skew > 0.0 || tx_invalid > 0.0 || tx_dup > 0.0 || tx_selfpay > 0.0
+        || tx_burst_period > 0.0
+      then
+        Some
+          {
+            Harness.tx_zipf_s = tx_skew;
+            tx_mix =
+              {
+                Algorand_ledger.Workload.invalid = tx_invalid;
+                duplicate = tx_dup;
+                self_pay = tx_selfpay;
+              };
+            tx_burst =
+              (if tx_burst_period > 0.0 then
+                 Some
+                   {
+                     Algorand_ledger.Workload.period_s = tx_burst_period;
+                     duty = 0.25;
+                     mult = tx_burst_mult;
+                   }
+               else None);
+          }
+      else None
+    in
     let trace, trace_oc =
       match trace_out with
       | None -> (None, None)
@@ -186,6 +237,7 @@ let run_cmd =
         bandwidth_bps = bandwidth;
         fanout;
         tx_rate_per_s = tx_rate;
+        tx_profile;
         recovery_enabled = recovery;
         params;
         crypto = (if real_crypto then Harness.Real_crypto else Harness.Sim_crypto);
@@ -215,6 +267,13 @@ let run_cmd =
       (Format.asprintf "%a" Algorand_sim.Stats.pp_summary r.completion);
     Printf.printf "finality: %d final rounds, %d tentative\n" r.final_rounds
       r.tentative_rounds;
+    if r.txs.submitted > 0 || r.txs.committed > 0 then
+      Printf.printf
+        "txs: %d submitted (%d invalid, %d dup, %d self-pay), %d committed (%d \
+         self-pay), conservation %s\n"
+        r.txs.submitted r.txs.submitted_invalid r.txs.submitted_duplicate
+        r.txs.submitted_self_pay r.txs.committed r.txs.committed_self_pay
+        (if r.txs.conservation_ok then "ok" else "VIOLATED");
     Printf.printf "safety: %d agreed rounds, forked=%s, double-final=%s\n"
       r.safety.agreement_rounds
       (String.concat "," (List.map string_of_int r.safety.forked_rounds))
@@ -274,7 +333,7 @@ let run_cmd =
         Printf.printf "saved %d certified blocks to %s (%d KB)\n" (List.length items)
           dir
           (Algorand_core.Disk_store.size_bytes dir / 1024)));
-    if r.safety.double_final <> [] || churn_failed then begin
+    if r.safety.double_final <> [] || churn_failed || not r.txs.conservation_ok then begin
       Printf.printf "SAFETY VIOLATION at seed %d\n" seed;
       exit 1
     end
@@ -284,7 +343,8 @@ let run_cmd =
       const run $ users $ rounds $ block_bytes $ seed $ attack $ malicious $ bandwidth
       $ fanout $ tx_rate $ recovery $ real_crypto $ verbose $ save_dir $ loss
       $ churn_fraction $ churn_period $ churn_down $ churn_until $ trace_out
-      $ metrics_out $ wire $ flood_rate $ flood_fraction $ corrupt_p)
+      $ metrics_out $ wire $ flood_rate $ flood_fraction $ corrupt_p $ tx_skew
+      $ tx_invalid $ tx_dup $ tx_selfpay $ tx_burst_period $ tx_burst_mult)
 
 (* ------------------------------------------------------------------ *)
 (* committee                                                           *)

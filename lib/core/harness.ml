@@ -21,6 +21,8 @@ module Transaction = Algorand_ledger.Transaction
 module Genesis = Algorand_ledger.Genesis
 module Chain = Algorand_ledger.Chain
 module Block = Algorand_ledger.Block
+module Balances = Algorand_ledger.Balances
+module Workload = Algorand_ledger.Workload
 
 type crypto = Real_crypto | Sim_crypto
 
@@ -69,6 +71,18 @@ type attack =
       (** on-path byte corruption: each frame independently mangled
           with probability [p] during the window *)
 
+(* Workload shaping for the transaction stream: accounts are the
+   deployment's own users (synthetic extra accounts would dilute
+   sortition stake), so the profile only picks skew, mix and bursts. *)
+type tx_profile = {
+  tx_zipf_s : float;
+  tx_mix : Workload.mix;
+  tx_burst : Workload.burst option;
+}
+
+let hostile_profile =
+  { tx_zipf_s = 1.1; tx_mix = Workload.hostile; tx_burst = None }
+
 (* Wire mode: [`Typed] ships OCaml values through the simulated WAN
    (the fast path); [`Bytes] encodes every message via Codec at the
    sender and decodes it at each receiving hop - the hostile-wire
@@ -93,6 +107,16 @@ type config = {
   malicious_fraction : float;  (** fraction of users (hence stake) that is malicious *)
   attack : attack;
   tx_rate_per_s : float;
+  tx_profile : tx_profile option;
+      (** hostile workload shaping (Zipf skew, invalid/duplicate/
+          self-pay mixes, bursts) layered on [tx_rate_per_s]; [None]
+          keeps the legacy uniform all-valid Poisson stream, so
+          committed artifacts of profile-less runs replay unchanged *)
+  verify_tx_sigs : bool;
+      (** nodes batch-verify transaction signatures on the block
+          assembly and validation paths *)
+  txpool_retention_rounds : int;
+      (** committed-id retention before pool dedup-table eviction *)
   max_sim_time : float;
   cpu_vote_verify_s : float;
   cpu_block_verify_s : float;
@@ -134,6 +158,9 @@ let default =
     malicious_fraction = 0.0;
     attack = No_attack;
     tx_rate_per_s = 2.0;
+    tx_profile = None;
+    verify_tx_sigs = true;
+    txpool_retention_rounds = 8;
     max_sim_time = 3_600.0;
     cpu_vote_verify_s = 0.0002;
     cpu_block_verify_s = 0.005;
@@ -161,6 +188,10 @@ type t = {
   genesis : Genesis.t;
   store_root : string option;  (** resolved checkpoint root, if any *)
   owns_store : bool;  (** the root is a temp dir this harness created *)
+  mutable workload : Workload.t option;
+      (** the profile-driven generator, when [tx_profile] is set *)
+  mutable legacy_submitted : int;
+      (** transactions injected by the profile-less legacy stream *)
 }
 
 type safety_report = {
@@ -198,6 +229,20 @@ type wire_report = {
   duplicates_dropped : int;
 }
 
+(* Transaction-path accounting: what the workload injected and what the
+   canonical chain actually committed. [conservation_ok] re-checks the
+   money-supply invariant on the tip balances - the self-payment
+   inflation bug is the kind of error only this audit catches. *)
+type tx_report = {
+  submitted : int;
+  submitted_invalid : int;
+  submitted_duplicate : int;
+  submitted_self_pay : int;
+  committed : int;  (** transactions in node 0's canonical chain *)
+  committed_self_pay : int;
+  conservation_ok : bool;  (** tip balances sum to the genesis total *)
+}
+
 type result = {
   harness : t;
   sim_time : float;
@@ -208,6 +253,7 @@ type result = {
   tentative_rounds : int;
   churn : churn_report;
   wire : wire_report;
+  txs : tx_report;
 }
 
 let schemes (c : crypto) : Signature_scheme.scheme * Vrf.scheme =
@@ -321,6 +367,8 @@ let build (config : config) : t =
           store_root;
       checkpoint_every = config.checkpoint_every;
       retry = retry_policy;
+      verify_tx_sigs = config.verify_tx_sigs;
+      txpool_retention_rounds = config.txpool_retention_rounds;
       deterministic_ts = config.deterministic_ts;
     }
   in
@@ -517,6 +565,8 @@ let build (config : config) : t =
     genesis;
     store_root;
     owns_store;
+    workload = None;
+    legacy_submitted = 0;
   }
 
 (* Remove the temp checkpoint root, when this harness created one. *)
@@ -525,31 +575,72 @@ let cleanup_stores (t : t) : unit =
   | Some root when t.owns_store -> rm_rf root
   | _ -> ()
 
-(* Poisson transaction workload: random payer pays 1 unit to a random
-   payee, submitted at the payer's node. Nonces are tracked here (the
-   wallet's job); proposers filter anything that raced. *)
+(* Transaction workload, two flavors sharing the submit-at-origin shape
+   (each transaction enters at its sender's node, as a wallet would):
+
+   - legacy (no [tx_profile]): uniform all-valid Poisson stream with
+     nonces tracked inline - kept bit-compatible so committed artifacts
+     of profile-less runs (FIG7 and friends) replay unchanged;
+   - profiled: the [Workload] generator over the deployment's own
+     identities, with Zipf skew, hostile mixes and bursts, its
+     interarrival clock burst-modulated by the same generator. *)
 let install_workload (t : t) : unit =
   if t.config.tx_rate_per_s > 0.0 then begin
-    let rng = Rng.create (t.config.rng_seed + 7919) in
-    let nonces = Array.make t.config.users 0 in
-    let rec arrival () =
-      let all_stopped = Array.for_all (fun n -> Node.round n = 0) t.nodes in
-      if not all_stopped then begin
-        let payer = Rng.int rng t.config.users in
-        let payee = (payer + 1 + Rng.int rng (t.config.users - 1)) mod t.config.users in
-        let tx =
-          Transaction.make ~signer:t.identities.(payer).signer
-            ~sender:t.identities.(payer).pk ~recipient:t.identities.(payee).pk ~amount:1
-            ~nonce:nonces.(payer)
-        in
-        nonces.(payer) <- nonces.(payer) + 1;
-        Node.submit_tx t.nodes.(payer) tx;
-        Engine.schedule t.engine
-          ~delay:(Rng.exponential rng ~mean:(1.0 /. t.config.tx_rate_per_s))
-          arrival
-      end
-    in
-    Engine.schedule t.engine ~delay:0.5 arrival
+    match t.config.tx_profile with
+    | None ->
+      let rng = Rng.create (t.config.rng_seed + 7919) in
+      let nonces = Array.make t.config.users 0 in
+      let rec arrival () =
+        let all_stopped = Array.for_all (fun n -> Node.round n = 0) t.nodes in
+        if not all_stopped then begin
+          let payer = Rng.int rng t.config.users in
+          let payee = (payer + 1 + Rng.int rng (t.config.users - 1)) mod t.config.users in
+          let tx =
+            Transaction.make ~signer:t.identities.(payer).signer
+              ~sender:t.identities.(payer).pk ~recipient:t.identities.(payee).pk ~amount:1
+              ~nonce:nonces.(payer)
+          in
+          nonces.(payer) <- nonces.(payer) + 1;
+          t.legacy_submitted <- t.legacy_submitted + 1;
+          Node.submit_tx t.nodes.(payer) tx;
+          Engine.schedule t.engine
+            ~delay:(Rng.exponential rng ~mean:(1.0 /. t.config.tx_rate_per_s))
+            arrival
+        end
+      in
+      Engine.schedule t.engine ~delay:0.5 arrival
+    | Some profile ->
+      let wl =
+        Workload.create
+          {
+            Workload.accounts =
+              Workload.Provided
+                {
+                  pks = Array.map (fun (id : Identity.t) -> id.pk) t.identities;
+                  signers =
+                    Array.map (fun (id : Identity.t) -> id.signer) t.identities;
+                };
+            zipf_s = profile.tx_zipf_s;
+            mix = profile.tx_mix;
+            burst = profile.tx_burst;
+            amount = 1;
+            seed = t.config.rng_seed + 7919;
+          }
+      in
+      t.workload <- Some wl;
+      let rec arrival () =
+        let all_stopped = Array.for_all (fun n -> Node.round n = 0) t.nodes in
+        if not all_stopped then begin
+          let tx, origin = Workload.next wl in
+          Node.submit_tx t.nodes.(origin) tx;
+          Engine.schedule t.engine
+            ~delay:
+              (Workload.interarrival wl ~now:(Engine.now t.engine)
+                 ~rate_per_s:t.config.tx_rate_per_s)
+            arrival
+        end
+      in
+      Engine.schedule t.engine ~delay:0.5 arrival
   end
 
 (* Cross-user safety audit over the final chains. *)
@@ -680,6 +771,43 @@ let audit_wire (t : t) : wire_report =
     duplicates_dropped = Gossip.duplicates_dropped t.gossip;
   }
 
+(* Transaction accounting over node 0's canonical chain, plus the
+   money-supply audit: whatever traffic was injected, the tip balances
+   must sum to the genesis total with no negative account. *)
+let audit_txs (t : t) : tx_report =
+  let chain = Node.chain t.nodes.(0) in
+  let tip = Chain.tip chain in
+  let committed = ref 0 and committed_self_pay = ref 0 in
+  List.iter
+    (fun (e : Chain.entry) ->
+      if e.height > 0 then
+        List.iter
+          (fun (tx : Transaction.t) ->
+            incr committed;
+            if String.equal tx.sender tx.recipient then incr committed_self_pay)
+          e.block.txs)
+    (Chain.ancestry chain tip.hash);
+  let conservation_ok =
+    Balances.invariant tip.balances_after
+    && Balances.total tip.balances_after = Balances.total t.genesis.balances
+  in
+  let submitted, inv, dup, selfp =
+    match t.workload with
+    | Some wl ->
+      let s = Workload.stats wl in
+      (s.generated, s.invalid, s.duplicate, s.self_pay)
+    | None -> (t.legacy_submitted, 0, 0, 0)
+  in
+  {
+    submitted;
+    submitted_invalid = inv;
+    submitted_duplicate = dup;
+    submitted_self_pay = selfp;
+    committed = !committed;
+    committed_self_pay = !committed_self_pay;
+    conservation_ok;
+  }
+
 let run (config : config) : result =
   let t = build config in
   install_workload t;
@@ -734,4 +862,5 @@ let run (config : config) : result =
     tentative_rounds = !tentative_rounds;
     churn = audit_churn t;
     wire = audit_wire t;
+    txs = audit_txs t;
   }

@@ -47,6 +47,18 @@ type attack =
       (** on-path byte corruption: each frame independently mangled
           with probability [p] during the window *)
 
+type tx_profile = {
+  tx_zipf_s : float;  (** Zipf skew exponent; 0.0 = uniform *)
+  tx_mix : Algorand_ledger.Workload.mix;
+  tx_burst : Algorand_ledger.Workload.burst option;
+}
+(** Workload shaping for the transaction stream. Accounts are the
+    deployment's own users (synthetic extra accounts would dilute
+    sortition stake), so the profile only picks skew, mix and bursts. *)
+
+val hostile_profile : tx_profile
+(** Zipf 1.1 skew with the {!Algorand_ledger.Workload.hostile} mix. *)
+
 type wire = [ `Typed | `Bytes ]
 (** [`Typed] ships OCaml values across the simulated WAN; [`Bytes]
     encodes every message via {!Codec} at the sender and decodes it at
@@ -66,6 +78,14 @@ type config = {
   malicious_fraction : float;
   attack : attack;
   tx_rate_per_s : float;
+  tx_profile : tx_profile option;
+      (** hostile workload shaping layered on [tx_rate_per_s]; [None]
+          keeps the legacy uniform all-valid Poisson stream *)
+  verify_tx_sigs : bool;
+      (** nodes batch-verify transaction signatures on the block
+          assembly and validation paths *)
+  txpool_retention_rounds : int;
+      (** committed-id retention before pool dedup-table eviction *)
   max_sim_time : float;
   cpu_vote_verify_s : float;
   cpu_block_verify_s : float;
@@ -111,6 +131,11 @@ type t = {
   genesis : Genesis.t;
   store_root : string option;  (** resolved checkpoint root, if any *)
   owns_store : bool;  (** the root is a temp dir this harness created *)
+  mutable workload : Algorand_ledger.Workload.t option;
+      (** the profile-driven generator, when [tx_profile] is set
+          (populated by {!install_workload}) *)
+  mutable legacy_submitted : int;
+      (** transactions injected by the profile-less legacy stream *)
 }
 
 type safety_report = {
@@ -146,6 +171,20 @@ type wire_report = {
     ingress pipeline dropped and who got disconnected for it. All
     zeros on a clean typed run. *)
 
+type tx_report = {
+  submitted : int;
+  submitted_invalid : int;
+  submitted_duplicate : int;
+  submitted_self_pay : int;
+  committed : int;  (** transactions in node 0's canonical chain *)
+  committed_self_pay : int;
+  conservation_ok : bool;  (** tip balances sum to the genesis total *)
+}
+(** Transaction-path accounting (submitted counts are zero without a
+    [tx_profile]). [conservation_ok] must hold on every run: it is the
+    money-supply audit that catches inflation bugs like crediting a
+    self-payment against the stale balance map. *)
+
 type result = {
   harness : t;
   sim_time : float;
@@ -156,6 +195,7 @@ type result = {
   tentative_rounds : int;
   churn : churn_report;
   wire : wire_report;
+  txs : tx_report;
 }
 
 val build : config -> t
@@ -166,6 +206,7 @@ val install_workload : t -> unit
 val audit_safety : t -> safety_report
 val audit_churn : t -> churn_report
 val audit_wire : t -> wire_report
+val audit_txs : t -> tx_report
 
 val cleanup_stores : t -> unit
 (** Remove the temp checkpoint root, when this harness created one

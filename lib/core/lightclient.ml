@@ -71,3 +71,96 @@ let verify_payments ~(params : Params.t) ~(ctx : Vote.validation_ctx)
 
 (* What the light client stores per block, in bytes. *)
 let summary_size_bytes : int = Block.header_size_bytes + 8 + 32
+
+(* ------------------------------------------------------------------ *)
+(* Proof serving                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The full-node side of the protocol: a server answering "prove tx T
+   is in block B" queries. Per block it lazily builds, then caches, the
+   Merkle tree over transaction ids plus an id -> leaf-index table, so
+   a hot block (every wallet asking about the same round) costs one
+   O(n) build and O(log n) per request instead of O(n) per request.
+   The cache is FIFO-bounded: serving is load-bearing under sustained
+   TPS, and an unbounded tree cache over a long chain would leak. *)
+
+type served = {
+  sv_summary : Block.summary;
+  sv_tree : Merkle.tree;
+  sv_index : (string, int) Hashtbl.t;  (** tx id -> leaf index *)
+}
+
+type server = {
+  cache : (string, served) Hashtbl.t;  (** block hash -> cached trees *)
+  order : string Queue.t;  (** FIFO eviction order *)
+  max_blocks : int;
+  mutable by_ptr : (Block.t * served) list;
+      (** physical-identity fast path (MRU, short): [Block.hash] itself
+          recomputes the O(n) transaction root, so keying every request
+          on it would cost as much as the naive path it replaces. *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let max_ptr_entries = 8
+
+let create_server ?(max_blocks = 64) () : server =
+  {
+    cache = Hashtbl.create 64;
+    order = Queue.create ();
+    max_blocks = max 1 max_blocks;
+    by_ptr = [];
+    hits = 0;
+    misses = 0;
+  }
+
+let rec served_for (s : server) (b : Algorand_ledger.Block.t) : served =
+  match List.find_opt (fun (b', _) -> b' == b) s.by_ptr with
+  | Some (_, sv) ->
+    s.hits <- s.hits + 1;
+    sv
+  | None ->
+    served_for_slow s b
+
+and served_for_slow (s : server) (b : Algorand_ledger.Block.t) : served =
+  let h = Block.hash b in
+  let remember sv =
+    let keep =
+      List.filteri (fun i _ -> i < max_ptr_entries - 1) s.by_ptr
+    in
+    s.by_ptr <- (b, sv) :: keep;
+    sv
+  in
+  match Hashtbl.find_opt s.cache h with
+  | Some sv ->
+    s.hits <- s.hits + 1;
+    remember sv
+  | None ->
+    s.misses <- s.misses + 1;
+    let index = Hashtbl.create (List.length b.txs) in
+    List.iteri
+      (fun i (tx : Algorand_ledger.Transaction.t) ->
+        let id = Algorand_ledger.Transaction.id tx in
+        if not (Hashtbl.mem index id) then Hashtbl.add index id i)
+      b.txs;
+    let sv =
+      { sv_summary = Block.summarize b; sv_tree = Block.tx_tree b; sv_index = index }
+    in
+    while Queue.length s.order >= s.max_blocks do
+      Hashtbl.remove s.cache (Queue.pop s.order)
+    done;
+    Hashtbl.add s.cache h sv;
+    Queue.add h s.order;
+    remember sv
+
+let serve_proof (s : server) ~(block : Block.t) ~(tx_id : string) :
+    (Block.summary * Merkle.proof) option =
+  let sv = served_for s block in
+  match Hashtbl.find_opt sv.sv_index tx_id with
+  | None -> None
+  | Some index ->
+    Option.map (fun p -> (sv.sv_summary, p)) (Merkle.prove_tree sv.sv_tree ~index)
+
+let server_cached_blocks (s : server) : int = Hashtbl.length s.cache
+let server_hits (s : server) : int = s.hits
+let server_misses (s : server) : int = s.misses

@@ -40,3 +40,21 @@ val verify_payments :
 
 val summary_size_bytes : int
 (** Per-block storage for a light client. *)
+
+type server
+(** The full-node side: answers "prove tx T is in block B" queries.
+    Per block it lazily builds and caches the Merkle tree over
+    transaction ids plus an id->index table, so a hot block costs one
+    O(n) build and O(log n) per proof instead of O(n) per proof. The
+    cache is FIFO-bounded at [max_blocks]. *)
+
+val create_server : ?max_blocks:int -> unit -> server
+
+val serve_proof :
+  server -> block:Block.t -> tx_id:string -> (Block.summary * Merkle.proof) option
+(** The summary and inclusion proof a light client needs, or [None]
+    when the transaction is not in the block. *)
+
+val server_cached_blocks : server -> int
+val server_hits : server -> int
+val server_misses : server -> int

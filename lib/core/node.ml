@@ -62,6 +62,14 @@ type config = {
   checkpoint_every : int;
       (** checkpoint every k completed rounds (when [store_dir] is set) *)
   retry : Retry.policy;  (** backoff for block fetch and catch-up requests *)
+  verify_tx_sigs : bool;
+      (** check transaction signatures on the block paths: batch
+          verification of a proposed block's transactions during
+          validation, and a batch filter (with bisection fallback) on
+          the pool candidates during assembly *)
+  txpool_retention_rounds : int;
+      (** how many rounds committed transaction ids stay in the pool's
+          dedup table before eviction (the seen-set watermark) *)
   deterministic_ts : bool;
       (** stamp blocks with the round number instead of the clock, so
           runs on different clocks (sim vs wall time) build
@@ -85,6 +93,8 @@ let default_config =
     store_dir = None;
     checkpoint_every = 1;
     retry = Retry.default_policy;
+    verify_tx_sigs = true;
+    txpool_retention_rounds = 8;
     deterministic_ts = false;
   }
 
@@ -682,7 +692,16 @@ and complete_round (t : t) (rs : round_state) (block : Block.t) : unit =
         (Certificate.make ~round:rs.round ~step:Vote.Final ~block_hash:(Block.hash block)
            ~votes:fvotes)
   | None -> ());
-  Txpool.remove_committed t.txpool block.txs;
+  Txpool.remove_committed t.txpool ~round:rs.round block.txs;
+  (* Bound the pool under sustained traffic: evict committed ids past
+     the retention watermark (the chain's nonce rule still rejects
+     late replays) and drop queued transactions whose nonce the chain
+     has already consumed - they can never apply. *)
+  Txpool.expire t.txpool ~before_round:(rs.round - t.config.txpool_retention_rounds);
+  (let committed = (Chain.tip t.chain).balances_after in
+   ignore
+     (Txpool.prune t.txpool ~stale:(fun tx ->
+          tx.Transaction.nonce < Balances.nonce committed tx.Transaction.sender)));
   Log.debug (fun m ->
       m "node %d completed round %d (%s, %d bin steps) at %.2fs" t.index rs.round
         (if rs.decided_final then "final" else "tentative")
@@ -709,6 +728,27 @@ and build_block (t : t) (rs : round_state) ~(variant : int) : Block.t =
        transactions; commitment prunes pools via remove_committed. *)
     Txpool.select t.txpool
       ~max_bytes:(max 0 (t.config.block_target_bytes - Block.header_size_bytes))
+  in
+  (* Batch-check candidate signatures (one verify_batch equation when
+     the pool is clean, bisection to exclude corrupt entries when not)
+     so the proposed block always passes other nodes' signature
+     check. *)
+  let candidates =
+    if t.config.verify_tx_sigs then begin
+      let valid, rejected =
+        Transaction.filter_valid_batch ~sig_pk_of:Identity.sig_pk
+          ~scheme:t.config.sig_scheme candidates
+      in
+      if rejected <> [] then
+        ignore
+          (Txpool.prune t.txpool ~stale:(fun tx ->
+               List.exists
+                 (fun (bad : Transaction.t) ->
+                   String.equal (Transaction.id bad) (Transaction.id tx))
+                 rejected));
+      valid
+    end
+    else candidates
   in
   (* Keep only transactions that apply cleanly in order, so the block
      always passes validation (racing nonces are simply left out). *)
@@ -872,9 +912,12 @@ and validate_block (t : t) (rs : round_state) (b : Block.t) : bool =
       else
         b.header.timestamp > tip.block.header.timestamp
         && b.header.timestamp <= Engine.now t.engine +. 1.0)
-  && (match Algorand_ledger.Balances.apply_all tip.balances_after b.txs with
+  && (match Algorand_ledger.Balances.apply_block tip.balances_after b.txs with
      | Ok _ -> true
      | Error _ -> false)
+  && (not t.config.verify_tx_sigs
+     || Transaction.verify_batch ~sig_pk_of:Identity.sig_pk ~scheme:t.config.sig_scheme
+          b.txs)
   && Proposal.verify_next_seed ~vrf_scheme:t.config.vrf_scheme
        ~vrf_pk:(Identity.vrf_pk b.header.proposer_pk) ~current_seed:tip.seed
        ~round:rs.round ~seed:b.header.seed ~proof:b.header.seed_proof

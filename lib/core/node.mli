@@ -47,6 +47,14 @@ type config = {
       (** checkpoint every k completed rounds (when [store_dir] is set) *)
   retry : Retry.policy;
       (** backoff for block-fetch and catch-up requests *)
+  verify_tx_sigs : bool;
+      (** check transaction signatures on the block paths: batch
+          verification of a proposed block's transactions during
+          validation, and a batch filter (bisection fallback) over pool
+          candidates during assembly *)
+  txpool_retention_rounds : int;
+      (** rounds a committed transaction id stays in the pool's dedup
+          table before watermark eviction *)
   deterministic_ts : bool;
       (** stamp blocks with the round number instead of the engine
           clock (and validate them as such), making block hashes

@@ -138,6 +138,8 @@ let node_config (config : config) ~sig_scheme ~vrf_scheme ~(max_round : int) :
         jitter = 0.2;
         max_attempts = 0;
       };
+    verify_tx_sigs = true;
+    txpool_retention_rounds = 8;
     deterministic_ts = true;
   }
 

@@ -67,6 +67,55 @@ let prove (leaves : string list) ~(index : int) : proof option =
     Some { leaf_index = index; path = build (List.map leaf_hash leaves) index [] }
   end
 
+(* Build-once tree: every level materialized bottom-up, so serving k
+   proofs over an n-transaction block costs O(n + k log n) instead of
+   the O(k n) of re-running [prove] per request - the difference
+   between a light-client server surviving a hot block and not. *)
+type tree = { levels : string array array  (** levels.(0) = leaf hashes *) }
+
+let build (leaves : string list) : tree =
+  match leaves with
+  | [] -> { levels = [||] }
+  | _ ->
+    let base = Array.of_list (List.map leaf_hash leaves) in
+    let rec go acc nodes =
+      if Array.length nodes <= 1 then List.rev (nodes :: acc)
+      else begin
+        let n = Array.length nodes in
+        let next =
+          Array.init ((n + 1) / 2) (fun i ->
+              if (2 * i) + 1 < n then node_hash nodes.(2 * i) nodes.((2 * i) + 1)
+              else nodes.(2 * i))
+        in
+        go (nodes :: acc) next
+      end
+    in
+    { levels = Array.of_list (go [] base) }
+
+let tree_size (t : tree) : int =
+  if Array.length t.levels = 0 then 0 else Array.length t.levels.(0)
+
+let tree_root (t : tree) : string =
+  let k = Array.length t.levels in
+  if k = 0 then empty_root else t.levels.(k - 1).(0)
+
+let prove_tree (t : tree) ~(index : int) : proof option =
+  if index < 0 || index >= tree_size t then None
+  else begin
+    let path = ref [] and idx = ref index in
+    for l = 0 to Array.length t.levels - 2 do
+      let nodes = t.levels.(l) in
+      let n = Array.length nodes in
+      let i = !idx in
+      (if i land 1 = 0 then begin
+         if i + 1 < n then path := (Right, nodes.(i + 1)) :: !path
+       end
+       else path := (Left, nodes.(i - 1)) :: !path);
+      idx := i / 2
+    done;
+    Some { leaf_index = index; path = List.rev !path }
+  end
+
 let verify ~(root : string) ~(leaf : string) (p : proof) : bool =
   let h =
     List.fold_left

@@ -15,7 +15,21 @@ type side = Left | Right
 type proof = { leaf_index : int; path : (side * string) list }
 
 val prove : string list -> index:int -> proof option
-(** Inclusion proof for the [index]-th leaf; [None] out of range. *)
+(** Inclusion proof for the [index]-th leaf; [None] out of range.
+    Rebuilds every level per call - use {!build} + {!prove_tree} when
+    serving many proofs over the same leaves. *)
+
+type tree
+(** Build-once Merkle tree: all levels materialized, so k proofs over n
+    leaves cost O(n + k log n) instead of O(k n). *)
+
+val build : string list -> tree
+val tree_root : tree -> string
+(** Equals [root] of the same leaves (and [empty_root] when empty). *)
+
+val tree_size : tree -> int
+val prove_tree : tree -> index:int -> proof option
+(** Same proofs as {!prove}, in O(log n). *)
 
 val verify : root:string -> leaf:string -> proof -> bool
 val proof_size_bytes : proof -> int

@@ -1,10 +1,21 @@
 (** Account state derived from a chain prefix: balances (the sortition
-    weights of section 5.1) and per-key nonces. Purely functional so
-    fork branches share prefixes. *)
+    weights of section 5.1) and per-key nonces, hash-partitioned into
+    shards so block validation can check shards in parallel. Purely
+    functional - fork branches share prefixes; the shard count never
+    changes observable state. *)
 
 type t
 
 val empty : t
+(** The empty state with the default shard count. *)
+
+val create : shards:int -> t
+(** Empty state partitioned into [shards] sub-maps (rounded up to a
+    power of two, clamped to [1, 256]). *)
+
+val shard_count : t -> int
+val shard_of_key : t -> string -> int
+
 val balance : t -> string -> int
 val nonce : t -> string -> int
 val total : t -> int
@@ -15,9 +26,24 @@ type tx_error = [ `Bad_nonce of int * int | `Insufficient_balance of int * int ]
 val pp_tx_error : Format.formatter -> tx_error -> unit
 
 val apply_tx : t -> Transaction.t -> (t, tx_error) result
-(** Validate (nonce, balance) and apply one payment. *)
+(** Validate (nonce, balance) and apply one payment. The debit lands
+    before the credit is read, so a self-payment nets to zero instead
+    of minting money. *)
 
 val apply_all : t -> Transaction.t list -> (t, tx_error) result
 
+val apply_block : ?parallel:bool -> t -> Transaction.t list -> (t, tx_error) result
+(** Exactly [apply_all], but large blocks are validated shard-parallel
+    (one domain per shard) with a conservative per-shard balance check
+    and a sequential fallback for blocks that spend intra-block
+    credits. Bit-identical results to [apply_all] in all cases. *)
+
 val weights : t -> (string * int) list
+(** All (account, balance) pairs, sorted by key regardless of shard
+    count. *)
+
 val holders : t -> int
+
+val invariant : t -> bool
+(** Money conservation: [total] equals the map sum and no balance is
+    negative. *)

@@ -80,7 +80,7 @@ let add (t : t) (b : Block.t) : (entry, add_error) result =
       if Block.round b <> parent.height + 1 then
         Error (`Wrong_round (parent.height + 1, Block.round b))
       else begin
-        match Balances.apply_all parent.balances_after b.txs with
+        match Balances.apply_block parent.balances_after b.txs with
         | Error e -> Error (`Invalid_tx e)
         | Ok balances_after ->
           let entry =

@@ -14,6 +14,14 @@ type t = {
   signature : string;
 }
 
+(* Hostile-input bounds, shared by [deserialize] and the codec: keys
+   are 32-byte scheme keys or 64-byte composite identities, signatures
+   are 32 (sim) or 64 (ed25519) bytes. Anything larger is garbage and
+   would otherwise let one mutated frame allocate per-field
+   megabytes. *)
+let max_key_bytes = 128
+let max_signature_bytes = 128
+
 let body ~sender ~recipient ~amount ~nonce =
   Wire.concat [ "pay"; sender; recipient; Wire.u64 amount; Wire.u64 nonce ]
 
@@ -28,11 +36,15 @@ let serialize (t : t) : string =
 (* Hostile-input safe: integer fields must be exactly 8 bytes (a short
    field would make [read_u64] raise outside the exception guard, which
    only covers the [Wire.split] scrutinee) and non-negative, matching
-   the invariant [make] enforces. *)
+   the invariant [make] enforces; string fields are length-bounded. *)
 let deserialize (s : string) : t option =
   match Wire.split s with
   | [ sender; recipient; amount; nonce; signature ]
-    when String.length amount = 8 && String.length nonce = 8 ->
+    when String.length amount = 8
+         && String.length nonce = 8
+         && String.length sender <= max_key_bytes
+         && String.length recipient <= max_key_bytes
+         && String.length signature <= max_signature_bytes ->
     let amount = Wire.read_u64 amount 0 and nonce = Wire.read_u64 nonce 0 in
     if amount < 0 || nonce < 0 then None
     else Some { sender; recipient; amount; nonce; signature }
@@ -40,15 +52,56 @@ let deserialize (s : string) : t option =
 
 let id (t : t) : string = Sha256.digest (serialize t)
 
-let verify_signature ~(scheme : Signature_scheme.scheme) (t : t) : bool =
-  scheme.verify ~pk:t.sender
+let verify_signature ?(sig_pk_of = Fun.id) ~(scheme : Signature_scheme.scheme) (t : t) :
+    bool =
+  scheme.verify ~pk:(sig_pk_of t.sender)
     ~msg:(body ~sender:t.sender ~recipient:t.recipient ~amount:t.amount ~nonce:t.nonce)
     ~signature:t.signature
 
+(* Batch signature checking (the block-validation fast path): all
+   transactions of a block are checked with one call to the scheme's
+   [verify_batch] - for ed25519 a single random-linear-combination
+   equation, several times cheaper per signature than [verify].
+   [sig_pk_of] projects the ledger's account key onto the signature
+   key (composite identities carry sig_pk || vrf_pk). *)
+let signature_triple ?(sig_pk_of = Fun.id) (t : t) : string * string * string =
+  ( sig_pk_of t.sender,
+    body ~sender:t.sender ~recipient:t.recipient ~amount:t.amount ~nonce:t.nonce,
+    t.signature )
+
+let verify_batch ?sig_pk_of ~(scheme : Signature_scheme.scheme) (txs : t list) : bool =
+  scheme.verify_batch (List.map (signature_triple ?sig_pk_of) txs)
+
+(* Block assembly: keep the transactions whose signatures check,
+   paying the batch price when everything is clean and falling back to
+   bisection when it is not - one corrupted signature in a batch of n
+   costs O(log n) extra batch equations, not n single verifications.
+   Order is preserved. Returns (valid, rejected). *)
+let filter_valid_batch ?sig_pk_of ~(scheme : Signature_scheme.scheme) (txs : t list) :
+    t list * t list =
+  let rec split_filter (txs : t list) : t list * t list =
+    match txs with
+    | [] -> ([], [])
+    | [ tx ] ->
+      if verify_signature ?sig_pk_of ~scheme tx then ([ tx ], []) else ([], [ tx ])
+    | _ ->
+      if verify_batch ?sig_pk_of ~scheme txs then (txs, [])
+      else begin
+        let n = List.length txs in
+        let left = List.filteri (fun i _ -> i < n / 2) txs in
+        let right = List.filteri (fun i _ -> i >= n / 2) txs in
+        let lv, lr = split_filter left in
+        let rv, rr = split_filter right in
+        (lv @ rv, lr @ rr)
+      end
+  in
+  split_filter txs
+
 let size_bytes (t : t) : int = String.length (serialize t)
 
+(* Total on hostile input: [deserialize] accepts any-length keys up to
+   the bound, including keys shorter than the 4-byte preview. *)
 let pp fmt (t : t) =
-  Format.fprintf fmt "%s -> %s : %d (nonce %d)"
-    (Hex.of_string (String.sub t.sender 0 4))
-    (Hex.of_string (String.sub t.recipient 0 4))
+  let short s = Hex.of_string (String.sub s 0 (min 4 (String.length s))) in
+  Format.fprintf fmt "%s -> %s : %d (nonce %d)" (short t.sender) (short t.recipient)
     t.amount t.nonce

@@ -21,11 +21,44 @@ val make :
   t
 (** @raise Invalid_argument on negative amounts. *)
 
+val max_key_bytes : int
+val max_signature_bytes : int
+(** Hostile-input field bounds enforced by [deserialize]. *)
+
 val serialize : t -> string
+
 val deserialize : string -> t option
+(** Total on arbitrary bytes: rejects malformed integer fields and
+    oversize key/signature fields instead of raising. *)
+
 val id : t -> string
 (** SHA-256 of the canonical serialization. *)
 
-val verify_signature : scheme:Signature_scheme.scheme -> t -> bool
+val verify_signature :
+  ?sig_pk_of:(string -> string) -> scheme:Signature_scheme.scheme -> t -> bool
+(** [sig_pk_of] projects the account key onto the signature key
+    (composite identities carry sig_pk || vrf_pk); defaults to the
+    identity function. *)
+
+val verify_batch :
+  ?sig_pk_of:(string -> string) ->
+  scheme:Signature_scheme.scheme ->
+  t list ->
+  bool
+(** All signatures checked with one [Signature_scheme.verify_batch]
+    call (the block-validation fast path). Accepts iff every signature
+    is valid; the empty batch is valid. *)
+
+val filter_valid_batch :
+  ?sig_pk_of:(string -> string) ->
+  scheme:Signature_scheme.scheme ->
+  t list ->
+  t list * t list
+(** Block assembly: (valid, rejected) split, batch-verified with a
+    bisection fallback so one corruption costs O(log n) batch
+    equations. Preserves order. *)
+
 val size_bytes : t -> int
+
 val pp : Format.formatter -> t -> unit
+(** Total, including on hostile short keys. *)

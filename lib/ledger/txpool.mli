@@ -1,5 +1,7 @@
 (** The pending-transaction pool (Figure 1): deduplicated by id,
-    drained FIFO. *)
+    drained FIFO. Ids of committed transactions are retained (and
+    deduplicated against) only until [expire] passes the commit-round
+    watermark, so the pool stays bounded under sustained traffic. *)
 
 type t
 
@@ -16,8 +18,22 @@ val select : t -> max_bytes:int -> Transaction.t list
 
 val take : t -> max_bytes:int -> Transaction.t list
 (** Remove and return pending transactions up to [max_bytes] of
-    serialized size, oldest first. *)
+    serialized size, oldest first. Ids are released too: an
+    uncommitted taken transaction can re-enter via gossip. *)
 
-val remove_committed : t -> Transaction.t list -> unit
+val remove_committed : t -> round:int -> Transaction.t list -> unit
+(** Drop the transactions committed by [round]'s block; their ids stay
+    deduplicated until [expire] passes [round]. *)
+
+val expire : t -> before_round:int -> unit
+(** Evict committed ids from rounds below [before_round]. *)
+
+val prune : t -> stale:(Transaction.t -> bool) -> int
+(** Remove queued transactions satisfying [stale] (e.g. nonce already
+    consumed on-chain); returns the number dropped. *)
+
 val size : t -> int
 val bytes : t -> int
+
+val seen_ids : t -> int
+(** Current size of the dedup table (pending + retained committed). *)

@@ -94,6 +94,76 @@ let block_summary_roundtrip () =
   Alcotest.(check bool) "absent tx has no proof" true
     (Block.prove_tx block ~tx_id:(Sha256.digest "absent") = None)
 
+let tree_matches_naive () =
+  (* The build-once tree must agree with the per-proof list walk on
+     every size and index: same root, byte-identical proofs. *)
+  List.iter
+    (fun n ->
+      let ls = leaves n in
+      let tree = Merkle.build ls in
+      Alcotest.(check int) "size" n (Merkle.tree_size tree);
+      Alcotest.(check string)
+        (Printf.sprintf "root n=%d" n)
+        (Hex.of_string (Merkle.root ls))
+        (Hex.of_string (Merkle.tree_root tree));
+      List.iteri
+        (fun i leaf ->
+          match (Merkle.prove ls ~index:i, Merkle.prove_tree tree ~index:i) with
+          | Some naive, Some fast ->
+            if naive <> fast then Alcotest.failf "proof %d/%d differs" i n;
+            Alcotest.(check bool) "verifies" true
+              (Merkle.verify ~root:(Merkle.tree_root tree) ~leaf fast)
+          | _ -> Alcotest.failf "missing proof %d/%d" i n)
+        ls;
+      Alcotest.(check bool) "out of range" true (Merkle.prove_tree tree ~index:n = None))
+    [ 1; 2; 3; 4; 5; 7; 8; 9; 16; 33 ];
+  Alcotest.(check string) "empty tree root" (Hex.of_string Merkle.empty_root)
+    (Hex.of_string (Merkle.tree_root (Merkle.build [])))
+
+let proof_server () =
+  let sig_scheme = Signature_scheme.sim in
+  let signer, pk = sig_scheme.generate ~seed:"srv" in
+  let _, pk2 = sig_scheme.generate ~seed:"srv2" in
+  let block_of round n =
+    let txs =
+      List.init n (fun i ->
+          Transaction.make ~signer ~sender:pk ~recipient:pk2 ~amount:(round + 1) ~nonce:i)
+    in
+    { (Block.empty ~round ~prev_hash:(String.make 32 'p')) with txs }
+  in
+  let server = Lightclient.create_server ~max_blocks:2 () in
+  let block = block_of 1 50 in
+  let summary = Block.summarize block in
+  (* Every transaction in the block gets a verifying proof. *)
+  List.iter
+    (fun tx ->
+      let tx_id = Transaction.id tx in
+      match Lightclient.serve_proof server ~block ~tx_id with
+      | None -> Alcotest.fail "no proof for included tx"
+      | Some (s, proof) ->
+        Alcotest.(check string) "summary hash" (Hex.of_string (Block.hash_of_summary summary))
+          (Hex.of_string (Block.hash_of_summary s));
+        Alcotest.(check bool) "verifies" true (Block.summary_contains s ~tx_id proof))
+    block.txs;
+  Alcotest.(check bool) "absent tx" true
+    (Lightclient.serve_proof server ~block ~tx_id:(Sha256.digest "absent") = None);
+  (* One build, all subsequent requests hits (the physical-equality
+     fast path never recomputes the block hash). *)
+  Alcotest.(check int) "one miss" 1 (Lightclient.server_misses server);
+  Alcotest.(check int) "rest are hits" 50 (Lightclient.server_hits server);
+  (* A structurally-equal rebuild (different pointer) is still a cache
+     hit via the hash path. *)
+  let rebuilt = block_of 1 50 in
+  ignore (Lightclient.serve_proof server ~block:rebuilt
+            ~tx_id:(Transaction.id (List.hd rebuilt.txs)));
+  Alcotest.(check int) "rebuild is a hit" 1 (Lightclient.server_misses server);
+  (* FIFO bound: serving a third distinct block evicts the oldest. *)
+  ignore (Lightclient.serve_proof server ~block:(block_of 2 8)
+            ~tx_id:(Sha256.digest "x"));
+  ignore (Lightclient.serve_proof server ~block:(block_of 3 8)
+            ~tx_id:(Sha256.digest "x"));
+  Alcotest.(check int) "cache bounded" 2 (Lightclient.server_cached_blocks server)
+
 let light_client_end_to_end () =
   (* Run a network, pick a committed payment, and verify it as a light
      client: certificate + summary + Merkle proof, no block bodies. *)
@@ -163,6 +233,8 @@ let suite =
         t "wrong leaf rejected" wrong_leaf_rejected;
         t "proof size logarithmic" proof_size_logarithmic;
         t "block summary roundtrip" block_summary_roundtrip;
+        t "tree matches naive prover" tree_matches_naive;
+        t "proof server" proof_server;
         ts "light client end-to-end" light_client_end_to_end;
         qt "random trees verify"
           QCheck2.Gen.(pair (int_range 1 40) (int_range 0 1000))

@@ -525,11 +525,11 @@ let costs () =
   let r = Harness.run { base with users = 50 * scale; rounds = 2 } in
   check_safety "costs" r;
   let m = r.harness.metrics in
-  let n = Array.length m.bytes_sent in
+  let n = Array.length (Metrics.bytes_sent m) in
   let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int n in
   let mbps a = mean a *. 8.0 /. r.sim_time /. 1e6 in
   Printf.printf "  bandwidth: %.2f Mbit/s sent, %.2f Mbit/s received per user (paper: ~10 Mbit/s)\n"
-    (mbps m.bytes_sent) (mbps m.bytes_received);
+    (mbps (Metrics.bytes_sent m)) (mbps (Metrics.bytes_received m));
   (* Certificate sizes: measured (sim VRF) and projected at paper scale
      with ECVRF proof sizes. *)
   (match
@@ -592,8 +592,8 @@ let timeouts () =
   let r = Harness.run { base with users = 50 * scale; rounds = 3 } in
   check_safety "timeouts" r;
   let m = r.harness.metrics in
-  let steps = Stats.summarize m.step_durations in
-  let prio = Stats.summarize m.priority_gossip_times in
+  let steps = Stats.summarize (Metrics.step_durations m) in
+  let prio = Stats.summarize (Metrics.priority_gossip_times m) in
   let p = base.params in
   Printf.printf "  BA* step durations:        %s\n" (pp_summary steps);
   Printf.printf "    -> lambda_step = %.0fs bound holds: %b; p75-p25 = %.2fs vs lambda_stepvar = %.0fs\n"
@@ -677,8 +677,8 @@ let ablation_fanout () =
       in
       check_safety "ablation-fanout" r;
       let m = r.harness.metrics in
-      let n = Array.length m.bytes_sent in
-      let mb = Array.fold_left ( +. ) 0.0 m.bytes_sent /. float_of_int n /. 1e6 in
+      let n = Array.length (Metrics.bytes_sent m) in
+      let mb = Array.fold_left ( +. ) 0.0 (Metrics.bytes_sent m) /. float_of_int n /. 1e6 in
       Printf.printf "  %-8d %-16.2f %-16.1f\n%!" fanout r.completion.median mb)
     [ 2; 4; 8 ]
 

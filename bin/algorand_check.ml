@@ -10,12 +10,23 @@
      algorand-check --mode fuzz --nodes 4 --seeds 50
      algorand-check --mode fuzz --scenario split --t-step 0.3   # negative control
      algorand-check --mode sim  --seeds 10   # whole-harness schedule fuzz
-     algorand-check --mode fuzz-wire --mutations 10000   # codec mutation fuzz *)
+     algorand-check --mode fuzz-wire --mutations 10000   # codec mutation fuzz
+
+   Subcommands widen the net:
+
+     algorand-check swarm --budget-sec 30        # coverage-guided stressor swarm
+     algorand-check swarm --replay 'seed=..;users=..;rounds=..;st=..'
+     algorand-check gallery                      # literature adversary gallery
+
+   Every failure path prints a single-line machine-readable REPRODUCE:
+   command before exiting nonzero. *)
 
 open Cmdliner
 module World = Algorand_check.World
 module Schedule = Algorand_check.Schedule
 module Shrink = Algorand_check.Shrink
+module Swarm = Algorand_check.Swarm
+module Gallery = Algorand_check.Gallery
 module Params = Algorand_ba.Params
 module Rng = Algorand_sim.Rng
 module Harness = Algorand_core.Harness
@@ -95,7 +106,16 @@ let run_world_mode ~mode ~nodes ~seeds ~depth ~max_states ~scenario ~t_step ~t_f
   in
   print_stats outcome.stats;
   print_violations ~config ~shrink outcome.violations;
-  if outcome.violations <> [] then exit 1
+  if outcome.violations <> [] then begin
+    Printf.printf
+      "REPRODUCE: algorand-check --mode %s --nodes %d --scenario %s --depth %d \
+       --seeds %d --t-step %g --t-final %g\n"
+      (match mode with `Dfs -> "dfs" | `Fuzz -> "fuzz" | `Fifo -> "fifo")
+      nodes
+      (match scenario with World.Agree -> "agree" | World.Split -> "split")
+      depth seeds params.t_step params.t_final;
+    exit 1
+  end
 
 (* ------------------------- harness mode --------------------------- *)
 
@@ -103,10 +123,11 @@ let run_world_mode ~mode ~nodes ~seeds ~depth ~max_states ~scenario ~t_step ~t_f
    blocks) per seed with (a) the engine's tie-break hook shuffling
    simultaneous events and (b) a lossless reordering adversary jittering
    every message, then audit cross-node safety. *)
-let run_sim_mode ~nodes ~seeds =
-  Printf.printf "algorand-check mode=sim users=%d seeds=%d\n" nodes seeds;
-  let bad = ref 0 in
-  for k = 1 to seeds do
+let run_sim_mode ~nodes ~seeds ~seed_base =
+  Printf.printf "algorand-check mode=sim users=%d seeds=%d seed-base=%d\n" nodes
+    seeds seed_base;
+  let bad = ref [] in
+  for k = seed_base to seed_base + seeds - 1 do
     let config =
       {
         Harness.default with
@@ -133,14 +154,22 @@ let run_sim_mode ~nodes ~seeds =
     ignore (Engine.run h.engine ~until:config.max_sim_time ());
     let safety = Harness.audit_safety h in
     if safety.double_final <> [] then begin
-      incr bad;
+      bad := !bad @ [ k ];
       Printf.printf "  seed %d: DOUBLE FINAL in rounds %s\n" k
         (String.concat "," (List.map string_of_int safety.double_final))
     end
   done;
   rowi "seeds run" seeds;
-  rowi "double finals" !bad;
-  if !bad > 0 then exit 1
+  rowi "double finals" (List.length !bad);
+  if !bad <> [] then begin
+    List.iter
+      (fun k ->
+        Printf.printf
+          "REPRODUCE: algorand-check --mode sim --nodes %d --seeds 1 --seed-base %d\n"
+          nodes k)
+      !bad;
+    exit 1
+  end
 
 (* ------------------------- fuzz-wire mode ------------------------- *)
 
@@ -172,7 +201,157 @@ let run_fuzz_wire ~seed ~mutations =
       Printf.printf "\n  FAIL via %s: %s\n  stream (%d bytes): %s\n" f.mutation
         f.reason f.frame_len f.frame_hex)
     rr.reassembly_failures;
-  if report.failures <> [] || rr.reassembly_failures <> [] then exit 1
+  if report.failures <> [] || rr.reassembly_failures <> [] then begin
+    Printf.printf
+      "REPRODUCE: algorand-check --mode fuzz-wire --seed %d --mutations %d\n" seed
+      mutations;
+    exit 1
+  end
+
+(* --------------------------- swarm mode ---------------------------- *)
+
+(* Coverage-guided stressor swarm (lib/check/swarm.ml): deterministic
+   per (budget, seed-stream) pair, so two identical invocations print
+   identical episode logs and corpus digests. *)
+let run_swarm ~budget_sec ~seed_stream ~corpus_out ~replay =
+  match replay with
+  | Some line -> (
+    match Swarm.of_string line with
+    | Error e ->
+      Printf.printf "swarm: bad replay config: %s\n" e;
+      exit 2
+    | Ok config ->
+      Printf.printf "algorand-check swarm replay cfg='%s'\n" (Swarm.to_string config);
+      let e = Swarm.run_episode config in
+      rowi "events" e.events;
+      rowi "coverage items" (List.length e.fingerprint);
+      (match e.violation with
+      | None -> row "verdict" "ok"
+      | Some invariant ->
+        row "verdict" (Printf.sprintf "VIOLATION:%s (%s)" invariant e.detail);
+        print_endline (Swarm.reproducer config ~invariant);
+        exit 1))
+  | None ->
+    Printf.printf "algorand-check swarm budget-sec=%d seed-stream=%d\n" budget_sec
+      seed_stream;
+    let r = Swarm.run ~log:print_endline ~budget_sec ~seed_stream () in
+    rowi "episodes" r.episodes;
+    rowi "events" r.total_events;
+    rowi "corpus size" (List.length r.corpus);
+    rowi "coverage items" r.coverage_items;
+    rowi "max families composed" r.max_families;
+    row "corpus digest" (Swarm.corpus_digest r);
+    (match corpus_out with
+    | None -> ()
+    | Some path ->
+      (* The corpus as a JSON array (config strings are plain
+         [a-z0-9=;:,.] so no escaping is needed) for jq validation. *)
+      let oc = open_out path in
+      output_string oc "[\n";
+      List.iteri
+        (fun i (e : Swarm.corpus_entry) ->
+          Printf.fprintf oc "  {\"config\": \"%s\", \"coverage\": \"%s\", \"novel\": %d}%s\n"
+            (Swarm.to_string e.entry_config)
+            e.coverage e.novel
+            (if i = List.length r.corpus - 1 then "" else ","))
+        r.corpus;
+      output_string oc "]\n";
+      close_out oc;
+      Printf.printf "corpus: wrote %s\n" path);
+    if r.found <> [] then begin
+      rowi "violations" (List.length r.found);
+      List.iter
+        (fun (c, invariant, detail) ->
+          Printf.printf "  %s: %s\n" invariant detail;
+          print_endline (Swarm.reproducer c ~invariant))
+        r.found;
+      exit 1
+    end
+
+let swarm_cmd =
+  let budget_sec =
+    Arg.(
+      value & opt int 30
+      & info [ "budget-sec" ]
+          ~doc:
+            "Episode budget, in simulated-event-seconds (deterministic: counted \
+             in engine events at a fixed nominal rate, not wall clock).")
+  in
+  let seed_stream =
+    Arg.(
+      value & opt int 0
+      & info [ "seed-stream" ] ~doc:"Which deterministic seed stream to run.")
+  in
+  let corpus_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"FILE" ~doc:"Write the coverage corpus as JSON.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"CFG"
+          ~doc:"Replay one episode config (the REPRODUCE: line payload).")
+  in
+  let go budget_sec seed_stream corpus_out replay =
+    run_swarm ~budget_sec ~seed_stream ~corpus_out ~replay
+  in
+  Cmd.v
+    (Cmd.info "swarm"
+       ~doc:
+         "Coverage-guided simulation swarm: compose every fault, attack and \
+          fuzzer; audit all invariants; shrink violations to one-line \
+          reproducers")
+    Term.(const go $ budget_sec $ seed_stream $ corpus_out $ replay)
+
+(* -------------------------- gallery mode --------------------------- *)
+
+(* Literature adversary gallery (lib/check/gallery.ml) against the
+   small-world model checker. *)
+let run_gallery ~seeds =
+  Printf.printf "algorand-check gallery seeds=%d\n" seeds;
+  let failed = ref false in
+  let u = Gallery.undecidable_run ~laggard:0 () in
+  Printf.printf "undecidable-messages: stale=%d decided=%d hung=%d violations=%d\n"
+    u.stale_deliveries u.decided u.hung (List.length u.violations);
+  List.iter
+    (fun (v : Algorand_check.Invariant.violation) ->
+      Printf.printf "  VIOLATION %s: %s\n" v.invariant v.detail;
+      failed := true)
+    u.violations;
+  for seed = 1 to seeds do
+    let a = Gallery.adaptive_run ~seed ~budget:2 ~erasure:true () in
+    Printf.printf
+      "adaptive-corruption seed=%d erasure=on: corrupted=%d forged=%d retro=%d \
+       decided=%d violations=%d\n"
+      seed a.corrupted a.forged a.retro_forged a.decided (List.length a.violations);
+    if a.retro_forged > 0 then begin
+      Printf.printf "  VIOLATION erasure: retro-forged %d votes\n" a.retro_forged;
+      failed := true
+    end;
+    List.iter
+      (fun (v : Algorand_check.Invariant.violation) ->
+        Printf.printf "  VIOLATION %s: %s\n" v.invariant v.detail;
+        failed := true)
+      a.violations
+  done;
+  if !failed then begin
+    Printf.printf "REPRODUCE: algorand-check gallery --seeds %d\n" seeds;
+    exit 1
+  end
+
+let gallery_cmd =
+  let seeds =
+    Arg.(value & opt int 5 & info [ "seeds" ] ~doc:"Adaptive-corruption schedules to run.")
+  in
+  Cmd.v
+    (Cmd.info "gallery"
+       ~doc:
+         "Literature adversary gallery: undecidable messages (Conti et al.) and \
+          adaptive corruption racing ephemeral-key erasure (Wang)")
+    Term.(const (fun seeds -> run_gallery ~seeds) $ seeds)
 
 (* ----------------------------- CLI -------------------------------- *)
 
@@ -226,20 +405,28 @@ let cmd =
   let fuzz_seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Fuzzer seed (fuzz-wire mode).")
   in
+  let seed_base =
+    Arg.(
+      value & opt int 1
+      & info [ "seed-base" ] ~doc:"First seed of the range (sim mode).")
+  in
   let go mode nodes seeds depth max_states scenario t_step t_final no_shrink mutations
-      fuzz_seed =
+      fuzz_seed seed_base =
     match mode with
-    | `Sim -> run_sim_mode ~nodes ~seeds
+    | `Sim -> run_sim_mode ~nodes ~seeds ~seed_base
     | `Fuzz_wire -> run_fuzz_wire ~seed:fuzz_seed ~mutations
     | (`Dfs | `Fuzz | `Fifo) as mode ->
       run_world_mode ~mode ~nodes ~seeds ~depth ~max_states ~scenario ~t_step ~t_final
         ~shrink:(not no_shrink)
   in
-  Cmd.v
-    (Cmd.info "algorand-check"
-       ~doc:"Schedule-exploring model checker for BA* with invariant audits")
+  let default =
     Term.(
       const go $ mode $ nodes $ seeds $ depth $ max_states $ scenario $ t_step
-      $ t_final $ no_shrink $ mutations $ fuzz_seed)
+      $ t_final $ no_shrink $ mutations $ fuzz_seed $ seed_base)
+  in
+  Cmd.group ~default
+    (Cmd.info "algorand-check"
+       ~doc:"Schedule-exploring model checker for BA* with invariant audits")
+    [ swarm_cmd; gallery_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -335,6 +335,29 @@ let run_cmd =
           (Algorand_core.Disk_store.size_bytes dir / 1024)));
     if r.safety.double_final <> [] || churn_failed || not r.txs.conservation_ok then begin
       Printf.printf "SAFETY VIOLATION at seed %d\n" seed;
+      let attack_name =
+        match attack with
+        | Harness.No_attack -> "none"
+        | Harness.Equivocate -> "equivocate"
+        | Harness.Partition _ -> "partition"
+        | Harness.Targeted_dos _ -> "dos"
+        | Harness.Delay_votes _ -> "delay-votes"
+        | Harness.Crash_churn _ -> "churn"
+        | Harness.Flood _ -> "flood"
+        | Harness.Corrupt _ -> "corrupt"
+        | Harness.Undecidable _ -> "undecidable"
+        | Harness.Adaptive_corrupt _ -> "adaptive"
+      in
+      Printf.printf
+        "REPRODUCE: algorand-sim run --users %d --rounds %d --seed %d --attack %s \
+         --malicious %g --loss %g --churn-fraction %g --churn-period %g --churn-down \
+         %g --churn-until %g --tx-rate %g --wire %s --flood-rate %g --flood-fraction \
+         %g --corrupt-p %g%s\n"
+        users rounds seed attack_name malicious loss churn_fraction churn_period
+        churn_down churn_until tx_rate
+        (match wire with `Typed -> "typed" | `Bytes -> "bytes")
+        flood_rate flood_fraction corrupt_p
+        (if recovery then " --recovery" else "");
       exit 1
     end
   in

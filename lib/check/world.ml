@@ -51,6 +51,7 @@ type trace_event =
 
 type t = {
   config : config;
+  users : Identity.t array;  (** needed post-create by {!forge_vote} *)
   machines : Ba_star.t array;
   vctx : Vote.validation_ctx;
   mutable pending : pending list;  (** oldest (lowest seq) first *)
@@ -114,6 +115,7 @@ let create (config : config) : t =
   in
   {
     config;
+    users;
     machines = Array.init config.nodes machine;
     vctx;
     pending = [];
@@ -211,6 +213,35 @@ let fire_timers (t : t) : unit =
       | None -> ())
     t.machines
 
+(* Adversary hooks for the gallery (lib/check/gallery.ml). A forged
+   vote is a *legitimately signed* vote for whatever value the
+   adversary picks - what a corrupted committee member can produce for
+   steps whose ephemeral keys it still holds. [Vote.make] runs real
+   sortition, so forging fails (None) for steps where the voter is not
+   on the committee; the adversary cannot grant itself seats. *)
+let forge_vote (t : t) ~(voter : int) ~(step : Vote.step) ~(value : string) :
+    Vote.t option =
+  let params = t.config.params in
+  let weight = 100 in
+  Vote.make
+    ~signer:t.users.(voter).Identity.signer
+    ~prover:t.users.(voter).Identity.prover
+    ~pk:t.users.(voter).Identity.pk ~seed:t.config.seed
+    ~tau:(match step with Vote.Final -> params.tau_final | _ -> params.tau_step)
+    ~w:weight
+    ~total_weight:(weight * t.config.nodes)
+    ~round:t.config.round ~step
+    ~prev_hash:(String.make 32 'P')
+    ~value
+
+(* Put an adversary-chosen vote in flight to every node, exactly as a
+   broadcast from [src] would be: the scheduler owns each copy's fate. *)
+let inject (t : t) ~(src : int) (vote : Vote.t) : unit =
+  for dst = 0 to t.config.nodes - 1 do
+    t.pending <- t.pending @ [ { seq = t.next_seq; src; dst; vote } ];
+    t.next_seq <- t.next_seq + 1
+  done
+
 (* The canonical frontier the DFS branches over: all pending messages
    in the least (step, dst) class. Messages to different nodes (or for
    different steps) are kept in a fixed canonical order - the
@@ -235,6 +266,7 @@ let frontier (t : t) : pending list =
 let clone (t : t) : t =
   {
     config = t.config;
+    users = t.users;
     machines = Array.map Ba_star.clone t.machines;
     vctx = t.vctx;
     pending = t.pending;

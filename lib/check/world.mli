@@ -67,6 +67,17 @@ val frontier : t -> pending list
     messages the DFS branches over (partial-order reduction: only the
     relative order of messages racing into the same counter matters). *)
 
+val forge_vote :
+  t -> voter:int -> step:Vote.step -> value:string -> Vote.t option
+(** A legitimately signed vote for an adversary-chosen value - what a
+    corrupted committee member can produce for steps whose ephemeral
+    keys it still holds. Runs real sortition: [None] when [voter] is
+    not on the committee for [step] (corruption grants no seats). *)
+
+val inject : t -> src:int -> Vote.t -> unit
+(** Put a vote in flight to every node, exactly as a broadcast from
+    [src] would be; the scheduler owns each copy's fate. *)
+
 val clone : t -> t
 val digest : t -> string
 

@@ -70,6 +70,18 @@ type attack =
   | Corrupt of { p : float; from_ : float; until : float }
       (** on-path byte corruption: each frame independently mangled
           with probability [p] during the window *)
+  | Undecidable of { fraction : float; from_ : float; until : float }
+      (** Conti et al.'s "undecidable messages": a random laggard
+          fraction has every vote/block/priority message to it held
+          just past the step horizon, so traffic arrives signed and
+          sortition-valid - and unserviceable for the step it was for
+          (stale deliveries across period boundaries) *)
+  | Adaptive_corrupt of { fraction : float; from_ : float; until : float }
+      (** Wang's adaptive corruption: the moment a node's VRF proof
+          reveals it as a committee member (its vote crosses the wire),
+          the adversary corrupts it - but only future steps equivocate,
+          because the revealing step's ephemeral key is already erased
+          (section 11); up to [fraction] of users, permanently *)
 
 (* Workload shaping for the transaction stream: accounts are the
    deployment's own users (synthetic extra accounts would dilute
@@ -106,6 +118,12 @@ type config = {
   fanout : int;
   malicious_fraction : float;  (** fraction of users (hence stake) that is malicious *)
   attack : attack;
+  stressors : attack list;
+      (** additional attacks composed with [attack]: every element is
+          wired through the same unified entrypoint, so the swarm can
+          run churn x loss x flood x corrupt x byzantine in one
+          deployment. Order matters only for tie-breaking adversary
+          verdicts (first non-Deliver wins). *)
   tx_rate_per_s : float;
   tx_profile : tx_profile option;
       (** hostile workload shaping (Zipf skew, invalid/duplicate/
@@ -157,6 +175,7 @@ let default =
     fanout = 4;
     malicious_fraction = 0.0;
     attack = No_attack;
+    stressors = [];
     tx_rate_per_s = 2.0;
     tx_profile = None;
     verify_tx_sigs = true;
@@ -176,6 +195,14 @@ let default =
     gossip_limits = None;
     deterministic_ts = false;
   }
+
+(* The unified stressor-composition entrypoint: the legacy single
+   [attack] slot followed by every [stressors] element. All wiring in
+   [build] - byzantine flags, durable stores, flood defense, in-flight
+   adversaries, fault scheduling - iterates this list, so a composed
+   run behaves exactly like each attack alone, superposed. *)
+let attacks_of (config : config) : attack list =
+  (match config.attack with No_attack -> [] | a -> [ a ]) @ config.stressors
 
 type t = {
   config : config;
@@ -280,6 +307,7 @@ let rec rm_rf (path : string) : unit =
     else Sys.remove path
 
 let build (config : config) : t =
+  let attacks = attacks_of config in
   let sig_scheme, vrf_scheme = schemes config.crypto in
   let identities =
     Array.init config.users (fun i ->
@@ -321,9 +349,12 @@ let build (config : config) : t =
   (* Durable checkpoints: explicit root, or a temp root owned by this
      harness when churn needs one. *)
   let store_root, owns_store =
-    match (config.store_root, config.attack) with
+    match
+      ( config.store_root,
+        List.exists (function Crash_churn _ -> true | _ -> false) attacks )
+    with
     | Some root, _ -> (Some root, false)
-    | None, Crash_churn _ ->
+    | None, true ->
       incr store_instance;
       let root =
         Filename.concat
@@ -332,7 +363,7 @@ let build (config : config) : t =
              config.rng_seed !store_instance)
       in
       (Some root, true)
-    | None, _ -> (None, false)
+    | None, false -> (None, false)
   in
   (match store_root with Some root -> mkdir_p root | None -> ());
   let retry_policy : Algorand_sim.Retry.policy =
@@ -352,7 +383,7 @@ let build (config : config) : t =
       block_target_bytes = config.block_bytes;
       max_round = config.rounds;
       byzantine =
-        (if Hashtbl.mem malicious i && config.attack = Equivocate then
+        (if Hashtbl.mem malicious i && List.mem Equivocate attacks then
            Some { Node.equivocate_proposal = true; double_vote = true }
          else None);
       cpu_vote_verify_s = config.cpu_vote_verify_s;
@@ -410,9 +441,12 @@ let build (config : config) : t =
      quota at 50 users has honest peers banning each other. Garbage
      floods are still caught immediately by the decode-fail score. *)
   let gossip_limits =
-    match (config.gossip_limits, config.attack) with
+    match
+      ( config.gossip_limits,
+        List.exists (function Flood _ -> true | _ -> false) attacks )
+    with
     | (Some _ as l), _ -> l
-    | None, Flood _ ->
+    | None, true ->
       Some
         {
           Gossip.default_limits with
@@ -421,7 +455,7 @@ let build (config : config) : t =
             Float.max Gossip.default_limits.drain_per_s
               (100.0 *. float_of_int config.users);
         }
-    | None, _ -> None
+    | None, false -> None
   in
   let gossip =
     Gossip.create ~registry ~trace ?codec ?limits:gossip_limits ~net:network
@@ -441,11 +475,18 @@ let build (config : config) : t =
     | Gossip.Plain m -> Some m
     | Gossip.Raw s -> Codec.decode ~limits:codec_limits s
   in
-  let base_adversary : Message.t Gossip.packet Network.adversary option =
-    match config.attack with
+  (* Per-attack Rng split labels: the first attack keeps the legacy
+     label so existing single-attack runs replay bit-identically;
+     later stressors get a "-<idx>" suffix. [Rng.split] is stateless
+     (derived from parent state + label), so the extra splits never
+     perturb any existing stream. *)
+  let lbl idx base = if idx = 0 then base else Printf.sprintf "%s-%d" base idx in
+  let adversary_of idx (a : attack) :
+      Message.t Gossip.packet Network.adversary option =
+    match a with
     | No_attack | Equivocate | Crash_churn _ | Flood _ -> None
     | Corrupt { p; from_; until } ->
-      let corrupt = Adversary.corrupt ~rng:(Rng.split rng "corrupt") ~p in
+      let corrupt = Adversary.corrupt ~rng:(Rng.split rng (lbl idx "corrupt")) ~p in
       Some
         (fun ~now ~src ~dst pkt ->
           if now >= from_ && now < until then corrupt ~now ~src ~dst pkt
@@ -470,11 +511,71 @@ let build (config : config) : t =
       let targets = Hashtbl.create 16 in
       List.iter
         (fun i -> Hashtbl.replace targets i ())
-        (Rng.sample_indices (Rng.split rng "dos") ~n:config.users ~k);
+        (Rng.sample_indices (Rng.split rng (lbl idx "dos")) ~n:config.users ~k);
       Some
         (Adversary.target_nodes
            ~targeted:(fun i -> Hashtbl.mem targets i)
            ~active:(fun now -> now >= from_ && now < until))
+    | Undecidable { fraction; from_; until } ->
+      (* Conti et al.'s undecidable messages: protocol traffic to the
+         chosen laggards is held just past the step horizon. Every
+         delivery is still signed and sortition-valid - it is merely
+         for a step the receiver has already timed out of, so honest
+         nodes must absorb streams of valid-but-unserviceable votes
+         and blocks across period boundaries without wedging. *)
+      let k =
+        min (config.users - 1)
+          (max 1 (int_of_float (Float.round (fraction *. float_of_int config.users))))
+      in
+      let laggards = Hashtbl.create 16 in
+      List.iter
+        (fun i -> Hashtbl.replace laggards i ())
+        (Rng.sample_indices (Rng.split rng (lbl idx "undecidable")) ~n:config.users ~k);
+      let stale_delay = config.params.lambda_step *. 1.5 in
+      Some
+        (fun ~now ~src:_ ~dst pkt ->
+          if now < from_ || now >= until || not (Hashtbl.mem laggards dst) then
+            Network.Deliver
+          else
+            match msg_of_packet pkt with
+            | Some (Message.Ba_vote _ | Message.Block_gossip _ | Message.Priority _)
+              ->
+              Network.Delay stale_delay
+            | _ -> Network.Deliver)
+    | Adaptive_corrupt { fraction; from_; until } ->
+      (* Wang-style adaptive corruption: an observing adversary watches
+         the wire and corrupts a committee member the moment its vote
+         (hence its VRF proof) reveals it. The corruption only flips
+         the node's byzantine flags for *future* sends -
+         [Node.set_byzantine] cannot retro-sign the revealing step,
+         which is exactly the section 11 guarantee: the ephemeral key
+         for that step is erased before the adversary can use it. *)
+      let index_of_pk = Hashtbl.create config.users in
+      Array.iteri
+        (fun i (id : Identity.t) -> Hashtbl.replace index_of_pk id.Identity.pk i)
+        identities;
+      let budget =
+        ref (int_of_float (Float.round (fraction *. float_of_int config.users)))
+      in
+      let corrupted = Hashtbl.create 8 in
+      Some
+        (fun ~now ~src:_ ~dst:_ pkt ->
+          (if now >= from_ && now < until && !budget > 0 then
+             match msg_of_packet pkt with
+             | Some (Message.Ba_vote v) -> (
+               match Hashtbl.find_opt index_of_pk v.Algorand_ba.Vote.voter_pk with
+               | Some i when not (Hashtbl.mem corrupted i) ->
+                 Hashtbl.replace corrupted i ();
+                 decr budget;
+                 Node.set_byzantine nodes.(i)
+                   (Some { Node.equivocate_proposal = true; double_vote = true })
+               | _ -> ())
+             | _ -> ());
+          Network.Deliver)
+  in
+  let attack_adversaries =
+    List.concat
+      (List.mapi (fun idx a -> Option.to_list (adversary_of idx a)) attacks)
   in
   let faults =
     (if config.loss > 0.0 then
@@ -488,7 +589,7 @@ let build (config : config) : t =
       ]
     else []
   in
-  (match Option.to_list base_adversary @ faults with
+  (match attack_adversaries @ faults with
   | [] -> ()
   | [ a ] -> Network.set_adversary network a
   | many -> Network.set_adversary network (Adversary.compose many));
@@ -496,64 +597,75 @@ let build (config : config) : t =
      frames at its peers for the window. Flooders keep running the
      protocol normally otherwise - the worst case for detection, since
      their honest traffic is interleaved with the garbage. *)
-  (match config.attack with
-  | Flood { flooders; rate_per_s; frame_bytes; from_; until } ->
-    let k =
-      min (config.users - 1)
-        (max 1 (int_of_float (Float.round (flooders *. float_of_int config.users))))
-    in
-    let chosen = Rng.sample_indices (Rng.split rng "flooders") ~n:config.users ~k in
-    let flood_rng = Rng.split rng "flood" in
-    Engine.at engine ~time:from_ (fun () ->
-        List.iter
-          (fun node ->
-            Adversary.flood ~engine ~rng:(Rng.split flood_rng (string_of_int node))
-              ~gossip ~node ~rate_per_s ~bytes:frame_bytes ~until)
-          chosen)
-  | _ -> ());
+  List.iteri
+    (fun idx a ->
+      match a with
+      | Flood { flooders; rate_per_s; frame_bytes; from_; until } ->
+        let k =
+          min (config.users - 1)
+            (max 1
+               (int_of_float (Float.round (flooders *. float_of_int config.users))))
+        in
+        let chosen =
+          Rng.sample_indices (Rng.split rng (lbl idx "flooders")) ~n:config.users ~k
+        in
+        let flood_rng = Rng.split rng (lbl idx "flood") in
+        Engine.at engine ~time:from_ (fun () ->
+            List.iter
+              (fun node ->
+                Adversary.flood ~engine
+                  ~rng:(Rng.split flood_rng (string_of_int node))
+                  ~gossip ~node ~rate_per_s ~bytes:frame_bytes ~until)
+              chosen)
+      | _ -> ())
+    attacks;
   (* Crash-restart churn: crash takes the node's network interface down
      too (in-flight packets to it are lost); restart re-links the node
      into the gossip overlay with fresh peers before it resyncs. *)
-  (match config.attack with
-  | Crash_churn plan ->
-    let churn_rng = Rng.split rng "churn" in
-    let crash_one ~down_for i =
-      if (not (Node.is_down nodes.(i))) && not (Node.is_stopped nodes.(i)) then begin
-        Node.crash nodes.(i);
-        Network.set_up network i false;
-        Engine.schedule engine ~delay:down_for (fun () ->
-            Network.set_up network i true;
-            Gossip.relink gossip ~node:i ~weights;
-            Node.restart nodes.(i))
-      end
-    in
-    let pick fraction =
-      let k =
-        int_of_float (Float.round (fraction *. float_of_int config.users))
-      in
-      let k = min (max 1 k) (config.users - 1) in
-      Rng.sample_indices churn_rng ~n:config.users ~k
-    in
-    (match plan with
-    | One_shot { at; victims; down_for } ->
-      Engine.at engine ~time:at (fun () ->
-          List.iter
-            (fun i -> if i >= 0 && i < config.users then crash_one ~down_for i)
-            victims)
-    | Correlated { at; fraction; down_for } ->
-      Engine.at engine ~time:at (fun () ->
-          List.iter (crash_one ~down_for) (pick fraction))
-    | Periodic { start; period; fraction; down_for; until } ->
-      let rec tick time () =
-        if time <= until && not (Array.for_all Node.is_stopped nodes) then begin
-          if Trace.enabled trace then
-            Trace.instant trace ~ts:time ~cat:"harness" ~name:"churn.tick" ();
-          List.iter (crash_one ~down_for) (pick fraction);
-          Engine.at engine ~time:(time +. period) (tick (time +. period))
-        end
-      in
-      Engine.at engine ~time:start (tick start))
-  | _ -> ());
+  List.iteri
+    (fun idx a ->
+      match a with
+      | Crash_churn plan ->
+        let churn_rng = Rng.split rng (lbl idx "churn") in
+        let crash_one ~down_for i =
+          if (not (Node.is_down nodes.(i))) && not (Node.is_stopped nodes.(i))
+          then begin
+            Node.crash nodes.(i);
+            Network.set_up network i false;
+            Engine.schedule engine ~delay:down_for (fun () ->
+                Network.set_up network i true;
+                Gossip.relink gossip ~node:i ~weights;
+                Node.restart nodes.(i))
+          end
+        in
+        let pick fraction =
+          let k =
+            int_of_float (Float.round (fraction *. float_of_int config.users))
+          in
+          let k = min (max 1 k) (config.users - 1) in
+          Rng.sample_indices churn_rng ~n:config.users ~k
+        in
+        (match plan with
+        | One_shot { at; victims; down_for } ->
+          Engine.at engine ~time:at (fun () ->
+              List.iter
+                (fun i -> if i >= 0 && i < config.users then crash_one ~down_for i)
+                victims)
+        | Correlated { at; fraction; down_for } ->
+          Engine.at engine ~time:at (fun () ->
+              List.iter (crash_one ~down_for) (pick fraction))
+        | Periodic { start; period; fraction; down_for; until } ->
+          let rec tick time () =
+            if time <= until && not (Array.for_all Node.is_stopped nodes) then begin
+              if Trace.enabled trace then
+                Trace.instant trace ~ts:time ~cat:"harness" ~name:"churn.tick" ();
+              List.iter (crash_one ~down_for) (pick fraction);
+              Engine.at engine ~time:(time +. period) (tick (time +. period))
+            end
+          in
+          Engine.at engine ~time:start (tick start))
+      | _ -> ())
+    attacks;
   {
     config;
     engine;
@@ -738,7 +850,7 @@ let audit_churn (t : t) : churn_report =
       then unfinished := i :: !unfinished)
     t.nodes;
   let m = t.metrics in
-  let lat = m.Metrics.rejoin_latencies in
+  let lat = Metrics.rejoin_latencies m in
   let rejoins = List.length lat in
   {
     crashes = Metrics.crashes m;

@@ -46,6 +46,16 @@ type attack =
   | Corrupt of { p : float; from_ : float; until : float }
       (** on-path byte corruption: each frame independently mangled
           with probability [p] during the window *)
+  | Undecidable of { fraction : float; from_ : float; until : float }
+      (** Conti et al.'s "undecidable messages": a random laggard
+          fraction has every vote/block/priority message to it held
+          just past the step horizon, so traffic arrives signed and
+          sortition-valid - and unserviceable for the step it was for *)
+  | Adaptive_corrupt of { fraction : float; from_ : float; until : float }
+      (** Wang's adaptive corruption: corrupt a committee member the
+          moment its vote (hence VRF proof) crosses the wire; only
+          future steps equivocate, because the revealing step's
+          ephemeral key is already erased (section 11) *)
 
 type tx_profile = {
   tx_zipf_s : float;  (** Zipf skew exponent; 0.0 = uniform *)
@@ -77,6 +87,11 @@ type config = {
   fanout : int;
   malicious_fraction : float;
   attack : attack;
+  stressors : attack list;
+      (** additional attacks composed with [attack] through the unified
+          entrypoint ({!attacks_of}): the simulation swarm's way of
+          running churn x loss x flood x corrupt x byzantine in one
+          deployment *)
   tx_rate_per_s : float;
   tx_profile : tx_profile option;
       (** hostile workload shaping layered on [tx_rate_per_s]; [None]
@@ -113,6 +128,12 @@ type config = {
 }
 
 val default : config
+
+val attacks_of : config -> attack list
+(** The unified stressor composition: the legacy single [attack] slot
+    followed by every [stressors] element, in wiring order. The first
+    attack keeps the legacy RNG stream labels, so single-attack runs
+    replay bit-identically to configs that predate [stressors]. *)
 
 val schemes :
   crypto -> Algorand_crypto.Signature_scheme.scheme * Algorand_crypto.Vrf.scheme

@@ -150,6 +150,11 @@ type recovery_state = {
    certified rounds from rotating peers on a retry schedule until our
    tip reaches the round the network is working on (section 8.3 made
    into an online protocol). *)
+(* Recovery BA* votes are tagged with synthetic rounds above this base
+   ([base * attempt + fork_round]) so they can never collide with - or
+   be mistaken for - regular-round traffic. *)
+let recovery_round_base = 1_000_000
+
 type resync_state = {
   started_at : float;
   mutable target_round : int;  (** tip height to reach before rejoining BA* *)
@@ -177,7 +182,9 @@ type net = {
 type t = {
   index : int;
   identity : Identity.t;
-  config : config;
+  mutable config : config;
+      (** mutable only for {!set_byzantine}: adaptive corruption flips
+          a node's behavior mid-run *)
   engine : Engine.t;
   metrics : Metrics.t;
   genesis : Genesis.t;
@@ -500,7 +507,17 @@ let rec apply_ba_actions (t : t) (rs : round_state) (actions : Ba_star.action li
         if t.config.pipeline_final then eager_complete t rs ~value
       | Ba_star.Decided { value; final; bin_steps = _ } -> decide t rs ~value ~final
       | Ba_star.Hang ->
-        if
+        let is_current =
+          match t.current with Some c -> c == rs | None -> false
+        in
+        if not is_current then
+          (* A pipelined previous round timing out of its final
+             classification: the round stays tentative, the node has
+             already moved on (or stopped) - not a node hang. *)
+          Log.debug (fun m ->
+              m "node %d: round %d classification timed out (stays tentative)"
+                t.index rs.round)
+        else if
           t.config.resync_enabled
           && (not t.config.recovery_enabled)
           && t.resync = None
@@ -1035,8 +1052,9 @@ and process_normal_message (t : t) (rs : round_state) (msg : Message.t) : unit =
            without us (one ahead is normal under pipelining): catch up
            via certified history instead of waiting to hang. *)
         if
-          t.config.resync_enabled && v.round > rs.round + 1 && t.resync = None
-          && t.recovering = None
+          t.config.resync_enabled && v.round > rs.round + 1
+          && v.round < recovery_round_base
+          && t.resync = None && t.recovering = None
         then begin
           Log.debug (fun m ->
               m "node %d saw round-%d traffic while in round %d; resyncing"
@@ -1403,7 +1421,7 @@ and adopt_fork (t : t) (rs : recovery_state) : unit =
     else begin
       let tip = Option.get (Chain.find t.chain f.tip_hash) in
       rs.fork_round <- tip.height + 1;
-      rs.rvote_round <- (1_000_000 * rs.attempt) + rs.fork_round;
+      rs.rvote_round <- (recovery_round_base * rs.attempt) + rs.fork_round;
       rs.rtip_hash <- tip.hash;
       rs.rempty_hash <- Proposal.empty_hash ~round:rs.fork_round ~prev_hash:tip.hash;
       let p = t.config.params in
@@ -1506,11 +1524,28 @@ and abandon_recovery (t : t) (rs : recovery_state) : unit =
     t.recovering <- None;
     Log.debug (fun m ->
         m "node %d abandoned recovery attempt %d" t.index rs.attempt);
-    (* Resume the stalled round; the next synchronized tick retries. *)
+    (* Resume the stalled round; the next synchronized tick retries.
+       Exception: a recovery attempt that found no quorum while we
+       hold buffered traffic for rounds past the restart means the
+       network finished this round without us and moved on - peers
+       that already stopped never join recovery, so retrying the tick
+       forever strands us. Rejoin by certified history instead. *)
     if not t.stopped then begin
       let tip = Chain.tip t.chain in
-      if tip.height < t.config.max_round then start_round t ~r:(tip.height + 1)
-      else t.stopped <- true
+      if tip.height >= t.config.max_round then t.stopped <- true
+      else begin
+        let restart = tip.height + 1 in
+        let observed_ahead =
+          (* Synthetic recovery rounds in the buffer are evidence of
+             peers *recovering*, not of the network being ahead. *)
+          Hashtbl.fold
+            (fun r _ acc -> acc || (r > restart && r < recovery_round_base))
+            t.pending false
+        in
+        if t.config.resync_enabled && observed_ahead && t.resync = None then
+          begin_resync t
+        else start_round t ~r:restart
+      end
     end
   end
 
@@ -1666,6 +1701,16 @@ let recoveries_completed (t : t) : int = t.recoveries_completed
 let is_recovering (t : t) : bool = t.recovering <> None
 
 let set_on_round_complete (t : t) f : unit = t.on_round_complete <- Some f
+
+(* Adaptive corruption (Wang, "Another Look at ALGORAND"): the
+   adversary turns a node byzantine *mid-run*, after its VRF proof has
+   revealed it as a committee member. Only future sends are affected:
+   votes already broadcast were signed and sent, and the section 11
+   ephemeral-key discipline means the step key behind them is erased,
+   so corruption cannot retro-equivocate a past step - which is exactly
+   the race this hook lets the harness model. *)
+let set_byzantine (t : t) (b : byzantine option) : unit =
+  t.config <- { t.config with byzantine = b }
 
 (* Submit a transaction at this node (entering its pool and the gossip
    network), as a wallet would. *)

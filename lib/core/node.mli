@@ -169,3 +169,10 @@ val checkpoint_now : t -> unit
     the [checkpoint_every] cadence - the daemon's SIGTERM drain. *)
 
 val set_on_round_complete : t -> (t -> round:int -> final:bool -> unit) -> unit
+
+val set_byzantine : t -> byzantine option -> unit
+(** Flip the node's byzantine behavior mid-run: the adaptive-corruption
+    attack (corrupt a committee member {e after} its VRF proof reveals
+    it). Affects only future proposals/votes - already-sent votes were
+    signed with since-erased ephemeral keys (section 11), so corruption
+    cannot retro-equivocate a past step. *)

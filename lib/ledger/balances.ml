@@ -85,6 +85,14 @@ let pp_tx_error fmt = function
   | `Insufficient_balance (have, want) ->
     Format.fprintf fmt "insufficient balance: have %d, want %d" have want
 
+(* Swarm fault seeding: when set, [apply_tx] reintroduces the PR 8
+   self-payment inflation bug (credit read from the pre-debit map, so
+   paying yourself mints coins). Exists solely so the simulation swarm
+   and its tests can prove, end to end, that a real historical bug is
+   found, shrunk and reported by the conservation audit. Never set
+   outside tests. *)
+let chaos_selfpay_inflation : bool ref = ref false
+
 (* Validate and apply one transaction.
 
    The debit is written before the credit is read, so a self-payment
@@ -101,6 +109,13 @@ let apply_tx (t : t) (tx : Transaction.t) : (t, tx_error) result =
     else begin
       let si = shard_of_key t tx.sender in
       let s = t.shards.(si) in
+      let pre_debit_recipient =
+        if !chaos_selfpay_inflation then
+          match Smap.find_opt tx.recipient (shard t tx.recipient).balances with
+          | Some b -> Some b
+          | None -> Some 0
+        else None
+      in
       let t =
         with_shard t si
           {
@@ -113,7 +128,10 @@ let apply_tx (t : t) (tx : Transaction.t) : (t, tx_error) result =
       let ri = shard_of_key t tx.recipient in
       let r = t.shards.(ri) in
       let rprev =
-        match Smap.find_opt tx.recipient r.balances with Some b -> b | None -> 0
+        match pre_debit_recipient with
+        | Some b -> b  (* chaos hook: the historical pre-debit read *)
+        | None -> (
+          match Smap.find_opt tx.recipient r.balances with Some b -> b | None -> 0)
       in
       Ok
         (with_shard t ri

@@ -47,3 +47,10 @@ val holders : t -> int
 val invariant : t -> bool
 (** Money conservation: [total] equals the map sum and no balance is
     negative. *)
+
+val chaos_selfpay_inflation : bool ref
+(** Fault seeding for the simulation swarm: when set, [apply_tx]
+    reintroduces the historical self-payment inflation bug (the credit
+    reads the pre-debit balance, so paying yourself mints coins) that
+    the conservation audit must then find. Test-only; defaults to
+    [false]. *)

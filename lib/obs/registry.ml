@@ -132,6 +132,28 @@ let histogram_value (t : t) (name : string) : hist_snapshot option =
 let names (t : t) : string list =
   List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [])
 
+(* Coverage fingerprint: the structural exercise signal - which
+   counters fired, which gauges exist, which histogram buckets are
+   populated - deliberately insensitive to magnitudes, so two runs that
+   stressed the same code paths (however hard) collide while a run that
+   touched a new path contributes a novel item. Sorted, hence
+   deterministic for identical runs. *)
+let fingerprint (t : t) : string list =
+  List.concat_map
+    (fun name ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (C c) -> if c.c > 0 then [ "c:" ^ name ] else []
+      | Some (G _) -> [ "g:" ^ name ]
+      | Some (H h) ->
+        let items = ref [] in
+        for i = h.nbuckets + 1 downto 0 do
+          if h.bucket_counts.(i) > 0 then
+            items := Printf.sprintf "h:%s:%d" name i :: !items
+        done;
+        !items
+      | None -> [])
+    (names t)
+
 (* Deterministic serialization: sorted names, fixed float precision,
    never a bare NaN/inf token (JSON has neither). *)
 let json_float (v : float) : string =

@@ -68,6 +68,14 @@ val histogram_value : t -> string -> hist_snapshot option
 val names : t -> string list
 (** All registered metric names, sorted. *)
 
+val fingerprint : t -> string list
+(** The registry's coverage fingerprint: one item per counter that
+    fired (["c:name"]), per registered gauge (["g:name"]) and per
+    populated histogram bucket (["h:name:i"]). Insensitive to the
+    magnitudes themselves, so it identifies {e which} code paths a run
+    exercised, not how hard - the novelty signal the simulation swarm
+    feeds its corpus from. Sorted and deterministic. *)
+
 val to_json : t -> string
 (** The whole registry as one JSON object:
     [{"counters":{...},"gauges":{...},"histograms":{...}}], keys

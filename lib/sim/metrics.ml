@@ -129,6 +129,11 @@ let retry_attempts (t : t) : int = Registry.count t.c_retries
 
 let records (t : t) : round_record list = t.records
 let record_count (t : t) : int = t.record_count
+let bytes_sent (t : t) : float array = t.bytes_sent
+let bytes_received (t : t) : float array = t.bytes_received
+let step_durations (t : t) : float list = t.step_durations
+let priority_gossip_times (t : t) : float list = t.priority_gossip_times
+let rejoin_latencies (t : t) : float list = t.rejoin_latencies
 
 let completed (r : round_record) : bool = not (Float.is_nan r.final_done)
 

@@ -1,0 +1,90 @@
+(** Experiment instrumentation: per-user round phase timestamps (the
+    Figure 7 breakdown), per-user bytes sent/received (section 10.3),
+    and per-step BA* completion times (section 10.5).
+
+    Scalar counts and duration distributions live in a typed
+    {!Algorand_obs.Registry} (snapshot-able mid-run); the exact
+    per-sample lists needed for the paper's percentile plots are kept
+    alongside, and round records are indexed per round so per-round
+    queries do not rescan the whole history. The carried {!Trace}
+    handle is how Node / Harness / Gossip / Retry reach the structured
+    event trace without extra plumbing. *)
+
+module Registry = Algorand_obs.Registry
+module Trace = Algorand_obs.Trace
+
+type phase = Block_proposal | Ba_no_final | Ba_final
+
+val phase_name : phase -> string
+
+type round_record = {
+  user : int;
+  round : int;
+  mutable started : float;
+  mutable proposal_done : float;  (** got (or gave up on) the proposed block *)
+  mutable ba_done : float;  (** BinaryBA* returned *)
+  mutable final_done : float;  (** final-step vote count resolved *)
+  mutable steps_taken : int;
+  mutable final : bool;
+}
+(** One user's progress through one round. The node mutates the
+    timestamps in place as phases complete; a round finished via
+    catch-up grafting leaves its intermediate timestamps NaN. *)
+
+type t
+
+val create : ?registry:Registry.t -> ?trace:Trace.t -> users:int -> unit -> t
+val registry : t -> Registry.t
+val trace : t -> Trace.t
+
+val start_round : t -> user:int -> round:int -> now:float -> round_record
+
+(** {1 Recording} *)
+
+val record_bytes_sent : t -> user:int -> int -> unit
+val record_bytes_received : t -> user:int -> int -> unit
+val record_step_duration : t -> float -> unit
+val record_priority_gossip : t -> float -> unit
+val record_crash : t -> unit
+val record_restart : t -> unit
+
+val record_rejoin : t -> float -> unit
+(** Restart (or lag detection) to BA* rejoin, sim-seconds. *)
+
+val record_retry : t -> unit
+
+(** {1 Queries} *)
+
+val crashes : t -> int
+val restarts : t -> int
+val retry_attempts : t -> int
+
+val records : t -> round_record list
+(** Every record ever started, newest first. *)
+
+val record_count : t -> int
+
+val bytes_sent : t -> float array
+(** Cumulative bytes sent per user (live array; do not mutate). *)
+
+val bytes_received : t -> float array
+val step_durations : t -> float list
+val priority_gossip_times : t -> float list
+val rejoin_latencies : t -> float list
+
+val completed : round_record -> bool
+
+val round_completion_times : t -> round:int -> float list
+(** Completed-round durations for one round across users: one index
+    lookup, not a scan of every record. *)
+
+val all_round_completion_times : t -> float list
+
+val phase_times : t -> phase -> float list
+(** Phase durations across completed rounds (the Figure 7
+    decomposition). Records completed via catch-up grafting (NaN
+    intermediates) are skipped; {!incomplete_phase_records} counts
+    them. *)
+
+val incomplete_phase_records : t -> int
+val completed_rounds : t -> int

@@ -9,6 +9,7 @@ module Chain = Algorand_ledger.Chain
 module Block = Algorand_ledger.Block
 module Transaction = Algorand_ledger.Transaction
 module Balances = Algorand_ledger.Balances
+module Metrics = Algorand_sim.Metrics
 
 let ts name f = Alcotest.test_case name `Slow f
 
@@ -123,11 +124,11 @@ let deterministic_bit_identical () =
   Alcotest.(check (list string)) "bit-identical chains" (chain_hashes r1)
     (chain_hashes r2);
   Alcotest.(check (list (float 0.0))) "bit-identical bytes sent"
-    (Array.to_list r1.harness.metrics.bytes_sent)
-    (Array.to_list r2.harness.metrics.bytes_sent);
+    (Array.to_list (Metrics.bytes_sent r1.harness.metrics))
+    (Array.to_list (Metrics.bytes_sent r2.harness.metrics));
   Alcotest.(check (list (float 0.0))) "bit-identical bytes received"
-    (Array.to_list r1.harness.metrics.bytes_received)
-    (Array.to_list r2.harness.metrics.bytes_received);
+    (Array.to_list (Metrics.bytes_received r1.harness.metrics))
+    (Array.to_list (Metrics.bytes_received r2.harness.metrics));
   Alcotest.(check int) "same event count" r1.events r2.events;
   Alcotest.(check (float 0.0)) "same sim time" r1.sim_time r2.sim_time
 
@@ -147,7 +148,7 @@ let all_chains_converge () =
 
 let bandwidth_accounted () =
   let r = Harness.run { base_config with rounds = 1 } in
-  let sent = r.harness.metrics.bytes_sent in
+  let sent = Metrics.bytes_sent r.harness.metrics in
   let total = Array.fold_left ( +. ) 0.0 sent in
   Alcotest.(check bool) "bytes flowed" true (total > 100_000.0)
 

@@ -193,9 +193,9 @@ let metrics_bandwidth () =
   Metrics.record_bytes_sent m ~user:1 500;
   Metrics.record_bytes_sent m ~user:1 250;
   Metrics.record_bytes_received m ~user:2 100;
-  Alcotest.(check (float 1e-9)) "sent accumulates" 750.0 m.bytes_sent.(1);
-  Alcotest.(check (float 1e-9)) "received" 100.0 m.bytes_received.(2);
-  Alcotest.(check (float 1e-9)) "others zero" 0.0 m.bytes_sent.(0)
+  Alcotest.(check (float 1e-9)) "sent accumulates" 750.0 (Metrics.bytes_sent m).(1);
+  Alcotest.(check (float 1e-9)) "received" 100.0 (Metrics.bytes_received m).(2);
+  Alcotest.(check (float 1e-9)) "others zero" 0.0 (Metrics.bytes_sent m).(0)
 
 let stats_percentiles_interpolate () =
   let a = [| 0.0; 10.0 |] in
